@@ -1,0 +1,58 @@
+"""Shared helpers for the table-regeneration benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper: it
+computes every cell with the library, prints the table next to the
+paper's published values, and asserts the qualitative shape (who wins,
+by what rough factor).  Timing comes from pytest-benchmark.
+
+Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+P_GRID = (0.1, 0.2, 0.3, 0.5)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence],
+    widths: int = 14,
+) -> str:
+    """Fixed-width table with a title banner."""
+    lines = [title, "=" * len(title)]
+    header = "".join(f"{c:>{widths}}" for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>{widths}.6f}")
+            else:
+                cells.append(f"{str(value):>{widths}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def paired_rows(
+    measured: Dict[float, Dict[str, float]],
+    published: Dict[float, Dict[str, float]],
+    systems: Sequence[str],
+) -> List[List]:
+    """Interleave measured and published values per probability point."""
+    rows: List[List] = []
+    for p in sorted(measured):
+        rows.append([f"p={p}"] + [measured[p][s] for s in systems])
+        if p in published:
+            rows.append(["  paper"] + [published[p].get(s, float("nan")) for s in systems])
+    return rows
+
+
+def run_once(benchmark, fn):
+    """Benchmark a heavy computation with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,70 @@
+"""Ablation: design-space search over construction shapes.
+
+Generalises §4.3's rectangular-grid observation into a search: over all
+factorisations of 24 elements, which h-T-grid shape is most available?
+Over all 1575 wall shapes of 14 elements, how far is CWlog from the
+availability optimum (it trades availability for O(lg n) quorums)?
+"""
+
+import pytest
+
+from repro.analysis.optimization import best_grid_shape, best_wall
+from repro.systems import CrumblingWallQuorumSystem
+
+from _tables import format_table, run_once
+
+P = 0.1
+
+
+def compute_search():
+    walls = best_wall(14, P, top=5)
+    cwlog = CrumblingWallQuorumSystem.cwlog(14)
+    cwlog_value = cwlog.failure_probability_exact(P)
+    htgrid_shapes = best_grid_shape(24, P, system="h-t-grid", top=4)
+    hgrid_shapes = best_grid_shape(24, P, system="h-grid", top=4)
+    return walls, cwlog_value, htgrid_shapes, hgrid_shapes
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_design_search(benchmark):
+    walls, cwlog_value, htgrid_shapes, hgrid_shapes = run_once(
+        benchmark, compute_search
+    )
+
+    print()
+    print(
+        format_table(
+            f"Best wall shapes at n=14, p={P} (1575 candidates searched)",
+            ["widths", "F_p"],
+            [[str(list(widths)), value] for widths, value in walls]
+            + [["cwlog [1,2,2,3,3,3]", cwlog_value]],
+            widths=22,
+        )
+    )
+    print()
+    print(
+        format_table(
+            f"Best 24-element grid shapes at p={P}",
+            ["family", "shape RxC", "F_p"],
+            [["h-T-grid", f"{r}x{c}", v] for (r, c), v in htgrid_shapes]
+            + [["h-grid", f"{r}x{c}", v] for (r, c), v in hgrid_shapes],
+            widths=14,
+        )
+    )
+
+    # The searched optimum beats CWlog's trade-off shape on availability.
+    assert walls[0][1] < cwlog_value
+    # The paper's 6-lines x 4-columns is the best h-T-grid factorisation
+    # of 24 (its §4.3 claim, rediscovered by exhaustive search).
+    assert htgrid_shapes[0][0] == (6, 4)
+    # More lines than columns throughout the h-T-grid leaderboard.
+    for (rows, cols), _ in htgrid_shapes[:2]:
+        assert rows >= cols
+    # The h-grid prefers portrait shapes too (full-lines are cheaper when
+    # rows are short), and the search puts 6x4 on top for both families —
+    # but the h-T-grid's margin over its own h-grid is what §4.3 is
+    # about, and it only materialises on the portrait shape.
+    assert hgrid_shapes[0][0] == (6, 4)
+    htgrid_best = dict(htgrid_shapes)[(6, 4)]
+    hgrid_best = dict(hgrid_shapes)[(6, 4)]
+    assert hgrid_best / htgrid_best > 3.0

@@ -1,0 +1,62 @@
+"""Ablation: the §5 growth operations of the hierarchical triangle.
+
+"Introducing new elements": replacing a sub-triangle of m lines by m+1
+lines, or widening the sub-grid, improves availability without
+restructuring.  The benchmark measures every rule from the 5-row
+triangle and compares growth against rebuilding the next standard
+triangle, plus the flat-vs-hierarchical sub-grid organisation ablation.
+"""
+
+import pytest
+
+from repro.systems import HierarchicalTriangle
+
+from _tables import format_table, run_once
+
+P = 0.1
+
+
+def compute_growth():
+    base = HierarchicalTriangle(5, subgrid="flat")
+    out = {"base(t=5)": (base.n, base.failure_probability(P))}
+    for where in ("t1", "t2", "grid"):
+        grown = base.grown(where)
+        out[f"grow {where}"] = (grown.n, grown.failure_probability(P))
+    rebuilt = HierarchicalTriangle(6)
+    out["standard t=6"] = (rebuilt.n, rebuilt.failure_probability(P))
+    out["flat-subgrid t=7"] = (
+        28,
+        HierarchicalTriangle(7, subgrid="flat").failure_probability(P),
+    )
+    out["halving-subgrid t=7"] = (
+        28,
+        HierarchicalTriangle(7, subgrid="halving").failure_probability(P),
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_growth_ablation(benchmark):
+    table = run_once(benchmark, compute_growth)
+
+    rows = [[name, n, value] for name, (n, value) in table.items()]
+    print()
+    print(
+        format_table(
+            f"Ablation: §5 growth operations (failure at p={P})",
+            ["variant", "n", "F_p"],
+            rows,
+        )
+    )
+
+    base_n, base_f = table["base(t=5)"]
+    # Every growth rule strictly improves availability (§5's claim).
+    for where in ("t1", "t2", "grid"):
+        grown_n, grown_f = table[f"grow {where}"]
+        assert grown_n > base_n
+        assert grown_f < base_f
+    # Growing t2 (the larger sub-triangle) helps more than growing t1.
+    assert table["grow t2"][1] < table["grow t1"][1]
+    # The hierarchical sub-grid beats the flat sub-grid at t=7
+    # (this is what makes our h-triang(28) match the paper's Table 3).
+    assert table["halving-subgrid t=7"][1] < table["flat-subgrid t=7"][1]

@@ -1,0 +1,100 @@
+"""Ablation: element hardening and latency/load trade-off.
+
+Uses the heterogeneous availability recursions to quantify two
+deployment levers on the paper's constructions:
+
+* hardening one replica (making it perfectly reliable): best-placed vs
+  worst-placed element, per system — symmetric systems don't care,
+  walls and triangles do;
+* the latency/load frontier of the hierarchical triangle for a client
+  with region-skewed RTTs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    importance_profile,
+    latency_load_frontier,
+    latency_profile,
+)
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+)
+
+from _tables import format_table, run_once
+
+P = 0.15
+
+
+def harden(system, element, p=P):
+    survive = [1.0 - p] * system.n
+    survive[element] = 1.0
+    return system.availability_heterogeneous(survive)
+
+
+def compute_placement():
+    systems = {
+        "majority(9)": MajorityQuorumSystem.of_size(9),
+        "cwlog(14)": CrumblingWallQuorumSystem.cwlog(14),
+        "h-triang(15)": HierarchicalTriangle(5),
+    }
+    rows = {}
+    for name, system in systems.items():
+        baseline = system.availability_heterogeneous([1.0 - P] * system.n)
+        profile = importance_profile(system, P)
+        best = int(np.argmax(profile))
+        worst = int(np.argmin(profile))
+        rows[name] = {
+            "baseline": baseline,
+            "best": harden(system, best) - baseline,
+            "worst": harden(system, worst) - baseline,
+            "spread": float(profile.max() / max(profile.min(), 1e-18)),
+        }
+    triangle = HierarchicalTriangle(5)
+    rtt = [1.0 + 0.5 * i for i in range(triangle.n)]
+    frontier = latency_load_frontier(triangle, rtt, points=5)
+    return rows, frontier
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_placement_ablation(benchmark):
+    rows, frontier = run_once(benchmark, compute_placement)
+
+    print()
+    print(
+        format_table(
+            f"Ablation: hardening one replica (availability gain at p={P})",
+            ["system", "baseline A", "best element", "worst element", "imp. spread"],
+            [
+                [name, row["baseline"], row["best"], row["worst"], row["spread"]]
+                for name, row in rows.items()
+            ],
+            widths=16,
+        )
+    )
+    print()
+    print(
+        format_table(
+            "Latency/load frontier, h-triang(15), RTT = 1 + 0.5*id",
+            ["load budget", "expected latency"],
+            [[budget, latency] for budget, latency in frontier],
+            widths=18,
+        )
+    )
+
+    # Symmetric majority: placement is irrelevant.
+    assert rows["majority(9)"]["best"] == pytest.approx(
+        rows["majority(9)"]["worst"], abs=1e-12
+    )
+    assert rows["majority(9)"]["spread"] == pytest.approx(1.0, abs=1e-9)
+    # Asymmetric systems: placement matters, best beats worst.
+    for name in ("cwlog(14)", "h-triang(15)"):
+        assert rows[name]["best"] > rows[name]["worst"]
+        assert rows[name]["spread"] > 1.1
+    # Frontier is monotone: looser load -> lower latency.
+    latencies = [latency for _, latency in frontier]
+    for before, after in zip(latencies, latencies[1:]):
+        assert after <= before + 1e-9

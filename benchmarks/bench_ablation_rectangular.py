@@ -1,0 +1,70 @@
+"""Ablation: rectangular vs square grids for the h-T-grid (§4.3).
+
+The paper observes that the h-T-grid prefers *slightly rectangular*
+grids (more lines than columns): 24 nodes as 6 lines x 4 columns beat
+both the 8x3 arrangement and the square 5x5 with one node more, while
+for the plain h-grid the rectangular advantage is far smaller.  A second
+axis ablates the hierarchy decomposition itself (the paper's top-down
+halving vs bottom-up 2x2 pairing).
+"""
+
+import pytest
+
+from repro.systems import HierarchicalGrid, HierarchicalTGrid
+
+from _tables import format_table, run_once
+
+SHAPES = ((4, 6), (5, 5), (6, 4), (8, 3), (3, 8))
+P = 0.1
+
+
+def compute_ablation():
+    out = {}
+    for shape in SHAPES:
+        hgrid = HierarchicalGrid.halving(*shape)
+        htgrid = HierarchicalTGrid.halving(*shape)
+        out[shape] = {
+            "h-grid": hgrid.failure_probability_exact(P),
+            "h-T-grid": htgrid.failure_probability(P, method="shannon"),
+        }
+    out["pairing-6x4"] = {
+        "h-grid": HierarchicalGrid.pairing(6, 4).failure_probability_exact(P),
+        "h-T-grid": HierarchicalTGrid.pairing(6, 4).failure_probability(
+            P, method="shannon"
+        ),
+    }
+    return out
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_rectangular_ablation(benchmark):
+    table = run_once(benchmark, compute_ablation)
+
+    rows = []
+    for key, values in table.items():
+        label = f"{key[0]}x{key[1]}" if isinstance(key, tuple) else key
+        rows.append([label, values["h-grid"], values["h-T-grid"],
+                     values["h-grid"] / values["h-T-grid"]])
+    print()
+    print(
+        format_table(
+            f"Ablation: grid shape and decomposition (failure at p={P})",
+            ["shape RxC", "h-grid", "h-T-grid", "ratio"],
+            rows,
+        )
+    )
+
+    # §4.3 claims, re-established:
+    # 1. 6 lines x 4 columns beats the square 5x5 (one node more!) ...
+    assert table[(6, 4)]["h-T-grid"] < table[(5, 5)]["h-T-grid"]
+    # 2. ... and beats the extreme 8x3 arrangement.
+    assert table[(6, 4)]["h-T-grid"] < table[(8, 3)]["h-T-grid"]
+    # 3. More lines than columns is the right direction: transposes are
+    #    worse for the h-T-grid.
+    assert table[(6, 4)]["h-T-grid"] < table[(4, 6)]["h-T-grid"]
+    assert table[(8, 3)]["h-T-grid"] < table[(3, 8)]["h-T-grid"]
+    # 4. The improvement over the h-grid is far bigger on rectangles
+    #    (>3x) than on squares (~1.1x).
+    square_ratio = table[(5, 5)]["h-grid"] / table[(5, 5)]["h-T-grid"]
+    rect_ratio = table[(6, 4)]["h-grid"] / table[(6, 4)]["h-T-grid"]
+    assert rect_ratio > 3.0 > square_ratio

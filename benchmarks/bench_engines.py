@@ -1,0 +1,52 @@
+"""Ablation: availability-engine agreement and relative speed.
+
+The library ships four independent failure-probability engines
+(structural closed forms, exhaustive 2^n, Shannon expansion, Monte
+Carlo).  This benchmark times each on the same h-T-grid instance and
+asserts they agree — the machinery behind every number in Tables 1-3.
+"""
+
+import pytest
+
+from repro.analysis import (
+    failure_probability_exhaustive,
+    failure_probability_montecarlo,
+    failure_probability_shannon,
+)
+from repro.systems import HierarchicalTGrid, HierarchicalTriangle
+
+P = 0.2
+
+
+@pytest.fixture(scope="module")
+def htgrid():
+    system = HierarchicalTGrid.halving(4, 4)
+    system.minimal_quorums()  # warm the construction cache
+    return system
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_exhaustive(benchmark, htgrid):
+    value = benchmark(failure_probability_exhaustive, htgrid, P)
+    assert value == pytest.approx(0.063866, abs=5e-7)
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_shannon(benchmark, htgrid):
+    value = benchmark(failure_probability_shannon, htgrid, P)
+    assert value == pytest.approx(0.063866, abs=5e-7)
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_montecarlo(benchmark, htgrid):
+    estimate = benchmark(
+        failure_probability_montecarlo, htgrid, P, samples=50_000, seed=1
+    )
+    assert estimate.contains(0.063866)
+
+
+@pytest.mark.benchmark(group="engines")
+def test_engine_structural_triangle(benchmark):
+    system = HierarchicalTriangle(7)
+    value = benchmark(system.failure_probability_exact, P)
+    assert value == pytest.approx(0.004851, abs=5e-7)

@@ -1,0 +1,88 @@
+"""Optimality-envelope study (Propositions 3.2 and 3.3 made concrete).
+
+Places every ~15-node system of Table 2 on the Peleg–Wool optimality
+map: the failure-probability *gap* above the majority envelope (the
+price paid for small quorums) against the *capacity* gained (1/load).
+This is the trade-off the paper's §6 narrates; here it is a table.
+"""
+
+import pytest
+
+from repro.analysis import (
+    availability_gap,
+    capacity,
+    find_crossover,
+    optimal_failure_probability,
+)
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    SingletonQuorumSystem,
+    YQuorumSystem,
+)
+
+from _tables import format_table, run_once
+
+P = 0.1
+
+
+def compute_envelope():
+    systems = {
+        "majority": MajorityQuorumSystem.of_size(15),
+        "hqs": HQSQuorumSystem.balanced([5, 3]),
+        "cwlog": CrumblingWallQuorumSystem.cwlog(14),
+        "h-t-grid": HierarchicalTGrid.halving(4, 4),
+        "y": YQuorumSystem(5),
+        "h-triang": HierarchicalTriangle(5),
+    }
+    rows = {}
+    for name, system in systems.items():
+        rows[name] = {
+            "gap": availability_gap(system, P),
+            "capacity": capacity(system),
+            "c(S)": system.smallest_quorum_size(),
+        }
+    singleton = SingletonQuorumSystem.of_size(15)
+    majority = MajorityQuorumSystem.of_size(15)
+    rows["_crossover"] = find_crossover(singleton, majority, low=0.05, high=0.95)
+    return rows
+
+
+@pytest.mark.benchmark(group="bounds")
+def test_envelope_bounds(benchmark):
+    table = run_once(benchmark, compute_envelope)
+
+    crossover = table.pop("_crossover")
+    print()
+    print(
+        format_table(
+            f"Optimality map at ~15 nodes (p={P}, envelope ="
+            f" {optimal_failure_probability(15, P):.6f})",
+            ["system", "gap over optimum", "capacity (1/L)", "c(S)"],
+            [
+                [name, row["gap"], row["capacity"], row["c(S)"]]
+                for name, row in table.items()
+            ],
+            widths=18,
+        )
+    )
+    print(f"\nProp. 3.2 regime switch (singleton vs majority): p = {crossover:.6f}")
+
+    # Majority sits on the envelope; everyone else pays a positive gap.
+    assert table["majority"]["gap"] == pytest.approx(0.0, abs=1e-12)
+    for name, row in table.items():
+        assert row["gap"] >= -1e-12
+    # ... and buys capacity for it: every O(sqrt n) system beats
+    # majority's capacity.
+    for name in ("h-t-grid", "y", "h-triang"):
+        assert table[name]["capacity"] > table["majority"]["capacity"]
+    # h-triang has the best capacity of the high-availability group and
+    # the smallest gap of the O(sqrt n) group.
+    assert table["h-triang"]["capacity"] == pytest.approx(3.0)
+    assert table["h-triang"]["gap"] < table["y"]["gap"]
+    assert table["h-triang"]["gap"] < table["h-t-grid"]["gap"]
+    # The Prop. 3.2 regime switch is at p = 1/2.
+    assert crossover == pytest.approx(0.5, abs=1e-6)

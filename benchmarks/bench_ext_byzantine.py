@@ -1,0 +1,80 @@
+"""Extension (§7 outlook): Byzantine thresholds of the constructions.
+
+The paper closes with "we believe that the ideas proposed in this paper
+can also be adapted and used in Byzantine quorum systems".  This
+extension benchmark quantifies one such adaptation: boosting the
+hierarchical triangle into a b-masking system (every element becomes a
+2b+1 replica group) and comparing quorum size and load against the
+Malkhi–Reiter masking-majority baseline of the same universe size.
+"""
+
+import pytest
+
+from repro.analysis import (
+    boost,
+    byzantine_profile,
+    is_b_masking,
+    masking_majority,
+)
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem, YQuorumSystem
+
+from _tables import format_table, run_once
+
+
+def compute_byzantine():
+    out = {}
+    # Crash-model constructions all sit at b = 0 (their design point).
+    for system in (
+        HierarchicalTriangle(5),
+        MajorityQuorumSystem.of_size(15),
+        YQuorumSystem(5),
+    ):
+        overlap, dissemination, masking = byzantine_profile(system)
+        out[system.system_name] = {
+            "n": system.n,
+            "overlap": overlap,
+            "masking_b": masking,
+            "quorum": system.smallest_quorum_size(),
+        }
+    # The boosted triangle vs the masking majority at b = 1.
+    boosted = boost(HierarchicalTriangle(3), 1)
+    baseline = masking_majority(boosted.n, 1)
+    for label, system in (("boosted h-triang", boosted), ("masking-majority", baseline)):
+        overlap, dissemination, masking = byzantine_profile(system)
+        out[label] = {
+            "n": system.n,
+            "overlap": overlap,
+            "masking_b": masking,
+            "quorum": system.smallest_quorum_size(),
+        }
+    return out
+
+
+@pytest.mark.benchmark(group="extension")
+def test_byzantine_extension(benchmark):
+    table = run_once(benchmark, compute_byzantine)
+
+    rows = [
+        [name, entry["n"], entry["overlap"], entry["masking_b"], entry["quorum"]]
+        for name, entry in table.items()
+    ]
+    print()
+    print(
+        format_table(
+            "Extension: Byzantine thresholds (min overlap / masking b)",
+            ["system", "n", "overlap", "masking b", "c(S)"],
+            rows,
+            widths=18,
+        )
+    )
+
+    # Crash-model systems tolerate no Byzantine faults as-is.
+    for name in ("h-triang5", "majority", "y5"):
+        assert table[name]["masking_b"] == 0
+    # The boosted triangle reaches b = 1 ...
+    assert table["boosted h-triang"]["masking_b"] >= 1
+    boosted = boost(HierarchicalTriangle(3), 1)
+    assert is_b_masking(boosted, 1)
+    # ... with smaller quorums than the masking majority over the same
+    # universe (the hierarchical advantage carries over, as §7 hopes).
+    assert table["boosted h-triang"]["quorum"] < table["masking-majority"]["quorum"]

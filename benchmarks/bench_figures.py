@@ -1,0 +1,46 @@
+"""Figures 1 and 2 — the construction illustrations, regenerated.
+
+Figure 1: the 3-level hierarchical grid of 16 processes with a
+read-write quorum (row-cover + full-line) marked.  Figure 2: the 5-row
+triangle divided into sub-triangle 1, the sub-grid and sub-triangle 2.
+Both renderings are deterministic and structurally asserted.
+"""
+
+import pytest
+
+from repro.systems import HierarchicalGrid, HierarchicalTriangle
+from repro.viz import render_figure1, render_figure2
+
+from _tables import run_once
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure1(benchmark):
+    text = run_once(benchmark, render_figure1)
+    print()
+    print(text)
+
+    grid = HierarchicalGrid.halving(4, 4)
+    body = [line for line in text.splitlines() if line and line[0] in ".CLB"]
+    # 4x4 layout with a 4-element full-line and a 4-element row-cover.
+    assert len(body) == 4
+    marks = "".join(body)
+    assert marks.count("L") + marks.count("B") == 4
+    assert marks.count("C") + marks.count("B") == 4
+    # The marked sets really are a line and a cover of the h-grid.
+    assert len(grid.full_lines()) == 8
+    assert len(grid.row_covers()) == 64
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure2(benchmark):
+    text = run_once(benchmark, render_figure2)
+    print()
+    print(text)
+
+    triangle = HierarchicalTriangle(5)
+    body = "\n".join(text.splitlines()[2:])
+    # Counts match figure 2's division: |T1| = 3, |G| = 6, |T2| = 6.
+    assert body.count("1") == triangle._node_size(triangle._root.t1) == 3
+    assert body.count("G") == triangle._node_size_grid(triangle._root.grid) == 6
+    assert body.count("2") == triangle._node_size(triangle._root.t2) == 6

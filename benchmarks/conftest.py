@@ -1,0 +1,6 @@
+"""Make the shared `_tables` helper importable from the bench modules."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,55 @@
+"""Quickstart: build the paper's quorum systems and query their metrics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+)
+
+
+def main() -> None:
+    # The paper's §5 contribution: 15 processes in a 5-row triangle.
+    triangle = HierarchicalTriangle(5)
+    print(f"system: {triangle.system_name}  (n = {triangle.n})")
+    print(f"number of minimal quorums : {triangle.num_minimal_quorums}")
+    print(f"quorum size (uniform!)    : {triangle.smallest_quorum_size()}")
+
+    # A few example quorums, in (row, col) coordinates.
+    print("three quorums:")
+    for quorum in triangle.named_quorums()[:3]:
+        print("   ", sorted(quorum))
+
+    # The metrics the paper evaluates (Definitions 3.2 and 3.4).
+    for p in (0.1, 0.2, 0.3, 0.5):
+        print(f"failure probability at p={p}: {triangle.failure_probability(p):.6f}")
+    print(f"system load               : {triangle.load():.4f}  (= t/n = sqrt(2)/sqrt(n))")
+
+    # Balanced strategy of §5: perfectly uniform element loads.
+    profile = triangle.balanced_load_profile()
+    print(f"load imbalance under the §5 strategy: {profile.imbalance:.4f} (1.0 = perfect)")
+
+    # Contrast with the majority baseline: better availability, but
+    # quorums of 8 and load > 1/2.
+    majority = MajorityQuorumSystem.of_size(15)
+    print(
+        f"\nmajority(15): quorum size {majority.quorum_size}, "
+        f"load {majority.load():.3f}, "
+        f"F_0.1 = {majority.failure_probability(0.1):.6f}"
+    )
+
+    # ... and with the paper's other contribution, the h-T-grid (§4).
+    htgrid = HierarchicalTGrid.halving(4, 4)
+    print(
+        f"h-T-grid(4x4): quorum sizes {htgrid.smallest_quorum_size()}"
+        f"..{htgrid.largest_quorum_size()}, "
+        f"F_0.1 = {htgrid.failure_probability(0.1):.6f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

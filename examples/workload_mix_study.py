@@ -1,0 +1,111 @@
+"""Workload-mix study: why the h-grid protocol has three quorum families.
+
+The h-grid protocol (§4.1) distinguishes reads (row-covers), blind
+writes (full-lines) and exclusive read-writes precisely so that the
+cheap operations use small quorums.  This study runs a replicated
+register under different read/write mixes twice:
+
+* *specialised*: reads -> covers, blind writes -> lines,
+  read-modify-writes -> read-write quorums;
+* *monolithic*: every operation uses read-write quorums (what a naive
+  single-family deployment would do).
+
+and compares message cost and per-replica load.  The read-heavier the
+mix, the more the specialised protocol wins.
+
+Run with::
+
+    python examples/workload_mix_study.py
+"""
+
+import numpy as np
+
+from repro import HierarchicalGrid
+from repro.sim import (
+    LoadMeter,
+    Network,
+    ReplicaNode,
+    ReplicatedRegisterClient,
+    Simulator,
+)
+
+OPERATIONS = 1_500
+
+
+def run_mix(grid, read_fraction: float, specialised: bool, seed: int = 0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for element in grid.universe.ids:
+        ReplicaNode(element, net)
+    client = ReplicatedRegisterClient(999, net)
+    covers = grid.row_covers()
+    lines = grid.full_lines()
+    rw = list(grid.minimal_quorums())
+    meter = LoadMeter(grid.n)
+    rng = np.random.default_rng(seed)
+    outcomes = []
+
+    def issue(step: int) -> None:
+        is_read = rng.random() < read_fraction
+
+        def done(result):
+            outcomes.append(result.ok)
+
+        if is_read:
+            pool = covers if specialised else rw
+            quorum = pool[int(rng.integers(len(pool)))]
+            meter.record_quorum(quorum)
+            client.read([quorum], on_done=done)
+        else:
+            pool = lines if specialised else rw
+            quorum = pool[int(rng.integers(len(pool)))]
+            meter.record_quorum(quorum)
+            if specialised:
+                client.blind_write([quorum], step, on_done=done)
+            else:
+                client.read_write([quorum], lambda v, s=step: s, on_done=done)
+
+    for step in range(OPERATIONS):
+        sim.schedule(step * 10.0, issue, step)
+    sim.run(until=OPERATIONS * 10.0 + 100.0)
+    return {
+        "messages": net.messages_sent,
+        "max_load": meter.max_load,
+        "mean_quorum": meter.counts.sum() / OPERATIONS,
+        "success": sum(outcomes) / len(outcomes),
+    }
+
+
+def main() -> None:
+    grid = HierarchicalGrid.halving(4, 4)
+    print(f"register over {grid.system_name}, {OPERATIONS} ops per run\n")
+    header = (
+        f"{'mix':<16} {'variant':<12} {'msgs':>8} {'avg |Q|':>8}"
+        f" {'max load':>9} {'ok':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for read_fraction in (0.9, 0.5, 0.1):
+        for specialised in (True, False):
+            stats = run_mix(grid, read_fraction, specialised)
+            label = f"{int(read_fraction * 100)}% reads"
+            variant = "specialised" if specialised else "monolithic"
+            print(
+                f"{label:<16} {variant:<12} {stats['messages']:>8}"
+                f" {stats['mean_quorum']:>8.2f} {stats['max_load']:>9.3f}"
+                f" {stats['success']:>6.2f}"
+            )
+        print()
+    print(
+        "Reading the table: the specialised families contact 4 replicas"
+        " per operation (covers and lines are both size sqrt(n)) versus 7"
+        " for read-write quorums — the §4.1 design point.  Monolithic"
+        " writes also cost a second round trip (version query), which is"
+        " why its message count grows with the write share.  When"
+        " read-modify-write semantics are genuinely needed, §4.2's"
+        " h-T-grid shrinks those quorums from 7 to 4..7."
+    )
+
+
+if __name__ == "__main__":
+    main()

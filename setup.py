@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Allows ``python setup.py develop`` on environments without the ``wheel``
+package (PEP 660 editable installs need it); all metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — reproduction of "Revisiting Hierarchical Quorum Systems"
+(Preguiça & Martins, ICDCS 2001).
+
+The package provides:
+
+* :mod:`repro.core` — quorum-system abstractions (universes, coteries,
+  strategies, composition);
+* :mod:`repro.systems` — the paper's hierarchical T-grid (§4) and
+  hierarchical triangle (§5) plus all evaluated baselines;
+* :mod:`repro.analysis` — exact failure probability (closed forms,
+  exhaustive, Shannon/BDD, lattice frontier DP), Monte Carlo, reliability
+  polynomials, and LP-exact load;
+* :mod:`repro.sim` — a deterministic discrete-event simulator with
+  quorum-based mutual-exclusion and replicated-data protocols, closing
+  the loop between the analytic metrics and protocol behaviour.
+
+Quickstart::
+
+    from repro import HierarchicalTriangle
+
+    system = HierarchicalTriangle(5)          # 15 processes, quorums of 5
+    system.failure_probability(0.1)           # 0.000677 (paper Table 2)
+    system.load()                             # 1/3     (paper Table 4)
+"""
+
+from .core import (
+    ComposedQuorumSystem,
+    ExplicitQuorumSystem,
+    Quorum,
+    QuorumError,
+    QuorumSystem,
+    Strategy,
+    Universe,
+)
+from .systems import (
+    CrumblingWallQuorumSystem,
+    FPPQuorumSystem,
+    GridQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    PathsQuorumSystem,
+    SingletonQuorumSystem,
+    TreeQuorumSystem,
+    WeightedVotingQuorumSystem,
+    YQuorumSystem,
+)
+from .analysis import (
+    availability,
+    failure_probability,
+    optimal_strategy,
+    system_load,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ComposedQuorumSystem",
+    "CrumblingWallQuorumSystem",
+    "ExplicitQuorumSystem",
+    "FPPQuorumSystem",
+    "GridQuorumSystem",
+    "HQSQuorumSystem",
+    "HierarchicalGrid",
+    "HierarchicalTGrid",
+    "HierarchicalTriangle",
+    "MajorityQuorumSystem",
+    "PathsQuorumSystem",
+    "Quorum",
+    "QuorumError",
+    "QuorumSystem",
+    "SingletonQuorumSystem",
+    "Strategy",
+    "TreeQuorumSystem",
+    "Universe",
+    "WeightedVotingQuorumSystem",
+    "YQuorumSystem",
+    "availability",
+    "failure_probability",
+    "optimal_strategy",
+    "system_load",
+    "__version__",
+]

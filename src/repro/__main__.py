@@ -1,0 +1,5 @@
+"""Allow ``python -m repro`` to run the CLI."""
+
+from .cli import main
+
+main()

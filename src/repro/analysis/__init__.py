@@ -1,0 +1,140 @@
+"""Analysis engines: availability, load, reliability polynomials.
+
+The metrics of the paper (Definitions 3.2 and 3.4, Propositions 3.1 and
+3.3) with several independent exact engines plus Monte Carlo, so every
+reported number can be cross-checked.
+"""
+
+from .adaptive import (
+    FailureAwareSelector,
+    availability_with_selector,
+    find_live_quorum,
+    live_quorums,
+)
+from .asymptotics import TABLE5, AsymptoticProfile, predicted_load_interval, profile
+from .byzantine import (
+    boost,
+    byzantine_profile,
+    dissemination_threshold,
+    is_b_dissemination,
+    is_b_masking,
+    masking_majority,
+    masking_threshold,
+    min_pairwise_intersection,
+)
+from .bounds import (
+    availability_gap,
+    capacity,
+    capacity_upper_bound,
+    optimal_failure_probability,
+)
+from .crossover import dominance_interval, find_crossover
+from .importance import (
+    birnbaum_importance,
+    importance_profile,
+    improvement_potential,
+    most_critical_elements,
+)
+from .availability import (
+    availability,
+    failure_probability,
+    failure_probability_heterogeneous,
+)
+from .exhaustive import (
+    MAX_EXHAUSTIVE_N,
+    availability_exhaustive,
+    failure_probability_exhaustive,
+)
+from .latency import (
+    fastest_quorum,
+    latency_load_frontier,
+    latency_optimal_strategy,
+    latency_profile,
+    quorum_latency,
+)
+from .lattice import (
+    ConnectivityProblem,
+    probability_all_satisfied,
+    solve as solve_connectivity,
+    uniform_survival,
+)
+from .load import (
+    load_lower_bound,
+    load_lower_bounds,
+    optimal_strategy,
+    system_load,
+    verify_load_bounds,
+)
+from .montecarlo import MonteCarloEstimate, failure_probability_montecarlo
+from .optimization import (
+    best_grid_shape,
+    best_triangle_growth,
+    best_wall,
+    grid_shapes,
+    partitions_nondecreasing,
+)
+from .polynomial import ReliabilityPolynomial, reliability_polynomial
+from .rare import RareEventEstimate, failure_probability_rare
+from .shannon import availability_shannon, failure_probability_shannon
+
+__all__ = [
+    "FailureAwareSelector",
+    "MAX_EXHAUSTIVE_N",
+    "availability_with_selector",
+    "boost",
+    "byzantine_profile",
+    "dissemination_threshold",
+    "find_live_quorum",
+    "is_b_dissemination",
+    "is_b_masking",
+    "live_quorums",
+    "masking_majority",
+    "masking_threshold",
+    "min_pairwise_intersection",
+    "availability_gap",
+    "capacity",
+    "capacity_upper_bound",
+    "dominance_interval",
+    "find_crossover",
+    "optimal_failure_probability",
+    "birnbaum_importance",
+    "importance_profile",
+    "improvement_potential",
+    "most_critical_elements",
+    "fastest_quorum",
+    "latency_load_frontier",
+    "latency_optimal_strategy",
+    "latency_profile",
+    "quorum_latency",
+    "RareEventEstimate",
+    "failure_probability_rare",
+    "best_grid_shape",
+    "best_triangle_growth",
+    "best_wall",
+    "grid_shapes",
+    "partitions_nondecreasing",
+    "TABLE5",
+    "AsymptoticProfile",
+    "ConnectivityProblem",
+    "MonteCarloEstimate",
+    "ReliabilityPolynomial",
+    "availability",
+    "availability_exhaustive",
+    "availability_shannon",
+    "failure_probability",
+    "failure_probability_exhaustive",
+    "failure_probability_heterogeneous",
+    "failure_probability_montecarlo",
+    "failure_probability_shannon",
+    "load_lower_bound",
+    "load_lower_bounds",
+    "optimal_strategy",
+    "predicted_load_interval",
+    "probability_all_satisfied",
+    "profile",
+    "reliability_polynomial",
+    "solve_connectivity",
+    "system_load",
+    "uniform_survival",
+    "verify_load_bounds",
+]

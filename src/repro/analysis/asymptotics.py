@@ -1,0 +1,171 @@
+"""Asymptotic properties of the studied constructions (Table 5).
+
+Table 5 of the paper is analytic rather than measured: for each system it
+lists the smallest quorum size ``c(S)``, whether all quorums have the same
+size, and the (asymptotic) system load.  This module encodes those
+formulas as inspectable records and evaluates them at concrete ``n`` so
+the benchmark can print the table and the tests can confront the formulas
+with the exact values measured on finite instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AsymptoticProfile:
+    """Closed-form asymptotic description of one construction."""
+
+    #: System name as used in the paper's Table 5.
+    name: str
+    #: Human-readable formula for the smallest quorum size c(S).
+    smallest_quorum_formula: str
+    #: Evaluate c(S) at a concrete universe size n.
+    smallest_quorum: Callable[[int], float]
+    #: Whether every quorum of the system has the same cardinality.
+    uniform_quorum_size: bool
+    #: Human-readable formula for the system load L(S).
+    load_formula: str
+    #: Evaluate the load formula at n (None when the paper gives a range).
+    load: Optional[Callable[[int], float]]
+    #: Optional load range formulas (lower, upper) when not a single value.
+    load_range: Optional[Tuple[Callable[[int], float], Callable[[int], float]]] = None
+    #: Note reproduced from the paper, if any.
+    note: str = ""
+
+
+def _lg(x: float) -> float:
+    return math.log2(x)
+
+
+#: Table 5 of the paper, row by row.
+TABLE5: Dict[str, AsymptoticProfile] = {
+    "majority": AsymptoticProfile(
+        name="Majority",
+        smallest_quorum_formula="(n+1)/2",
+        smallest_quorum=lambda n: (n + 1) / 2,
+        uniform_quorum_size=True,
+        load_formula="1/2",
+        load=lambda n: 0.5,
+    ),
+    "hqs": AsymptoticProfile(
+        name="HQS",
+        smallest_quorum_formula="n^0.63",
+        smallest_quorum=lambda n: n**0.63,
+        uniform_quorum_size=True,
+        load_formula="n^-0.37",
+        load=lambda n: n**-0.37,
+    ),
+    "cwlog": AsymptoticProfile(
+        name="CWlog",
+        smallest_quorum_formula="lg n - lg lg n",
+        smallest_quorum=lambda n: _lg(n) - _lg(max(_lg(n), 2.0)),
+        uniform_quorum_size=False,
+        load_formula="1/lg n",
+        load=lambda n: 1.0 / _lg(n),
+    ),
+    "h-t-grid": AsymptoticProfile(
+        name="h-T-grid",
+        smallest_quorum_formula="sqrt(n)",
+        smallest_quorum=lambda n: math.sqrt(n),
+        uniform_quorum_size=False,
+        load_formula="> 3/(2 sqrt(n))",
+        load=None,
+        load_range=(
+            lambda n: 1.5 / math.sqrt(n),
+            lambda n: 2.0 / math.sqrt(n),
+        ),
+        note="avg quorum size > 1.5 sqrt(n)",
+    ),
+    "paths": AsymptoticProfile(
+        name="Paths",
+        smallest_quorum_formula="~ sqrt(2n)",
+        smallest_quorum=lambda n: math.sqrt(2 * n),
+        uniform_quorum_size=False,
+        load_formula="sqrt(2)/sqrt(n) <= L <= 2 sqrt(2)/sqrt(n)",
+        load=None,
+        load_range=(
+            lambda n: math.sqrt(2) / math.sqrt(n),
+            lambda n: 2 * math.sqrt(2) / math.sqrt(n),
+        ),
+    ),
+    "y": AsymptoticProfile(
+        name="Y",
+        smallest_quorum_formula="~ sqrt(2n)",
+        smallest_quorum=lambda n: math.sqrt(2 * n),
+        uniform_quorum_size=False,
+        load_formula="> sqrt(2)/sqrt(n)",
+        load=None,
+        load_range=(
+            lambda n: math.sqrt(2) / math.sqrt(n),
+            lambda n: 2 * math.sqrt(2) / math.sqrt(n),
+        ),
+    ),
+    "h-triang": AsymptoticProfile(
+        name="h-triang",
+        smallest_quorum_formula="~ sqrt(2n)",
+        smallest_quorum=lambda n: math.sqrt(2 * n),
+        uniform_quorum_size=True,
+        load_formula="sqrt(2)/sqrt(n)",
+        load=lambda n: math.sqrt(2) / math.sqrt(n),
+        note="only O(1/sqrt(n))-load system with uniform quorum size",
+    ),
+    "h-grid": AsymptoticProfile(
+        name="h-grid",
+        smallest_quorum_formula="~ 2 sqrt(n) - 1",
+        smallest_quorum=lambda n: 2 * math.sqrt(n) - 1,
+        uniform_quorum_size=True,
+        load_formula="~ 2/sqrt(n)",
+        load=lambda n: 2.0 / math.sqrt(n),
+        note="all quorums ~ 2 sqrt(n) - 1 (section 4.3)",
+    ),
+    "grid": AsymptoticProfile(
+        name="grid",
+        smallest_quorum_formula="~ 2 sqrt(n) - 1",
+        smallest_quorum=lambda n: 2 * math.sqrt(n) - 1,
+        uniform_quorum_size=True,
+        load_formula="~ 2/sqrt(n)",
+        load=lambda n: 2.0 / math.sqrt(n),
+        note="availability tends to 0 as n grows (Peleg-Wool)",
+    ),
+    "fpp": AsymptoticProfile(
+        name="FPP (Maekawa)",
+        smallest_quorum_formula="~ sqrt(n)",
+        smallest_quorum=lambda n: math.sqrt(n),
+        uniform_quorum_size=True,
+        load_formula="1/sqrt(n) (optimal)",
+        load=lambda n: 1.0 / math.sqrt(n),
+        note="only constructible for n = q^2 + q + 1, q a prime power",
+    ),
+    "singleton": AsymptoticProfile(
+        name="Singleton",
+        smallest_quorum_formula="1",
+        smallest_quorum=lambda n: 1.0,
+        uniform_quorum_size=True,
+        load_formula="1",
+        load=lambda n: 1.0,
+        note="optimal availability for p > 1/2 (Prop. 3.2)",
+    ),
+}
+
+
+def profile(name: str) -> AsymptoticProfile:
+    """Look up a Table 5 profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in TABLE5:
+        raise KeyError(f"no asymptotic profile for {name!r}; have {sorted(TABLE5)}")
+    return TABLE5[key]
+
+
+def predicted_load_interval(name: str, n: int) -> Tuple[float, float]:
+    """(lower, upper) predicted load at universe size ``n``."""
+    entry = profile(name)
+    if entry.load is not None:
+        value = entry.load(n)
+        return value, value
+    assert entry.load_range is not None
+    low, high = entry.load_range
+    return low(n), high(n)

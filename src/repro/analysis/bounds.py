@@ -1,0 +1,92 @@
+"""Optimality bounds on failure probability and load.
+
+Proposition 3.2 (Peleg–Wool): for ``p < 1/2`` no coterie over ``n``
+elements beats the majority system's failure probability; for
+``p > 1/2`` nothing beats the singleton.  This module exposes those
+envelopes, the trivial monotone bounds, and Naor–Wool's *capacity*
+notion (throughput scales with ``1/L``), so any construction can be
+placed on the optimality map — the tests assert that every system in
+:mod:`repro.systems` respects all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..core.errors import AnalysisError
+from ..core.quorum_system import QuorumSystem
+from .load import load_lower_bound
+
+
+def optimal_failure_probability(n: int, p: float) -> float:
+    """The Prop. 3.2 envelope: the best failure probability any coterie
+    over ``n`` elements can achieve at crash probability ``p``.
+
+    Majority for ``p <= 1/2`` (odd ``n`` is used for even inputs, since
+    adding the extra element never helps a majority), singleton (= ``p``)
+    for ``p >= 1/2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"crash probability must be in [0, 1], got {p}")
+    if n < 1:
+        raise AnalysisError(f"universe size must be positive, got {n}")
+    if p >= 0.5:
+        return p
+    odd = n if n % 2 == 1 else n - 1
+    if odd < 1:
+        return p
+    need = odd // 2 + 1
+    q = 1.0 - p
+    return sum(
+        math.comb(odd, k) * (p**k) * (q ** (odd - k))
+        for k in range(need, odd + 1)
+    )
+
+
+def failure_probability_floor(system: QuorumSystem, p: float) -> float:
+    """A structural floor: with ``c = c(S)``, the failure probability is
+    at least ``p**c`` *is not generally true*; what always holds is the
+    Prop. 3.2 envelope plus the single-quorum bound below.
+
+    Returns ``max(envelope, all-quorums-hit floor)`` where the second
+    term lower-bounds ``F_p`` by the probability that *every* element
+    fails (the coarsest always-valid bound), kept explicit so the tests
+    can document the hierarchy of bounds.
+    """
+    return max(optimal_failure_probability(system.n, p), p**system.n)
+
+
+def availability_gap(system: QuorumSystem, p: float) -> float:
+    """How far the system sits above the optimal envelope at ``p``.
+
+    ``F_p(S) - optimal(n, p) >= 0`` for every coterie (Prop. 3.2); the
+    gap is the paper's price-of-small-quorums, e.g. h-triang(15) pays
+    ~6.4e-4 over majority at p = 0.1 for quorums of 5 instead of 8.
+    """
+    return system.failure_probability(p) - optimal_failure_probability(system.n, p)
+
+
+def capacity(system: QuorumSystem) -> float:
+    """Naor–Wool capacity: sustainable throughput per element-capacity.
+
+    If every element can serve one request per time unit, a system with
+    load ``L`` sustains ``1/L`` requests per time unit system-wide; the
+    paper's load comparisons are therefore capacity comparisons.
+    """
+    return 1.0 / system.load()
+
+
+def capacity_upper_bound(system: QuorumSystem) -> float:
+    """``1 / max(c/n, 1/c)`` — the Prop. 3.3 capacity ceiling."""
+    return 1.0 / load_lower_bound(system)
+
+
+def probe_envelope(n: int, points: int = 11) -> Tuple[Tuple[float, float], ...]:
+    """Sampled (p, optimal F_p) pairs for plotting/benchmarks."""
+    if points < 2:
+        raise AnalysisError("need at least two probe points")
+    return tuple(
+        (i / (points - 1), optimal_failure_probability(n, i / (points - 1)))
+        for i in range(points)
+    )

@@ -1,0 +1,84 @@
+"""Crossover analysis between quorum systems.
+
+The paper's comparisons implicitly contain crossover structure: e.g. the
+majority beats h-triang at every ``p < 1/2`` (Prop. 3.2) but pays 60%
+more per quorum; the h-T-grid beats the flat grid with a margin that
+grows with ``p``; the singleton overtakes everything at ``p = 1/2``.
+This module locates such crossings numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..core.errors import AnalysisError
+from ..core.quorum_system import QuorumSystem
+
+
+def failure_difference(
+    first: QuorumSystem, second: QuorumSystem
+) -> Callable[[float], float]:
+    """``p -> F_p(first) - F_p(second)``."""
+
+    def difference(p: float) -> float:
+        return first.failure_probability(p) - second.failure_probability(p)
+
+    return difference
+
+
+def find_crossover(
+    first: QuorumSystem,
+    second: QuorumSystem,
+    low: float = 1e-6,
+    high: float = 0.5,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> Optional[float]:
+    """The crash probability where the two failure curves cross in
+    ``(low, high)``, or ``None`` when one dominates throughout.
+
+    Uses bisection on the (continuous) difference; if the sign is equal
+    at both ends the caller learns there is no crossing in the interval.
+    """
+    if not 0.0 <= low < high <= 1.0:
+        raise AnalysisError(f"bad interval [{low}, {high}]")
+    difference = failure_difference(first, second)
+    f_low, f_high = difference(low), difference(high)
+    if f_low == 0.0:
+        return low
+    if f_high == 0.0:
+        return high
+    if (f_low > 0) == (f_high > 0):
+        return None
+    for _ in range(max_iterations):
+        mid = (low + high) / 2
+        f_mid = difference(mid)
+        if abs(f_mid) < tolerance or high - low < tolerance:
+            return mid
+        if (f_mid > 0) == (f_low > 0):
+            low, f_low = mid, f_mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def dominance_interval(
+    first: QuorumSystem,
+    second: QuorumSystem,
+    points: int = 51,
+    high: float = 0.5,
+) -> List[Tuple[float, bool]]:
+    """Sampled ``(p, first_is_better)`` pairs over ``(0, high]``.
+
+    Convenience for reports: shows where each system wins without
+    assuming a single crossing.
+    """
+    if points < 2:
+        raise AnalysisError("need at least two sample points")
+    samples = []
+    for i in range(1, points + 1):
+        p = high * i / points
+        samples.append(
+            (p, first.failure_probability(p) < second.failure_probability(p))
+        )
+    return samples

@@ -1,0 +1,96 @@
+"""Exact availability by exhaustive enumeration of the 2^n failure states.
+
+The reference engine: conceptually trivial, numerically exact, and used in
+tests as the ground truth against which the structured recursions and the
+Shannon engine are validated.  Practical up to ``n`` around 22.
+
+All computations work over element *bitmasks*: bit ``i`` of a state is set
+when element ``i`` is alive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+from ..core.quorum_system import QuorumSystem
+
+#: Largest universe size the exhaustive engine accepts (2^22 states).
+MAX_EXHAUSTIVE_N = 22
+
+
+def _quorum_masks(system: QuorumSystem) -> np.ndarray:
+    """Minimal quorums as uint64 bitmasks."""
+    masks = []
+    for quorum in system.minimal_quorums():
+        mask = 0
+        for element in quorum:
+            mask |= 1 << element
+        masks.append(mask)
+    return np.array(masks, dtype=np.uint64)
+
+
+def usable_states(system: QuorumSystem) -> np.ndarray:
+    """Boolean vector over all 2^n alive-masks: does the state hold a quorum?
+
+    Index ``s`` corresponds to the alive set whose bitmask is ``s``.
+    """
+    n = system.n
+    if n > MAX_EXHAUSTIVE_N:
+        raise AnalysisError(
+            f"exhaustive engine supports n <= {MAX_EXHAUSTIVE_N}, got {n}"
+        )
+    states = np.arange(1 << n, dtype=np.uint64)
+    usable = np.zeros(1 << n, dtype=bool)
+    for mask in _quorum_masks(system):
+        usable |= (states & mask) == mask
+    return usable
+
+
+def state_probabilities(
+    n: int, p: float, per_element: Optional[Sequence[float]] = None
+) -> np.ndarray:
+    """Probability of each alive-mask under independent crashes.
+
+    Parameters
+    ----------
+    n:
+        Universe size.
+    p:
+        Common crash probability (ignored when ``per_element`` given).
+    per_element:
+        Optional per-element crash probabilities (heterogeneous model used
+        by hierarchical decompositions).
+    """
+    if per_element is None:
+        per_element = [p] * n
+    if len(per_element) != n:
+        raise AnalysisError(
+            f"expected {n} element probabilities, got {len(per_element)}"
+        )
+    probabilities = np.ones(1 << n, dtype=float)
+    states = np.arange(1 << n, dtype=np.uint64)
+    for element, crash in enumerate(per_element):
+        alive = (states >> np.uint64(element)) & np.uint64(1)
+        probabilities *= np.where(alive == 1, 1.0 - crash, crash)
+    return probabilities
+
+
+def failure_probability_exhaustive(
+    system: QuorumSystem, p: float, per_element: Optional[Sequence[float]] = None
+) -> float:
+    """``F_p(S)`` by direct summation over all failure configurations."""
+    usable = usable_states(system)
+    probabilities = state_probabilities(system.n, p, per_element)
+    return float(probabilities[~usable].sum())
+
+
+def availability_exhaustive(
+    system: QuorumSystem, p: float, per_element: Optional[Sequence[float]] = None
+) -> float:
+    """Complement of :func:`failure_probability_exhaustive`."""
+    usable = usable_states(system)
+    probabilities = state_probabilities(system.n, p, per_element)
+    return float(probabilities[usable].sum())

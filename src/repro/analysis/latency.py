@@ -1,0 +1,127 @@
+"""Latency-aware quorum selection.
+
+A quorum operation completes when its *slowest* member answers, so the
+latency of quorum ``Q`` under per-element round-trip times ``rtt`` is
+``max_{i in Q} rtt_i``.  Always using the globally fastest quorum
+minimises latency but concentrates load on the fast elements; this
+module exposes both extremes and the LP that trades them off:
+
+    minimise   sum_j w_j * latency(Q_j)
+    subject to sum_j w_j = 1,  w >= 0,
+               load_i(w) <= L_max  for every element i
+
+— i.e. the cheapest expected latency achievable without exceeding a load
+budget.  Sweeping ``L_max`` from the system load to 1 traces the
+latency/load Pareto frontier, which the placement benchmark prints for
+the paper's constructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+from ..core.quorum_system import Quorum, QuorumSystem
+from ..core.strategy import Strategy
+
+
+def quorum_latency(quorum: Quorum, rtt: Sequence[float]) -> float:
+    """Completion time of one quorum: its slowest member."""
+    if not quorum:
+        raise AnalysisError("empty quorum has no latency")
+    return max(rtt[element] for element in quorum)
+
+
+def fastest_quorum(system: QuorumSystem, rtt: Sequence[float]) -> Quorum:
+    """The minimal quorum with the smallest completion time."""
+    _validate_rtt(system, rtt)
+    return min(
+        system.minimal_quorums(),
+        key=lambda q: (quorum_latency(q, rtt), len(q), sorted(q)),
+    )
+
+
+def latency_profile(system: QuorumSystem, rtt: Sequence[float]) -> np.ndarray:
+    """Completion time of every minimal quorum."""
+    _validate_rtt(system, rtt)
+    return np.array([quorum_latency(q, rtt) for q in system.minimal_quorums()])
+
+
+def latency_optimal_strategy(
+    system: QuorumSystem,
+    rtt: Sequence[float],
+    max_load: Optional[float] = None,
+) -> Strategy:
+    """Least-expected-latency strategy under a load budget.
+
+    With ``max_load = None`` the load constraint is dropped and the
+    strategy degenerates to "always the fastest quorum"; with
+    ``max_load = L(S)`` it yields the most latency-friendly of the
+    load-optimal strategies.
+    """
+    from scipy.optimize import linprog
+
+    _validate_rtt(system, rtt)
+    quorums = system.minimal_quorums()
+    latencies = latency_profile(system, rtt)
+    m = len(quorums)
+    n = system.n
+    bounds = [(0.0, 1.0)] * m
+    a_eq = np.ones((1, m))
+    b_eq = np.array([1.0])
+    if max_load is None:
+        a_ub = None
+        b_ub = None
+    else:
+        if max_load <= 0.0 or max_load > 1.0:
+            raise AnalysisError(f"max_load must be in (0, 1], got {max_load}")
+        a_ub = np.zeros((n, m))
+        for j, quorum in enumerate(quorums):
+            for element in quorum:
+                a_ub[element, j] = 1.0
+        b_ub = np.full(n, max_load)
+    result = linprog(
+        latencies, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq,
+        bounds=bounds, method="highs",
+    )
+    if not result.success:
+        raise AnalysisError(
+            f"latency LP infeasible (load budget too tight?): {result.message}"
+        )
+    weights = np.clip(result.x, 0.0, None)
+    weights /= weights.sum()
+    return Strategy(system, quorums, weights)
+
+
+def latency_load_frontier(
+    system: QuorumSystem,
+    rtt: Sequence[float],
+    points: int = 8,
+) -> List[Tuple[float, float]]:
+    """(load budget, achievable expected latency) Pareto samples.
+
+    Budgets sweep from the system load (tightest feasible) to 1.
+    """
+    if points < 2:
+        raise AnalysisError("need at least two frontier points")
+    _validate_rtt(system, rtt)
+    tightest = system.load(method="lp")
+    frontier = []
+    for step in range(points):
+        budget = tightest + (1.0 - tightest) * step / (points - 1)
+        budget = min(1.0, budget + 1e-9)  # absorb LP tolerance at the ends
+        strategy = latency_optimal_strategy(system, rtt, max_load=budget)
+        expected = float(
+            latency_profile(system, rtt) @ np.asarray(strategy.weights)
+        )
+        frontier.append((budget, expected))
+    return frontier
+
+
+def _validate_rtt(system: QuorumSystem, rtt: Sequence[float]) -> None:
+    if len(rtt) != system.n:
+        raise AnalysisError(f"expected {system.n} RTTs, got {len(rtt)}")
+    if any(value < 0 for value in rtt):
+        raise AnalysisError("RTTs must be non-negative")

@@ -1,0 +1,291 @@
+"""Command-line interface: ``quorumtool`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``info <system>``      construction summary (n, quorum sizes, load)
+``failure <system>``   failure probability at one or more crash rates
+``load <system>``      exact system load (LP or structural)
+``compare``            the Table 2/3-style comparison at a given scale
+``figures``            re-print the paper's two construction figures
+
+Systems are named like ``h-triang:15``, ``h-t-grid:4x4``, ``majority:15``,
+``hqs:5x3``, ``cwlog:14``, ``grid:4x4``, ``h-grid:5x5``, ``y:15``,
+``paths:13``, ``fpp:7``, ``tree:h2``, ``tgrid:4x4``, ``triangle:5``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core.errors import QuorumError
+from .core.quorum_system import QuorumSystem
+from .systems import (
+    CrumblingWallQuorumSystem,
+    FPPQuorumSystem,
+    GridQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    PathsQuorumSystem,
+    SingletonQuorumSystem,
+    TreeQuorumSystem,
+    YQuorumSystem,
+)
+
+
+def build_system(spec: str) -> QuorumSystem:
+    """Instantiate a system from a ``name:params`` CLI spec."""
+    name, _, params = spec.partition(":")
+    name = name.lower()
+    try:
+        if name in ("majority", "maj"):
+            return MajorityQuorumSystem.of_size(int(params))
+        if name == "singleton":
+            return SingletonQuorumSystem.of_size(int(params or "1"))
+        if name == "hqs":
+            branching = [int(x) for x in params.split("x")]
+            return HQSQuorumSystem.balanced(branching)
+        if name == "cwlog":
+            return CrumblingWallQuorumSystem.cwlog(int(params))
+        if name == "triangle":
+            return CrumblingWallQuorumSystem.triangle(int(params))
+        if name == "diamond":
+            return CrumblingWallQuorumSystem.diamond(int(params))
+        if name == "tgrid":
+            rows, cols = (int(x) for x in params.split("x"))
+            return CrumblingWallQuorumSystem.flat_tgrid(rows, cols)
+        if name == "grid":
+            rows, cols = (int(x) for x in params.split("x"))
+            return GridQuorumSystem(rows, cols)
+        if name in ("h-grid", "hgrid"):
+            rows, cols = (int(x) for x in params.split("x"))
+            return HierarchicalGrid.halving(rows, cols)
+        if name in ("h-t-grid", "htgrid"):
+            rows, cols = (int(x) for x in params.split("x"))
+            return HierarchicalTGrid.halving(rows, cols)
+        if name in ("h-triang", "htriangle", "htriang"):
+            return HierarchicalTriangle.of_size(int(params))
+        if name == "y":
+            return YQuorumSystem.of_size(int(params))
+        if name == "paths":
+            return PathsQuorumSystem.of_size(int(params))
+        if name == "fpp":
+            return FPPQuorumSystem.of_size(int(params))
+        if name == "tree":
+            height = int(params.lstrip("h"))
+            return TreeQuorumSystem(height)
+    except (ValueError, QuorumError) as exc:
+        raise SystemExit(f"bad system spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown system {name!r}; see --help for the catalogue")
+
+
+def _cmd_info(args: argparse.Namespace) -> None:
+    system = build_system(args.system)
+    print(f"system        : {system.system_name}")
+    print(f"n             : {system.n}")
+    try:
+        sizes = system.quorum_sizes()
+        print(f"min quorums   : {len(sizes)}")
+        print(f"quorum sizes  : min={sizes[0]} max={sizes[-1]}")
+        print(f"uniform size  : {system.has_uniform_quorum_size()}")
+    except QuorumError as exc:
+        print(f"quorum sizes  : c(S)={system.smallest_quorum_size()} ({exc})")
+    try:
+        print(f"load          : {system.load():.4f}")
+    except QuorumError as exc:
+        print(f"load          : unavailable ({exc})")
+
+
+def _cmd_failure(args: argparse.Namespace) -> None:
+    system = build_system(args.system)
+    for p in args.p:
+        value = system.failure_probability(p, method=args.method)
+        print(f"F_{p:g}({system.system_name}) = {value:.6f}")
+
+
+def _cmd_load(args: argparse.Namespace) -> None:
+    system = build_system(args.system)
+    print(f"L({system.system_name}) = {system.load(method=args.method):.6f}")
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    specs = args.systems
+    systems = [build_system(s) for s in specs]
+    header = "p      " + "".join(f"{s.system_name:>18}" for s in systems)
+    print(header)
+    for p in args.p:
+        row = f"{p:<7g}"
+        for system in systems:
+            row += f"{system.failure_probability(p):>18.6f}"
+        print(row)
+    if args.plot:
+        from .viz import render_failure_curves
+
+        print()
+        print(render_failure_curves(systems))
+
+
+def _cmd_figures(args: argparse.Namespace) -> None:
+    from .viz import render_figure1, render_figure2
+
+    print(render_figure1())
+    print()
+    print(render_figure2())
+
+
+def _cmd_dual(args: argparse.Namespace) -> None:
+    system = build_system(args.system)
+    dual = system.dual()
+    print(f"system        : {system.system_name}")
+    print(f"dual quorums  : {dual.num_minimal_quorums}")
+    print(f"self-dual     : {system.is_self_dual()}")
+    if args.show:
+        for quorum in dual.minimal_quorums()[: args.show]:
+            print("   ", sorted(quorum))
+
+
+def _cmd_byzantine(args: argparse.Namespace) -> None:
+    from .analysis.byzantine import byzantine_profile
+
+    system = build_system(args.system)
+    overlap, dissemination, masking = byzantine_profile(system)
+    print(f"system                 : {system.system_name}")
+    print(f"min pairwise overlap   : {overlap}")
+    print(f"dissemination threshold: b = {dissemination}")
+    print(f"masking threshold      : b = {masking}")
+
+
+def _cmd_table(args: argparse.Namespace) -> None:
+    from . import tables
+
+    number = args.number
+    if number == 1:
+        print(tables.render_failure_table(tables.table1(), "Table 1"))
+    elif number == 2:
+        print(tables.render_failure_table(tables.table2(), "Table 2"))
+    elif number == 3:
+        print(tables.render_failure_table(tables.table3(), "Table 3"))
+    elif number == 4:
+        for scale, rows in tables.table4().items():
+            print(f"Table 4 — ~{scale} nodes")
+            for row in rows:
+                load = f"{row.load:.3f}" if row.load is not None else "-"
+                largest = row.largest if row.largest is not None else "-"
+                note = f"   ({row.note})" if row.note else ""
+                print(f"  {row.system:<10} n={row.n:<4} min={row.smallest}"
+                      f" max={largest} load={load}{note}")
+            print()
+    elif number == 5:
+        for row in tables.table5():
+            same = "yes" if row["same size"] else "no"
+            print(f"{row['system']:<14} c(S)={row['c(S)']:<18} same={same:<4}"
+                  f" load={row['load']}")
+    else:
+        raise SystemExit(f"the paper has tables 1..5, not {number}")
+
+
+def _cmd_critical(args: argparse.Namespace) -> None:
+    from .analysis.importance import importance_profile, most_critical_elements
+
+    system = build_system(args.system)
+    profile = importance_profile(system, args.p)
+    print(f"system   : {system.system_name} (n={system.n}, p={args.p})")
+    print(f"Birnbaum importance: min={profile.min():.6f} max={profile.max():.6f}")
+    print("most critical elements:")
+    for element, value in most_critical_elements(system, args.p, count=args.top):
+        print(f"   {system.universe.name_of(element)!s:>10}  I = {value:.6f}")
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    from .sim import AvailabilityProbe, IidCrashInjector, Network, Node, Simulator
+
+    class _Sink(Node):
+        def on_message(self, src, message):
+            pass
+
+    system = build_system(args.system)
+    sim = Simulator(seed=args.seed)
+    net = Network(sim)
+    for element in system.universe.ids:
+        _Sink(element, net)
+    probe = AvailabilityProbe(system, net)
+    injector = IidCrashInjector(net, p=args.p, epoch=1.0, on_epoch=probe.observe)
+    injector.start()
+    sim.run(until=float(args.epochs))
+    exact = system.failure_probability(args.p)
+    print(f"system    : {system.system_name} (n={system.n})")
+    print(f"epochs    : {probe.epochs}, crash p = {args.p}")
+    print(f"measured  : {probe.failure_rate:.6f} ± {probe.confidence_half_width():.6f}")
+    print(f"analytic  : {exact:.6f}")
+
+
+def main(argv: List[str] = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="quorumtool",
+        description="Hierarchical quorum systems (ICDCS 2001 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="construction summary")
+    p_info.add_argument("system")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_fail = sub.add_parser("failure", help="failure probability")
+    p_fail.add_argument("system")
+    p_fail.add_argument("-p", type=float, action="append", default=None)
+    p_fail.add_argument("--method", default="auto")
+    p_fail.set_defaults(func=_cmd_failure)
+
+    p_load = sub.add_parser("load", help="system load")
+    p_load.add_argument("system")
+    p_load.add_argument("--method", default="auto")
+    p_load.set_defaults(func=_cmd_load)
+
+    p_cmp = sub.add_parser("compare", help="failure-probability comparison")
+    p_cmp.add_argument("systems", nargs="+")
+    p_cmp.add_argument("-p", type=float, action="append", default=None)
+    p_cmp.add_argument("--plot", action="store_true", help="ASCII failure curves")
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figures", help="print the paper's figures")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_dual = sub.add_parser("dual", help="dual system / self-duality")
+    p_dual.add_argument("system")
+    p_dual.add_argument("--show", type=int, default=0, help="print first k dual quorums")
+    p_dual.set_defaults(func=_cmd_dual)
+
+    p_byz = sub.add_parser("byzantine", help="Byzantine thresholds (§7 outlook)")
+    p_byz.add_argument("system")
+    p_byz.set_defaults(func=_cmd_byzantine)
+
+    p_table = sub.add_parser("table", help="regenerate one of the paper's tables")
+    p_table.add_argument("number", type=int)
+    p_table.set_defaults(func=_cmd_table)
+
+    p_crit = sub.add_parser("critical", help="Birnbaum importance per element")
+    p_crit.add_argument("system")
+    p_crit.add_argument("-p", type=float, default=0.2)
+    p_crit.add_argument("--top", type=int, default=3)
+    p_crit.set_defaults(func=_cmd_critical)
+
+    p_sim = sub.add_parser("simulate", help="measure availability by simulation")
+    p_sim.add_argument("system")
+    p_sim.add_argument("-p", type=float, default=0.2)
+    p_sim.add_argument("--epochs", type=int, default=20_000)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    if hasattr(args, "p") and args.p is None:
+        args.p = [0.1, 0.2, 0.3, 0.5]
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

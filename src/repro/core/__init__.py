@@ -1,0 +1,61 @@
+"""Core quorum-system abstractions.
+
+Exports the vocabulary types used throughout the library: the element
+:class:`Universe`, the :class:`QuorumSystem` base class with its explicit
+variant, probability :class:`Strategy` objects and the generic
+hierarchical :class:`ComposedQuorumSystem`.
+"""
+
+from .composition import ComposedQuorumSystem, compose_universes
+from .errors import (
+    AnalysisError,
+    ConstructionError,
+    IntersectionViolation,
+    ProtocolError,
+    QuorumError,
+    SimulationError,
+    StrategyError,
+)
+from .kcoterie import KCoterie
+from .quorum_system import (
+    ExplicitQuorumSystem,
+    Quorum,
+    QuorumSystem,
+    reduce_to_coterie,
+)
+from .serialization import (
+    dump as dump_system,
+    dumps as dumps_system,
+    load as load_system,
+    loads as loads_system,
+    system_from_dict,
+    system_to_dict,
+)
+from .strategy import Strategy, balanced_strategy_over
+from .universe import Universe
+
+__all__ = [
+    "AnalysisError",
+    "ComposedQuorumSystem",
+    "ConstructionError",
+    "ExplicitQuorumSystem",
+    "IntersectionViolation",
+    "KCoterie",
+    "ProtocolError",
+    "Quorum",
+    "QuorumError",
+    "QuorumSystem",
+    "SimulationError",
+    "Strategy",
+    "StrategyError",
+    "Universe",
+    "balanced_strategy_over",
+    "compose_universes",
+    "dump_system",
+    "dumps_system",
+    "load_system",
+    "loads_system",
+    "system_from_dict",
+    "system_to_dict",
+    "reduce_to_coterie",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`QuorumError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class QuorumError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConstructionError(QuorumError):
+    """A quorum-system construction received invalid parameters.
+
+    Examples: a triangle size that is not of the form ``t*(t+1)/2``, a grid
+    with zero rows, or a hierarchy description that does not tile its
+    parent.
+    """
+
+
+class IntersectionViolation(QuorumError):
+    """Two quorums of an alleged quorum system do not intersect.
+
+    Raised by verification helpers; carries the offending pair so tests and
+    users can inspect the counterexample.
+    """
+
+    def __init__(self, first: frozenset, second: frozenset) -> None:
+        self.first = first
+        self.second = second
+        super().__init__(
+            f"quorums do not intersect: {sorted(first)} and {sorted(second)}"
+        )
+
+
+class StrategyError(QuorumError):
+    """A strategy is not a valid probability distribution over quorums."""
+
+
+class AnalysisError(QuorumError):
+    """An analysis engine cannot handle the given system or parameters."""
+
+
+class SimulationError(QuorumError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class ProtocolError(SimulationError):
+    """A distributed protocol on top of the simulator violated its API."""

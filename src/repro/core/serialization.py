@@ -1,0 +1,84 @@
+"""JSON (de)serialisation of quorum systems.
+
+Lets computed systems be stored, diffed and shipped between tools: the
+explicit form records the universe names and the minimal quorums; any
+:class:`~repro.core.quorum_system.QuorumSystem` can be exported, and
+imports come back as :class:`ExplicitQuorumSystem` with identical
+metrics (availability, load, duality — all are functions of the minimal
+quorums).
+
+Names are stored as JSON-compatible values; tuple names (grid/triangle
+coordinates) round-trip through lists and are restored as tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .errors import ConstructionError
+from .quorum_system import ExplicitQuorumSystem, QuorumSystem
+from .universe import Universe
+
+#: Format marker, bumped on incompatible layout changes.
+FORMAT = "repro-quorum-system/1"
+
+
+def _encode_name(name: Any) -> Any:
+    if isinstance(name, tuple):
+        return {"tuple": [_encode_name(part) for part in name]}
+    if isinstance(name, (str, int, float, bool)) or name is None:
+        return name
+    raise ConstructionError(f"cannot serialise element name {name!r}")
+
+
+def _decode_name(blob: Any) -> Any:
+    if isinstance(blob, dict) and set(blob) == {"tuple"}:
+        return tuple(_decode_name(part) for part in blob["tuple"])
+    return blob
+
+
+def system_to_dict(system: QuorumSystem) -> Dict[str, Any]:
+    """Serialisable description: universe names + minimal quorums (ids)."""
+    return {
+        "format": FORMAT,
+        "name": system.system_name,
+        "names": [_encode_name(name) for name in system.universe.names],
+        "quorums": [sorted(q) for q in system.minimal_quorums()],
+    }
+
+
+def system_from_dict(blob: Dict[str, Any], validate: bool = True) -> ExplicitQuorumSystem:
+    """Inverse of :func:`system_to_dict`."""
+    if blob.get("format") != FORMAT:
+        raise ConstructionError(
+            f"unsupported serialisation format {blob.get('format')!r}"
+        )
+    universe = Universe([_decode_name(name) for name in blob["names"]])
+    return ExplicitQuorumSystem(
+        universe,
+        [frozenset(q) for q in blob["quorums"]],
+        name=blob.get("name", "deserialised"),
+        validate=validate,
+    )
+
+
+def dump(system: QuorumSystem, path: Union[str, Path]) -> None:
+    """Write a system to a JSON file."""
+    Path(path).write_text(json.dumps(system_to_dict(system), indent=2))
+
+
+def load(path: Union[str, Path], validate: bool = True) -> ExplicitQuorumSystem:
+    """Read a system from a JSON file."""
+    return system_from_dict(json.loads(Path(path).read_text()), validate=validate)
+
+
+def dumps(system: QuorumSystem) -> str:
+    """Serialise to a JSON string."""
+    return json.dumps(system_to_dict(system))
+
+
+def loads(text: str, validate: bool = True) -> ExplicitQuorumSystem:
+    """Deserialise from a JSON string."""
+    return system_from_dict(json.loads(text), validate=validate)

@@ -1,0 +1,174 @@
+"""Strategies over quorum systems and the loads they induce.
+
+Definitions 3.3 and 3.4 of the paper: a *strategy* is a probability
+distribution over the quorums of a system; it induces on each element a
+*load* (the probability the element is part of the picked quorum), and the
+*system load* is the maximal element load under the best possible strategy.
+
+This module provides the strategy object, exact evaluation of induced
+loads and quorum-size statistics, and convenience constructors (uniform,
+single-quorum, weighted).  Computing the *optimal* strategy is an LP and
+lives in :mod:`repro.analysis.load`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .errors import StrategyError
+from .quorum_system import Quorum, QuorumSystem
+
+_PROBABILITY_TOLERANCE = 1e-9
+
+
+class Strategy:
+    """A probability distribution over an explicit list of quorums.
+
+    Parameters
+    ----------
+    system:
+        The quorum system the strategy belongs to.  Quorums need not be
+        the system's minimal quorums (the paper evaluates strategies over
+        non-minimal quorums too, e.g. the h-T-grid randomized variant),
+        but every quorum must contain some minimal quorum of the system so
+        the strategy only ever picks valid quorums.
+    quorums:
+        The support of the distribution.
+    weights:
+        Probabilities, same length as ``quorums``; must sum to 1.
+    """
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        quorums: Sequence[Iterable[int]],
+        weights: Sequence[float],
+    ) -> None:
+        if len(quorums) != len(weights):
+            raise StrategyError(
+                f"{len(quorums)} quorums but {len(weights)} weights"
+            )
+        if not quorums:
+            raise StrategyError("strategy needs a non-empty support")
+        frozen = [frozenset(q) for q in quorums]
+        weight_array = np.asarray(weights, dtype=float)
+        if (weight_array < -_PROBABILITY_TOLERANCE).any():
+            raise StrategyError("strategy weights must be non-negative")
+        total = float(weight_array.sum())
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise StrategyError(f"strategy weights sum to {total}, expected 1")
+        for quorum in frozen:
+            if not system.contains_quorum(quorum):
+                raise StrategyError(
+                    f"support set {sorted(quorum)} is not a quorum of the system"
+                )
+        self._system = system
+        self._quorums: Tuple[Quorum, ...] = tuple(frozen)
+        self._weights = weight_array / total
+
+    # ------------------------------------------------------------------
+    @property
+    def system(self) -> QuorumSystem:
+        """The underlying quorum system."""
+        return self._system
+
+    @property
+    def quorums(self) -> Tuple[Quorum, ...]:
+        """Support of the distribution."""
+        return self._quorums
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Probability of each support quorum (sums to 1)."""
+        return self._weights.copy()
+
+    # ------------------------------------------------------------------
+    # Induced metrics
+    # ------------------------------------------------------------------
+    def element_loads(self) -> np.ndarray:
+        """Load induced on every element (Def. 3.4): ``l_w(i)``.
+
+        Entry ``i`` is the probability that element ``i`` belongs to the
+        picked quorum.
+        """
+        loads = np.zeros(self._system.n)
+        for quorum, weight in zip(self._quorums, self._weights):
+            for element in quorum:
+                loads[element] += weight
+        return loads
+
+    def induced_load(self) -> float:
+        """``L_w(S)``: the load of the busiest element under this strategy."""
+        return float(self.element_loads().max())
+
+    def average_quorum_size(self) -> float:
+        """Expected cardinality of the picked quorum.
+
+        The paper reports this for the h-T-grid strategies (5.8 / 5.9 on
+        the 4x4 grid) and for CWlog (4 at n=14, 5.25 at n=29).
+        """
+        sizes = np.array([len(q) for q in self._quorums], dtype=float)
+        return float(sizes @ self._weights)
+
+    def load_imbalance(self) -> float:
+        """Ratio between the busiest and the average element load.
+
+        Equals 1.0 for perfectly balanced strategies (e.g. the h-triang
+        strategy of §5 of the paper).
+        """
+        loads = self.element_loads()
+        mean = loads.mean()
+        if mean == 0:
+            raise StrategyError("strategy induces zero load everywhere")
+        return float(loads.max() / mean)
+
+    def sample(self, rng: np.random.Generator) -> Quorum:
+        """Draw a quorum according to the distribution."""
+        index = int(rng.choice(len(self._quorums), p=self._weights))
+        return self._quorums[index]
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, system: QuorumSystem) -> "Strategy":
+        """Uniform distribution over the system's minimal quorums."""
+        quorums = system.minimal_quorums()
+        weight = 1.0 / len(quorums)
+        return cls(system, quorums, [weight] * len(quorums))
+
+    @classmethod
+    def single(cls, system: QuorumSystem, quorum: Iterable[int]) -> "Strategy":
+        """Degenerate strategy that always picks the given quorum."""
+        return cls(system, [frozenset(quorum)], [1.0])
+
+    @classmethod
+    def from_mapping(
+        cls, system: QuorumSystem, mapping: Mapping[Quorum, float]
+    ) -> "Strategy":
+        """Build from a {quorum: probability} mapping."""
+        items = sorted(mapping.items(), key=lambda kv: (len(kv[0]), sorted(kv[0])))
+        return cls(system, [q for q, _ in items], [w for _, w in items])
+
+    def __repr__(self) -> str:
+        return (
+            f"<Strategy over {self._system.system_name!r}"
+            f" support={len(self._quorums)}"
+            f" load={self.induced_load():.4f}>"
+        )
+
+
+def balanced_strategy_over(
+    system: QuorumSystem, quorums: Optional[Sequence[Quorum]] = None
+) -> Strategy:
+    """Least-max-load strategy restricted to the given support, via LP.
+
+    Convenience wrapper used by constructions that know a good support but
+    not the exact weights; delegates to :mod:`repro.analysis.load`.
+    """
+    from ..analysis.load import optimal_strategy
+
+    return optimal_strategy(system, quorums=quorums)

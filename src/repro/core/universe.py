@@ -1,0 +1,133 @@
+"""Universe of elements over which quorum systems are defined.
+
+A quorum system is a collection of subsets of a finite *universe* of
+elements (Definition 3.1 of the paper).  Elements model processes located
+on distinct nodes of a distributed system.
+
+Internally the library identifies elements with dense integer ids
+``0..n-1`` so that subsets can be represented as Python ``frozenset`` of
+ints or as bitmasks for the fast analysis engines.  A :class:`Universe`
+maps between user-facing element *names* (arbitrary hashable labels such as
+grid coordinates) and those dense ids.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from .errors import ConstructionError
+
+
+class Universe:
+    """A finite, ordered collection of distinct elements.
+
+    Parameters
+    ----------
+    names:
+        Iterable of distinct hashable labels, one per element.  Order is
+        preserved and defines the dense ids: the i-th name gets id ``i``.
+
+    Examples
+    --------
+    >>> u = Universe.of_size(3)
+    >>> u.size
+    3
+    >>> u.name_of(0)
+    0
+    >>> grid = Universe([(r, c) for r in range(2) for c in range(2)])
+    >>> grid.id_of((1, 0))
+    2
+    """
+
+    __slots__ = ("_names", "_ids")
+
+    def __init__(self, names: Iterable[Hashable]) -> None:
+        self._names: tuple = tuple(names)
+        self._ids = {name: i for i, name in enumerate(self._names)}
+        if len(self._ids) != len(self._names):
+            raise ConstructionError("universe names must be distinct")
+        if not self._names:
+            raise ConstructionError("universe must contain at least one element")
+
+    @classmethod
+    def of_size(cls, n: int) -> "Universe":
+        """Build a universe of ``n`` anonymous elements named ``0..n-1``."""
+        if n <= 0:
+            raise ConstructionError(f"universe size must be positive, got {n}")
+        return cls(range(n))
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the universe."""
+        return len(self._names)
+
+    @property
+    def names(self) -> Sequence[Hashable]:
+        """All element names in id order."""
+        return self._names
+
+    @property
+    def ids(self) -> range:
+        """All dense ids, ``range(size)``."""
+        return range(len(self._names))
+
+    def id_of(self, name: Hashable) -> int:
+        """Dense id of the element with the given name."""
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise ConstructionError(f"unknown element name: {name!r}") from None
+
+    def name_of(self, element_id: int) -> Hashable:
+        """Name of the element with the given dense id."""
+        try:
+            return self._names[element_id]
+        except IndexError:
+            raise ConstructionError(f"unknown element id: {element_id}") from None
+
+    def subset_ids(self, names: Iterable[Hashable]) -> frozenset:
+        """Translate a collection of names into a frozenset of ids."""
+        return frozenset(self.id_of(name) for name in names)
+
+    def subset_names(self, ids: Iterable[int]) -> frozenset:
+        """Translate a collection of ids into a frozenset of names."""
+        return frozenset(self.name_of(i) for i in ids)
+
+    def mask_of(self, ids: Iterable[int]) -> int:
+        """Bitmask with bit ``i`` set for each id ``i`` in the collection."""
+        mask = 0
+        for i in ids:
+            mask |= 1 << i
+        return mask
+
+    def ids_of_mask(self, mask: int) -> frozenset:
+        """Inverse of :meth:`mask_of`."""
+        ids = set()
+        i = 0
+        while mask:
+            if mask & 1:
+                ids.add(i)
+            mask >>= 1
+            i += 1
+        return frozenset(ids)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._names)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Universe) and self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def __repr__(self) -> str:
+        if len(self._names) <= 8:
+            return f"Universe({list(self._names)!r})"
+        head = ", ".join(repr(n) for n in self._names[:4])
+        return f"Universe([{head}, ...] size={len(self._names)})"

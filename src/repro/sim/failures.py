@@ -1,0 +1,127 @@
+"""Failure injection for the simulator.
+
+The paper's availability analysis assumes *iid transient crashes*: at any
+instant each process is down independently with probability ``p``.
+:class:`IidCrashInjector` realises exactly that model in epochs, so the
+measured fraction of epochs in which no quorum is fully alive converges
+to the analytic ``F_p`` — the integration test that ties :mod:`repro.sim`
+to :mod:`repro.analysis`.
+
+Other injectors model correlated failures and partitions for the
+examples and robustness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..core.errors import SimulationError
+from .engine import Simulator
+from .network import Network
+
+
+class IidCrashInjector:
+    """Resample the crash set every epoch: node ``i`` is down with
+    probability ``p`` independently (the paper's failure model).
+
+    Parameters
+    ----------
+    network:
+        Network whose nodes are to be crashed/recovered.
+    p:
+        Per-node crash probability per epoch.
+    epoch:
+        Virtual-time length of one epoch.
+    on_epoch:
+        Optional callback invoked (after resampling) with the epoch index;
+        used by availability probes.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        p: float,
+        epoch: float = 10.0,
+        on_epoch: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise SimulationError(f"crash probability must be in [0,1], got {p}")
+        if epoch <= 0:
+            raise SimulationError(f"epoch must be positive, got {epoch}")
+        self.network = network
+        self.sim = network.sim
+        self.p = p
+        self.epoch = epoch
+        self.on_epoch = on_epoch
+        self.epochs_run = 0
+
+    def start(self) -> None:
+        """Schedule the first epoch at the current time."""
+        self.sim.schedule(0.0, self._tick)
+
+    def _tick(self) -> None:
+        rng = self.sim.rng
+        for node_id in self.network.node_ids:
+            node = self.network.node(node_id)
+            if rng.random() < self.p:
+                node.crash()
+            else:
+                node.recover()
+        if self.on_epoch is not None:
+            self.on_epoch(self.epochs_run)
+        self.epochs_run += 1
+        self.sim.schedule(self.epoch, self._tick)
+
+
+class TargetedCrashInjector:
+    """Crash an explicit set of nodes at a given time, recover later."""
+
+    def __init__(
+        self,
+        network: Network,
+        victims: Sequence[int],
+        at: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.victims = list(victims)
+        network.sim.schedule_at(at, self._crash)
+        if duration is not None:
+            network.sim.schedule_at(at + duration, self._recover)
+
+    def _crash(self) -> None:
+        for node_id in self.victims:
+            self.network.node(node_id).crash()
+
+    def _recover(self) -> None:
+        for node_id in self.victims:
+            self.network.node(node_id).recover()
+
+
+class PartitionInjector:
+    """Partition the network into groups at a given time, heal later."""
+
+    def __init__(
+        self,
+        network: Network,
+        groups: Sequence[Sequence[int]],
+        at: float,
+        duration: Optional[float] = None,
+    ) -> None:
+        self.network = network
+        self.groups = [list(g) for g in groups]
+        network.sim.schedule_at(at, self._split)
+        if duration is not None:
+            network.sim.schedule_at(at + duration, network.heal_partition)
+
+    def _split(self) -> None:
+        self.network.set_partition(self.groups)
+
+
+def alive_set(network: Network) -> frozenset:
+    """The ids of currently alive nodes (availability-probe helper)."""
+    return frozenset(
+        node_id
+        for node_id in network.node_ids
+        if network.node(node_id).alive
+    )

@@ -1,0 +1,104 @@
+"""Measurement helpers for simulation experiments.
+
+Bridges the simulator back to the paper's metrics:
+
+* :class:`AvailabilityProbe` — per crash epoch, records whether some
+  quorum is fully alive; its failure rate converges to the analytic
+  ``F_p`` (Definition 3.2);
+* :class:`LoadMeter` — per-replica request counts; normalised frequencies
+  converge to the strategy's induced element loads (Definition 3.4);
+* :class:`LatencyStats` — simple latency aggregation for the examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.quorum_system import QuorumSystem
+from .failures import alive_set
+from .network import Network
+
+
+class AvailabilityProbe:
+    """Counts crash epochs in which the system had no live quorum."""
+
+    def __init__(self, system: QuorumSystem, network: Network) -> None:
+        self.system = system
+        self.network = network
+        self.epochs = 0
+        self.failures = 0
+
+    def observe(self, epoch_index: int) -> None:
+        """Record one epoch (pass as ``on_epoch`` to the crash injector)."""
+        self.epochs += 1
+        if not self.system.contains_quorum(alive_set(self.network)):
+            self.failures += 1
+
+    @property
+    def failure_rate(self) -> float:
+        """Measured fraction of unusable epochs (estimates ``F_p``)."""
+        if self.epochs == 0:
+            return 0.0
+        return self.failures / self.epochs
+
+    def confidence_half_width(self, z: float = 2.5758) -> float:
+        """Normal-approximation CI half width (default 99%)."""
+        if self.epochs == 0:
+            return 1.0
+        rate = self.failure_rate
+        return z * math.sqrt(max(rate * (1 - rate), 1e-12) / self.epochs)
+
+
+class LoadMeter:
+    """Per-element request counts, comparable to analytic loads."""
+
+    def __init__(self, n: int) -> None:
+        self.counts = np.zeros(n, dtype=np.int64)
+        self.operations = 0
+
+    def record_quorum(self, quorum) -> None:
+        """Count one access to each member of the used quorum."""
+        self.operations += 1
+        for element in quorum:
+            self.counts[element] += 1
+
+    def empirical_loads(self) -> np.ndarray:
+        """Access frequency of every element (per operation)."""
+        if self.operations == 0:
+            return np.zeros_like(self.counts, dtype=float)
+        return self.counts / self.operations
+
+    @property
+    def max_load(self) -> float:
+        """Empirical load of the busiest element."""
+        return float(self.empirical_loads().max())
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency aggregation."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, latency: float) -> None:
+        """Add one latency sample."""
+        self.samples.append(latency)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Average latency (0 when empty)."""
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))

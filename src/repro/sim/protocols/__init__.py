@@ -1,0 +1,17 @@
+"""Quorum-based distributed protocols on top of the simulator."""
+
+from .mutex import MutexMonitor, MutexNode
+from .reconfiguration import ReconfigurableRegister
+from .rwlock import RWLockMonitor, RWLockNode
+from .replication import OperationResult, ReplicaNode, ReplicatedRegisterClient
+
+__all__ = [
+    "MutexMonitor",
+    "MutexNode",
+    "OperationResult",
+    "RWLockMonitor",
+    "RWLockNode",
+    "ReconfigurableRegister",
+    "ReplicaNode",
+    "ReplicatedRegisterClient",
+]

@@ -1,0 +1,61 @@
+"""Quorum-system constructions.
+
+The paper's two contributions — :class:`HierarchicalTGrid` (§4) and
+:class:`HierarchicalTriangle` (§5) — plus every baseline its evaluation
+compares against: majority/weighted voting, Kumar's HQS, the
+Agrawal–El Abbadi tree, the flat grid protocol, crumbling walls (CWlog,
+flat T-grid, triangle, diamond), the Kumar–Cheung hierarchical grid, the
+Naor–Wool Paths system, the Kuo–Huang Y system, and Maekawa's
+finite-projective-plane system.
+"""
+
+from .fpp import FPPQuorumSystem, projective_plane
+from .grid import GridQuorumSystem
+from .hgrid import (
+    HierarchicalGrid,
+    LEAF,
+    flat_spec,
+    halving_spec,
+    pairing_spec,
+)
+from .hqs import HQSQuorumSystem, balanced_spec
+from .htgrid import HierarchicalTGrid
+from .htriangle import (
+    HierarchicalTriangle,
+    LoadProfile,
+    standard_spec,
+    triangle_size,
+)
+from .majority import MajorityQuorumSystem, WeightedVotingQuorumSystem
+from .paths import PathsQuorumSystem, diamond_vertices
+from .singleton import SingletonQuorumSystem
+from .tree import TreeQuorumSystem
+from .walls import CrumblingWallQuorumSystem
+from .yquorum import YQuorumSystem, triangle_vertices
+
+__all__ = [
+    "CrumblingWallQuorumSystem",
+    "FPPQuorumSystem",
+    "GridQuorumSystem",
+    "HQSQuorumSystem",
+    "HierarchicalGrid",
+    "HierarchicalTGrid",
+    "HierarchicalTriangle",
+    "LEAF",
+    "LoadProfile",
+    "MajorityQuorumSystem",
+    "PathsQuorumSystem",
+    "SingletonQuorumSystem",
+    "TreeQuorumSystem",
+    "WeightedVotingQuorumSystem",
+    "YQuorumSystem",
+    "balanced_spec",
+    "diamond_vertices",
+    "flat_spec",
+    "halving_spec",
+    "pairing_spec",
+    "projective_plane",
+    "standard_spec",
+    "triangle_size",
+    "triangle_vertices",
+]

@@ -1,0 +1,53 @@
+"""Singleton quorum system.
+
+The degenerate system whose only quorum is one distinguished element.
+Proposition 3.2: for element crash probability ``p > 1/2`` the singleton
+is the coterie with the best possible failure probability — which is why
+the paper restricts its numeric study to ``p <= 1/2``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.quorum_system import Quorum, QuorumSystem
+from ..core.universe import Universe
+from ..core.errors import ConstructionError
+
+
+class SingletonQuorumSystem(QuorumSystem):
+    """All decisions go through one distinguished element.
+
+    Parameters
+    ----------
+    universe:
+        Universe the system lives in (extra elements simply carry no load).
+    center:
+        Id of the distinguished element, default 0.
+    """
+
+    system_name = "singleton"
+
+    def __init__(self, universe: Universe, center: int = 0) -> None:
+        super().__init__(universe)
+        if not 0 <= center < universe.size:
+            raise ConstructionError(
+                f"center {center} outside universe of size {universe.size}"
+            )
+        self.center = center
+
+    @classmethod
+    def of_size(cls, n: int, center: int = 0) -> "SingletonQuorumSystem":
+        """Singleton over an anonymous universe of ``n`` elements."""
+        return cls(Universe.of_size(n), center=center)
+
+    def _generate_quorums(self) -> Iterator[Quorum]:
+        yield frozenset({self.center})
+
+    def failure_probability_exact(self, p: float) -> float:
+        """Fails exactly when the centre fails: ``F_p = p``."""
+        return p
+
+    def load_exact(self) -> float:
+        """The centre handles every request: load 1."""
+        return 1.0

@@ -1,0 +1,144 @@
+"""Text renderings of the paper's construction figures.
+
+Figure 1 — a 3-level hierarchical grid with 16 processes, with a
+read-write quorum highlighted (row-cover elements as ``C``, full-line
+elements as ``L``, both as ``B``).
+
+Figure 2 — a triangle with 5 rows divided into sub-triangle 1, the
+sub-grid and sub-triangle 2 (marked ``1``, ``G``, ``2``).
+
+These renderers are deterministic and drive the ``bench_fig1`` /
+``bench_fig2`` regenerators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .core.quorum_system import Quorum
+from .systems.hgrid import HierarchicalGrid
+from .systems.htriangle import HierarchicalTriangle
+
+
+def render_hgrid(
+    grid: HierarchicalGrid,
+    cover: Optional[Quorum] = None,
+    line: Optional[Quorum] = None,
+) -> str:
+    """ASCII layout of a hierarchical grid with an optional quorum.
+
+    Each cell shows ``.`` (unused), ``C`` (row-cover member), ``L``
+    (full-line member) or ``B`` (both).
+    """
+    cover = frozenset(cover or ())
+    line = frozenset(line or ())
+    rows = 1 + max(grid.coordinates(e)[0] for e in grid.universe.ids)
+    cols = 1 + max(grid.coordinates(e)[1] for e in grid.universe.ids)
+    canvas: List[List[str]] = [["." for _ in range(cols)] for _ in range(rows)]
+    for element in grid.universe.ids:
+        r, c = grid.coordinates(element)
+        in_cover = element in cover
+        in_line = element in line
+        if in_cover and in_line:
+            canvas[r][c] = "B"
+        elif in_cover:
+            canvas[r][c] = "C"
+        elif in_line:
+            canvas[r][c] = "L"
+    lines = [" ".join(row) for row in canvas]
+    return "\n".join(lines)
+
+
+def render_figure1() -> str:
+    """Figure 1: 16-process 3-level h-grid with a read-write quorum.
+
+    Deterministically picks the first hierarchical full-line and the
+    first row-cover, mirroring the paper's illustration of a quorum built
+    from row-covers and a full-line.
+    """
+    grid = HierarchicalGrid.halving(4, 4)
+    line = grid.full_lines()[0]
+    cover = grid.row_covers()[0]
+    header = (
+        "Figure 1 — 3-level hierarchical grid, 16 processes\n"
+        "read-write quorum: C = row-cover, L = full-line, B = both\n"
+    )
+    return header + render_hgrid(grid, cover=cover, line=line)
+
+
+def render_htriangle_division(triangle: HierarchicalTriangle) -> str:
+    """ASCII triangle with the §5 division marked (1 / G / 2)."""
+    if triangle.rows is None:
+        raise ValueError("only standard triangles have a printable layout")
+    t = triangle.rows
+    top = t // 2
+    lines = []
+    for r in range(t):
+        cells = []
+        for c in range(r + 1):
+            if r < top:
+                cells.append("1")
+            elif c < top:
+                cells.append("G")
+            else:
+                cells.append("2")
+        lines.append(" " * (t - r - 1) + " ".join(cells))
+    return "\n".join(lines)
+
+
+def render_figure2() -> str:
+    """Figure 2: 5-row triangle (15 processes) divided into T1, G, T2."""
+    triangle = HierarchicalTriangle(5)
+    header = (
+        "Figure 2 — triangle with 5 rows (15 processes)\n"
+        "1 = sub-triangle 1, G = sub-grid, 2 = sub-triangle 2\n"
+    )
+    return header + render_htriangle_division(triangle)
+
+
+def render_wall(widths) -> str:
+    """ASCII layout of a crumbling wall (one ``o`` per element)."""
+    widest = max(widths)
+    return "\n".join(("o " * w).rstrip().center(2 * widest - 1) for w in widths)
+
+
+def render_failure_curves(
+    systems,
+    p_max: float = 0.5,
+    points: int = 24,
+    height: int = 12,
+) -> str:
+    """ASCII chart of failure probability vs crash probability.
+
+    One letter per system; rows are failure-probability bins (top = 1),
+    columns sweep ``p`` from ``p_max/points`` to ``p_max``.  Useful for
+    eyeballing crossings from the CLI (``quorumtool compare --plot``).
+    """
+    if points < 2 or height < 2:
+        raise ValueError("need at least 2 points and 2 rows")
+    labels = "ABCDEFGHIJ"
+    if len(systems) > len(labels):
+        raise ValueError(f"at most {len(labels)} systems")
+    samples = {}
+    for index, system in enumerate(systems):
+        samples[index] = [
+            system.failure_probability(p_max * (k + 1) / points)
+            for k in range(points)
+        ]
+    canvas = [[" "] * points for _ in range(height)]
+    for index, values in samples.items():
+        for column, value in enumerate(values):
+            row = height - 1 - min(height - 1, int(value * height))
+            if canvas[row][column] == " ":
+                canvas[row][column] = labels[index]
+            else:
+                canvas[row][column] = "*"  # overlap marker
+    lines = []
+    for row_index, row in enumerate(canvas):
+        level = (height - row_index) / height
+        lines.append(f"{level:>4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * points)
+    lines.append(f"      p: 0 .. {p_max}")
+    for index, system in enumerate(systems):
+        lines.append(f"      {labels[index]} = {system.system_name}")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Tests for failure-aware selection (§4.3) and the Byzantine extension (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    availability_with_selector,
+    boost,
+    byzantine_profile,
+    dissemination_threshold,
+    find_live_quorum,
+    is_b_dissemination,
+    is_b_masking,
+    live_quorums,
+    masking_majority,
+    masking_threshold,
+    min_pairwise_intersection,
+)
+from repro.analysis.adaptive import FailureAwareSelector
+from repro.core import AnalysisError, ConstructionError, Strategy
+from repro.systems import (
+    FPPQuorumSystem,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+)
+
+
+class TestLiveQuorumSearch:
+    def test_live_quorums_avoid_failed(self):
+        system = HierarchicalTriangle(4)
+        failed = {0, 1}
+        for quorum in live_quorums(system, failed):
+            assert not (quorum & failed)
+
+    def test_find_live_quorum_smallest(self, maj5):
+        quorum = find_live_quorum(maj5, {0})
+        assert quorum is not None
+        assert len(quorum) == 3
+        assert 0 not in quorum
+
+    def test_none_when_unavailable(self, maj5):
+        assert find_live_quorum(maj5, {0, 1, 2}) is None
+
+    def test_bad_preference(self, maj5):
+        with pytest.raises(AnalysisError):
+            find_live_quorum(maj5, set(), prefer="lucky")
+
+    def test_live_search_matches_availability_event(self):
+        # Exists live quorum <=> the alive set contains a quorum.
+        system = HierarchicalTriangle(3)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            failed = {int(e) for e in np.flatnonzero(rng.random(system.n) < 0.4)}
+            found = find_live_quorum(system, failed) is not None
+            alive = set(system.universe.ids) - failed
+            assert found == system.contains_quorum(alive)
+
+
+class TestFailureAwareSelector:
+    def test_no_suspicions_uses_base_strategy(self):
+        system = HierarchicalTriangle(4)
+        selector = FailureAwareSelector(Strategy.uniform(system))
+        rng = np.random.default_rng(1)
+        quorum = selector.pick(rng)
+        assert quorum in Strategy.uniform(system).quorums
+        assert selector.fallback_scans == 0
+
+    def test_avoids_suspected(self):
+        system = HierarchicalTriangle(4)
+        selector = FailureAwareSelector(Strategy.uniform(system))
+        selector.suspect(0)
+        selector.suspect(1)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            quorum = selector.pick(rng)
+            assert quorum is not None
+            assert not (quorum & {0, 1})
+
+    def test_returns_none_when_hopeless(self, maj5):
+        selector = FailureAwareSelector(Strategy.uniform(maj5))
+        for element in (0, 1, 2):
+            selector.suspect(element)
+        assert selector.pick(np.random.default_rng(0)) is None
+
+    def test_unsuspect_and_clear(self, maj5):
+        selector = FailureAwareSelector(Strategy.uniform(maj5))
+        selector.suspect(0)
+        selector.unsuspect(0)
+        assert not selector.suspected
+        selector.suspect(1)
+        selector.clear()
+        assert not selector.suspected
+
+    def test_validation(self, maj5):
+        with pytest.raises(AnalysisError):
+            FailureAwareSelector(Strategy.uniform(maj5), max_resamples=0)
+
+    def test_selector_success_matches_availability(self):
+        # With a perfect failure detector the selector succeeds exactly
+        # when the system is available (Def. 3.2).
+        system = HierarchicalTriangle(4)
+        rng = np.random.default_rng(3)
+        rate = availability_with_selector(system, p=0.3, trials=3000, rng=rng)
+        exact = 1.0 - system.failure_probability(0.3)
+        assert rate == pytest.approx(exact, abs=0.03)
+
+    def test_selector_beats_blind_sampling(self):
+        system = HierarchicalTriangle(4)
+        rng = np.random.default_rng(4)
+        adaptive = availability_with_selector(system, p=0.3, trials=2000, rng=rng)
+        blind = availability_with_selector(
+            system, p=0.3, trials=2000, rng=rng, blind_attempts=1
+        )
+        assert adaptive > blind
+
+
+class TestByzantineThresholds:
+    def test_crash_systems_have_b0(self):
+        for system in (
+            HierarchicalTriangle(5),
+            MajorityQuorumSystem.of_size(5),
+            FPPQuorumSystem(2),
+        ):
+            overlap, dissemination, masking = byzantine_profile(system)
+            assert overlap == 1
+            assert dissemination == 0
+            assert masking == 0
+            assert is_b_dissemination(system, 0)
+            assert is_b_masking(system, 0)
+            assert not is_b_masking(system, 1)
+
+    def test_thick_majority_threshold(self):
+        # 4-of-5 majority-style system: pairwise intersections >= 3.
+        import itertools
+
+        from repro.core import ExplicitQuorumSystem, Universe
+
+        quorums = [frozenset(c) for c in itertools.combinations(range(5), 4)]
+        system = ExplicitQuorumSystem(Universe.of_size(5), quorums)
+        assert min_pairwise_intersection(system) == 3
+        assert dissemination_threshold(system) == 2
+        assert masking_threshold(system) == 1
+
+    def test_negative_b_rejected(self, maj5):
+        with pytest.raises(AnalysisError):
+            is_b_masking(maj5, -1)
+
+    def test_single_quorum_system(self):
+        from repro.core import ExplicitQuorumSystem, Universe
+
+        system = ExplicitQuorumSystem(Universe.of_size(3), [{0, 1, 2}])
+        assert min_pairwise_intersection(system) == 3
+
+
+class TestBoost:
+    def test_boost_reaches_requested_threshold(self):
+        for b in (1, 2):
+            boosted = boost(HierarchicalTriangle(3), b)
+            assert boosted.n == 6 * (2 * b + 1)
+            assert is_b_masking(boosted, b)
+            boosted.verify_intersection()
+
+    def test_boost_zero_is_isomorphic(self):
+        base = HierarchicalTriangle(3)
+        boosted = boost(base, 0)
+        assert boosted.n == base.n
+        assert boosted.num_minimal_quorums == base.num_minimal_quorums
+
+    def test_boost_validation(self):
+        with pytest.raises(ConstructionError):
+            boost(HierarchicalTriangle(3), -1)
+
+    def test_boost_quorum_size_scales(self):
+        base = HierarchicalTriangle(3)
+        boosted = boost(base, 1)
+        assert boosted.smallest_quorum_size() == 3 * base.smallest_quorum_size()
+
+
+class TestMaskingMajority:
+    def test_threshold(self):
+        system = masking_majority(9, 1)
+        assert is_b_masking(system, 1)
+        system.verify_intersection()  # n=9: cheap, validates the family
+
+    def test_quorum_size(self):
+        assert masking_majority(9, 1).smallest_quorum_size() == 6
+        assert masking_majority(13, 2).smallest_quorum_size() == 9
+
+    def test_minimum_n(self):
+        with pytest.raises(ConstructionError):
+            masking_majority(4, 1)
+        with pytest.raises(ConstructionError):
+            masking_majority(9, -1)
+
+    def test_boosted_triangle_vs_masking_majority_size(self):
+        # The §7 outlook, quantified: at b=1 the boosted triangle uses
+        # quorums of 9 over 18 elements; masking majority over 18 needs
+        # ceil(21/2) = 11 — the hierarchical route keeps quorums smaller.
+        boosted = boost(HierarchicalTriangle(3), 1)
+        baseline = masking_majority(boosted.n, 1)
+        assert boosted.smallest_quorum_size() < baseline.smallest_quorum_size()

@@ -1,0 +1,74 @@
+"""Tests for the Table 5 asymptotic profiles."""
+
+import math
+
+import pytest
+
+from repro.analysis import TABLE5, predicted_load_interval, profile
+
+
+class TestLookup:
+    def test_all_table5_rows_present(self):
+        for name in ("majority", "hqs", "cwlog", "h-t-grid", "paths", "y", "h-triang"):
+            assert name in TABLE5
+
+    def test_case_insensitive(self):
+        assert profile("Majority").name == "Majority"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile("nonsense")
+
+
+class TestFormulas:
+    def test_majority(self):
+        entry = profile("majority")
+        assert entry.smallest_quorum(15) == 8
+        assert entry.load(15) == 0.5
+        assert entry.uniform_quorum_size
+
+    def test_htriang(self):
+        entry = profile("h-triang")
+        assert entry.smallest_quorum(28) == pytest.approx(math.sqrt(56))
+        assert entry.load(28) == pytest.approx(math.sqrt(2) / math.sqrt(28))
+        assert entry.uniform_quorum_size
+
+    def test_hqs_exponents(self):
+        entry = profile("hqs")
+        assert entry.smallest_quorum(27) == pytest.approx(27**0.63)
+        assert entry.load(27) == pytest.approx(27**-0.37)
+
+    def test_cwlog_logarithmic(self):
+        entry = profile("cwlog")
+        assert entry.load(1024) == pytest.approx(0.1)
+
+    def test_only_htriang_has_uniform_sqrt_load(self):
+        # Table 5's punchline: among the O(1/sqrt n)-load systems only
+        # h-triang has a single quorum size.
+        sqrt_load = ("h-t-grid", "paths", "y", "h-triang")
+        uniform = [name for name in sqrt_load if TABLE5[name].uniform_quorum_size]
+        assert uniform == ["h-triang"]
+
+
+class TestLoadIntervals:
+    def test_point_value(self):
+        low, high = predicted_load_interval("h-triang", 28)
+        assert low == high == pytest.approx(math.sqrt(2) / math.sqrt(28))
+
+    def test_range_value(self):
+        low, high = predicted_load_interval("paths", 25)
+        assert low == pytest.approx(math.sqrt(2) / 5)
+        assert high == pytest.approx(2 * math.sqrt(2) / 5)
+        assert low < high
+
+    def test_ordering_of_loads_at_100(self):
+        # At n=100: optimal fpp first, h-triang next (the paper's
+        # "almost optimal" claim), majority last.  The logarithmic-load
+        # cwlog still beats h-grid's 2/sqrt(n) at this finite size.
+        loads = {
+            name: predicted_load_interval(name, 100)[0]
+            for name in ("fpp", "h-triang", "h-grid", "cwlog", "hqs", "majority")
+        }
+        ordered = sorted(loads, key=loads.get)
+        assert ordered == ["fpp", "h-triang", "cwlog", "hqs", "h-grid", "majority"]
+        assert loads["h-triang"] == pytest.approx(loads["fpp"] * 2**0.5)

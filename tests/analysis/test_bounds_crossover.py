@@ -1,0 +1,134 @@
+"""Tests for the optimality bounds (Prop. 3.2) and crossover analysis."""
+
+import pytest
+
+from repro.analysis import (
+    availability_gap,
+    capacity,
+    capacity_upper_bound,
+    dominance_interval,
+    find_crossover,
+    optimal_failure_probability,
+)
+from repro.analysis.bounds import failure_probability_floor, probe_envelope
+from repro.core import AnalysisError
+from repro.systems import (
+    GridQuorumSystem,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    SingletonQuorumSystem,
+    YQuorumSystem,
+)
+
+
+class TestEnvelope:
+    def test_majority_attains_envelope_below_half(self):
+        for n in (5, 15):
+            system = MajorityQuorumSystem.of_size(n)
+            for p in (0.1, 0.3, 0.49):
+                assert system.failure_probability(p) == pytest.approx(
+                    optimal_failure_probability(n, p), abs=1e-12
+                )
+
+    def test_singleton_attains_envelope_above_half(self):
+        system = SingletonQuorumSystem.of_size(7)
+        for p in (0.5, 0.7, 0.9):
+            assert system.failure_probability(p) == pytest.approx(
+                optimal_failure_probability(7, p)
+            )
+
+    def test_even_n_uses_odd_majority(self):
+        # Adding a 16th element cannot beat the 15-element majority.
+        assert optimal_failure_probability(16, 0.2) == pytest.approx(
+            optimal_failure_probability(15, 0.2)
+        )
+
+    @pytest.mark.parametrize(
+        "system",
+        [
+            HierarchicalTriangle(5),
+            HierarchicalTGrid.halving(4, 4),
+            YQuorumSystem(5),
+            GridQuorumSystem(4, 4),
+        ],
+        ids=lambda s: s.system_name,
+    )
+    def test_every_system_respects_the_envelope(self, system):
+        for p in (0.1, 0.3, 0.5):
+            assert availability_gap(system, p) >= -1e-12
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            optimal_failure_probability(5, 1.5)
+        with pytest.raises(AnalysisError):
+            optimal_failure_probability(0, 0.2)
+
+    def test_floor_below_actual(self):
+        system = HierarchicalTriangle(4)
+        for p in (0.2, 0.4):
+            assert failure_probability_floor(system, p) <= system.failure_probability(p)
+
+    def test_probe_envelope_monotone(self):
+        samples = probe_envelope(9, points=11)
+        values = [v for _, v in samples]
+        assert values == sorted(values)
+        with pytest.raises(AnalysisError):
+            probe_envelope(9, points=1)
+
+
+class TestCapacity:
+    def test_htriang_capacity(self):
+        # Load 1/3 -> the 15 elements jointly sustain 3 units of work.
+        assert capacity(HierarchicalTriangle(5)) == pytest.approx(3.0)
+
+    def test_capacity_bounded(self):
+        for system in (HierarchicalTriangle(5), MajorityQuorumSystem.of_size(5)):
+            assert capacity(system) <= capacity_upper_bound(system) + 1e-9
+
+    def test_capacity_grows_with_n_for_htriang(self):
+        small = capacity(HierarchicalTriangle(5))
+        large = capacity(HierarchicalTriangle(7))
+        assert large > small
+
+
+class TestCrossover:
+    def test_singleton_vs_majority_cross_at_half(self):
+        singleton = SingletonQuorumSystem.of_size(5)
+        majority = MajorityQuorumSystem.of_size(5)
+        crossing = find_crossover(singleton, majority, low=0.05, high=0.95)
+        assert crossing == pytest.approx(0.5, abs=1e-6)
+
+    def test_dominated_pair_has_no_crossover(self):
+        hgrid = HierarchicalTGrid.halving(4, 4)
+        triangle = HierarchicalTriangle(5)
+        # h-triang dominates the 4x4 h-T-grid over (0, 1/2).
+        assert find_crossover(triangle, hgrid) is None
+
+    def test_grid_vs_majority_crossover_region(self):
+        # The flat grid beats nothing at moderate p, but crosses the
+        # singleton somewhere below 1/2.
+        grid = GridQuorumSystem(4, 4)
+        singleton = SingletonQuorumSystem.of_size(16)
+        crossing = find_crossover(grid, singleton, low=0.01, high=0.49)
+        assert crossing is not None
+        # On the left of the crossing the grid is better; right, worse.
+        assert grid.failure_probability(crossing - 0.05) < singleton.failure_probability(
+            crossing - 0.05
+        )
+        assert grid.failure_probability(crossing + 0.05) > singleton.failure_probability(
+            crossing + 0.05
+        )
+
+    def test_interval_validation(self):
+        a = SingletonQuorumSystem.of_size(2)
+        with pytest.raises(AnalysisError):
+            find_crossover(a, a, low=0.9, high=0.1)
+
+    def test_dominance_interval(self):
+        triangle = HierarchicalTriangle(5)
+        y = YQuorumSystem(5)
+        samples = dominance_interval(triangle, y, points=10)
+        assert all(better for _, better in samples[:-1])  # tri wins below 1/2
+        with pytest.raises(AnalysisError):
+            dominance_interval(triangle, y, points=1)

@@ -1,0 +1,79 @@
+"""Additional coverage for analysis front-end edge paths."""
+
+import pytest
+
+from repro.analysis import (
+    failure_probability,
+    failure_probability_heterogeneous,
+    failure_probability_montecarlo,
+    optimal_strategy,
+)
+from repro.analysis.load import MAX_LP_QUORUMS
+from repro.core import AnalysisError, ExplicitQuorumSystem, Universe
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem
+
+
+class TestFrontendMonteCarlo:
+    def test_montecarlo_method_via_frontend(self):
+        system = MajorityQuorumSystem.of_size(7)
+        value = failure_probability(system, 0.3, method="montecarlo",
+                                    samples=50_000, seed=1)
+        exact = system.failure_probability_exact(0.3)
+        assert value == pytest.approx(exact, abs=0.01)
+
+    def test_montecarlo_heterogeneous(self):
+        system = MajorityQuorumSystem.of_size(5)
+        per_element = [0.1, 0.2, 0.3, 0.4, 0.5]
+        estimate = failure_probability_montecarlo(
+            system, 0.0, per_element=per_element, samples=100_000, seed=2
+        )
+        exact = 1.0 - system.availability_heterogeneous(
+            [1 - p for p in per_element]
+        )
+        assert estimate.contains(exact)
+
+    def test_heterogeneous_frontend_montecarlo_method(self):
+        system = MajorityQuorumSystem.of_size(5)
+        value = failure_probability_heterogeneous(
+            system, [0.2] * 5, method="montecarlo"
+        )
+        assert value == pytest.approx(system.failure_probability(0.2), abs=0.01)
+
+    def test_heterogeneous_unknown_method(self):
+        system = MajorityQuorumSystem.of_size(5)
+        with pytest.raises(AnalysisError):
+            failure_probability_heterogeneous(system, [0.2] * 5, method="nope")
+
+
+class TestLPGuards:
+    def test_lp_quorum_cap(self):
+        system = HierarchicalTriangle(4)
+        # Simulate an enormous support by shrinking the cap temporarily.
+        import repro.analysis.load as load_module
+
+        original = load_module.MAX_LP_QUORUMS
+        load_module.MAX_LP_QUORUMS = 5
+        try:
+            with pytest.raises(AnalysisError):
+                optimal_strategy(system)
+        finally:
+            load_module.MAX_LP_QUORUMS = original
+
+    def test_cap_constant_reasonable(self):
+        assert MAX_LP_QUORUMS >= 10_000
+
+
+class TestExplicitSystemMetrics:
+    def test_quorum_sizes_sorted(self):
+        system = ExplicitQuorumSystem(
+            Universe.of_size(5), [{0, 1, 2}, {2, 3}, {0, 2, 3, 4}]
+        )
+        assert system.quorum_sizes() == (2, 3)  # dominated quorum removed
+        assert not system.has_uniform_quorum_size()
+
+    def test_availability_heterogeneous_default_validation(self):
+        system = ExplicitQuorumSystem(Universe.of_size(3), [{0, 1}, {1, 2}])
+        from repro.core import ConstructionError
+
+        with pytest.raises(ConstructionError):
+            system.availability_heterogeneous([0.5])

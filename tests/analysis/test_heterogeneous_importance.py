@@ -1,0 +1,128 @@
+"""Tests for heterogeneous availability and Birnbaum importance."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.importance import (
+    birnbaum_importance,
+    importance_identity_check,
+    importance_profile,
+    improvement_potential,
+    most_critical_elements,
+)
+from repro.core import AnalysisError, ConstructionError, ExplicitQuorumSystem, Universe
+from repro.core.quorum_system import QuorumSystem
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    GridQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    TreeQuorumSystem,
+)
+
+STRUCTURED = [
+    CrumblingWallQuorumSystem.cwlog(14),
+    GridQuorumSystem(3, 3),
+    HQSQuorumSystem.balanced([3, 3]),
+    HierarchicalGrid.halving(4, 4),
+    HierarchicalTriangle(5),
+    MajorityQuorumSystem.of_size(9),
+    TreeQuorumSystem(2),
+]
+
+
+class TestHeterogeneousAvailability:
+    @pytest.mark.parametrize("system", STRUCTURED, ids=lambda s: s.system_name)
+    def test_constant_probabilities_match_iid(self, system):
+        for p in (0.1, 0.35):
+            het = system.availability_heterogeneous([1.0 - p] * system.n)
+            assert het == pytest.approx(1.0 - system.failure_probability(p), abs=1e-12)
+
+    @pytest.mark.parametrize("system", STRUCTURED, ids=lambda s: s.system_name)
+    def test_random_probabilities_match_generic_engine(self, system):
+        rng = np.random.default_rng(7)
+        survive = list(rng.uniform(0.4, 0.99, system.n))
+        structured = system.availability_heterogeneous(survive)
+        generic = QuorumSystem.availability_heterogeneous(system, survive)
+        assert structured == pytest.approx(generic, abs=1e-10)
+
+    def test_wrong_length_rejected(self):
+        system = HierarchicalTriangle(4)
+        with pytest.raises(ConstructionError):
+            system.availability_heterogeneous([0.5, 0.5])
+
+    def test_all_dead_and_all_alive(self):
+        system = HierarchicalTriangle(4)
+        assert system.availability_heterogeneous([0.0] * system.n) == pytest.approx(0.0)
+        assert system.availability_heterogeneous([1.0] * system.n) == pytest.approx(1.0)
+
+    def test_big_structured_systems_work(self):
+        # Heterogeneous availability at n=105 — generic engines cannot go
+        # there, the structural recursion can.
+        system = HierarchicalTriangle(14)
+        rng = np.random.default_rng(0)
+        value = system.availability_heterogeneous(list(rng.uniform(0.85, 0.95, 105)))
+        assert 0.99 < value <= 1.0
+
+
+class TestBirnbaumImportance:
+    def test_majority_has_uniform_importance(self):
+        profile = importance_profile(MajorityQuorumSystem.of_size(7), 0.2)
+        assert np.allclose(profile, profile[0])
+
+    def test_htriang_uniform_load_but_nonuniform_criticality(self):
+        # A subtle structural fact: the §5 strategy loads every element
+        # equally (t/n), yet availability-wise the elements are *not*
+        # interchangeable — the T1 (top) elements appear in the most
+        # quorum patterns and carry the highest Birnbaum importance.
+        system = HierarchicalTriangle(4)
+        profile = importance_profile(system, 0.2)
+        t1_elements = [system.universe.id_of((r, c)) for r in range(2) for c in range(r + 1)]
+        others = [e for e in system.universe.ids if e not in t1_elements]
+        assert min(profile[t1_elements]) > max(profile[others])
+        # ... while the load profile is perfectly flat.
+        loads = system.balanced_load_profile().element_loads
+        assert np.allclose(loads, loads[0])
+
+    def test_star_center_dominates(self):
+        star = ExplicitQuorumSystem(
+            Universe.of_size(4), [{0, 1}, {0, 2}, {0, 3}], name="star"
+        )
+        profile = importance_profile(star, 0.2)
+        assert profile[0] > profile[1]
+        assert most_critical_elements(star, 0.2, count=1)[0][0] == 0
+
+    def test_wall_bottom_rows_matter_more(self):
+        # In a wall at small p, the bottom rows carry the small quorums.
+        wall = CrumblingWallQuorumSystem([2, 2, 2])
+        profile = importance_profile(wall, 0.1)
+        bottom = wall.element(2, 0)
+        top = wall.element(0, 0)
+        assert profile[bottom] > profile[top]
+
+    def test_multilinearity_identity(self):
+        for system in (HierarchicalTriangle(5), CrumblingWallQuorumSystem.cwlog(14)):
+            derivative, neg_sum = importance_identity_check(system, 0.25)
+            assert derivative == pytest.approx(neg_sum, abs=1e-4)
+
+    def test_importance_non_negative(self):
+        # Monotone systems: more reliability never hurts.
+        for system in STRUCTURED:
+            profile = importance_profile(system, 0.3)
+            assert (profile >= -1e-12).all()
+
+    def test_improvement_potential(self):
+        system = HierarchicalTriangle(4)
+        gain = improvement_potential(system, 0.3, 0)
+        assert gain > 0
+        # Bounded by the Birnbaum importance times the failure mass.
+        assert gain <= birnbaum_importance(system, 0.3, 0) + 1e-12
+
+    def test_validation(self):
+        system = HierarchicalTriangle(4)
+        with pytest.raises(AnalysisError):
+            birnbaum_importance(system, 1.5, 0)
+        with pytest.raises(AnalysisError):
+            birnbaum_importance(system, 0.2, 99)

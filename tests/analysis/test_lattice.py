@@ -1,0 +1,173 @@
+"""Tests for the lattice frontier DP against independent brute force."""
+
+import collections
+import itertools
+
+import pytest
+
+from repro.analysis.lattice import (
+    ConnectivityProblem,
+    probability_all_satisfied,
+    solve,
+    uniform_survival,
+)
+from repro.core import AnalysisError
+
+
+def grid_problem(rows, cols, requirements):
+    """Square-grid connectivity problem with L/R/T/B border groups."""
+    vertices = [(r, c) for c in range(cols) for r in range(rows)]
+    adjacency = {
+        (r, c): frozenset(
+            (r + dr, c + dc)
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if 0 <= r + dr < rows and 0 <= c + dc < cols
+        )
+        for (r, c) in vertices
+    }
+    groups = {
+        "L": frozenset((r, 0) for r in range(rows)),
+        "R": frozenset((r, cols - 1) for r in range(rows)),
+        "T": frozenset((0, c) for c in range(cols)),
+        "B": frozenset((rows - 1, c) for c in range(cols)),
+    }
+    return ConnectivityProblem(
+        vertices=tuple(vertices),
+        adjacency=adjacency,
+        groups=groups,
+        requirements=tuple(frozenset(r) for r in requirements),
+    )
+
+
+def brute_force(problem, survive):
+    """Reference: enumerate all alive sets, BFS per component."""
+    vertices = problem.vertices
+    result = collections.defaultdict(float)
+    for states in itertools.product([0, 1], repeat=len(vertices)):
+        alive = {v for v, s in zip(vertices, states) if s}
+        probability = 1.0
+        for v, s in zip(vertices, states):
+            probability *= survive[v] if s else 1 - survive[v]
+        satisfied = set()
+        seen = set()
+        for start in alive:
+            if start in seen:
+                continue
+            component = {start}
+            queue = collections.deque([start])
+            while queue:
+                x = queue.popleft()
+                for y in problem.adjacency.get(x, ()):  # type: ignore[arg-type]
+                    if y in alive and y not in component:
+                        component.add(y)
+                        queue.append(y)
+            seen |= component
+            touched = {
+                name
+                for name, members in problem.groups.items()
+                if component & members
+            }
+            for index, requirement in enumerate(problem.requirements):
+                if requirement <= touched:
+                    satisfied.add(index)
+        result[frozenset(satisfied)] += probability
+    return dict(result)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("q", (0.3, 0.5, 0.9))
+    def test_single_crossing_3x3(self, q):
+        problem = grid_problem(3, 3, [{"L", "R"}])
+        survive = uniform_survival(problem.vertices, q)
+        expected = brute_force(problem, survive)
+        got = solve(problem, survive)
+        for key in set(expected) | set(got):
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0), abs=1e-12)
+
+    @pytest.mark.parametrize("q", (0.4, 0.8))
+    def test_double_crossing_3x3(self, q):
+        problem = grid_problem(3, 3, [{"L", "R"}, {"T", "B"}])
+        survive = uniform_survival(problem.vertices, q)
+        expected = brute_force(problem, survive)
+        got = solve(problem, survive)
+        for key in set(expected) | set(got):
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0), abs=1e-12)
+
+    def test_heterogeneous_survival(self):
+        problem = grid_problem(2, 3, [{"L", "R"}])
+        survive = {v: 0.2 + 0.1 * i for i, v in enumerate(problem.vertices)}
+        expected = brute_force(problem, survive)
+        got = solve(problem, survive)
+        for key in set(expected) | set(got):
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0), abs=1e-12)
+
+    def test_three_side_requirement(self):
+        problem = grid_problem(3, 3, [{"L", "R", "T"}])
+        survive = uniform_survival(problem.vertices, 0.6)
+        expected = brute_force(problem, survive)
+        got = solve(problem, survive)
+        for key in set(expected) | set(got):
+            assert got.get(key, 0.0) == pytest.approx(expected.get(key, 0.0), abs=1e-12)
+
+
+class TestDistributionProperties:
+    def test_distribution_sums_to_one(self):
+        problem = grid_problem(3, 4, [{"L", "R"}, {"T", "B"}])
+        got = solve(problem, uniform_survival(problem.vertices, 0.5))
+        assert sum(got.values()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_inclusion_exclusion(self):
+        # P[H] + P[V] - P[H or V] == P[H and V].
+        problem = grid_problem(3, 3, [{"L", "R"}, {"T", "B"}])
+        dist = solve(problem, uniform_survival(problem.vertices, 0.7))
+        p_both = dist.get(frozenset({0, 1}), 0.0)
+        p_h = p_both + dist.get(frozenset({0}), 0.0)
+        p_v = p_both + dist.get(frozenset({1}), 0.0)
+        p_either = 1.0 - dist.get(frozenset(), 0.0)
+        assert p_h + p_v - p_either == pytest.approx(p_both, abs=1e-12)
+
+    def test_all_satisfied_helper(self):
+        problem = grid_problem(2, 2, [{"L", "R"}])
+        value = probability_all_satisfied(problem, uniform_survival(problem.vertices, 1.0))
+        assert value == pytest.approx(1.0)
+
+    def test_certain_death(self):
+        problem = grid_problem(2, 2, [{"L", "R"}])
+        value = probability_all_satisfied(problem, uniform_survival(problem.vertices, 0.0))
+        assert value == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(AnalysisError):
+            ConnectivityProblem(
+                vertices=(1, 1),
+                adjacency={},
+                groups={},
+                requirements=(),
+            )
+
+    def test_unknown_group_member_rejected(self):
+        with pytest.raises(AnalysisError):
+            ConnectivityProblem(
+                vertices=(1, 2),
+                adjacency={},
+                groups={"L": frozenset({99})},
+                requirements=(),
+            )
+
+    def test_unknown_requirement_group_rejected(self):
+        with pytest.raises(AnalysisError):
+            ConnectivityProblem(
+                vertices=(1, 2),
+                adjacency={},
+                groups={"L": frozenset({1})},
+                requirements=(frozenset({"X"}),),
+            )
+
+    def test_bad_survival_probability_rejected(self):
+        problem = grid_problem(2, 2, [{"L", "R"}])
+        survive = uniform_survival(problem.vertices, 0.5)
+        survive[(0, 0)] = 1.5
+        with pytest.raises(AnalysisError):
+            solve(problem, survive)

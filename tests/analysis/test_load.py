@@ -1,0 +1,71 @@
+"""Tests for load computation (Def. 3.4, Prop. 3.3)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    load_lower_bound,
+    load_lower_bounds,
+    optimal_strategy,
+    system_load,
+    verify_load_bounds,
+)
+from repro.core import AnalysisError, ExplicitQuorumSystem, Universe
+from repro.systems import FPPQuorumSystem, MajorityQuorumSystem
+from ..conftest import tiny_majority
+
+
+class TestLowerBounds:
+    def test_bounds_formula(self, maj5):
+        assert load_lower_bounds(maj5) == (3 / 5, 1 / 3)
+        assert load_lower_bound(maj5) == 3 / 5
+
+    def test_sqrt_n_bound(self):
+        # max(c/n, 1/c) >= 1/sqrt(n) for every system (Prop. 3.3).
+        for system in (tiny_majority(5), tiny_majority(7), FPPQuorumSystem(2)):
+            assert load_lower_bound(system) >= 1 / math.sqrt(system.n) - 1e-12
+
+
+class TestOptimalStrategy:
+    def test_majority_load(self, maj5):
+        strategy = optimal_strategy(maj5)
+        assert strategy.induced_load() == pytest.approx(3 / 5, abs=1e-6)
+
+    def test_star_load(self):
+        star = ExplicitQuorumSystem(Universe.of_size(4), [{0, 1}, {0, 2}, {0, 3}])
+        # Element 0 is in every quorum: load 1 regardless of strategy.
+        assert optimal_strategy(star).induced_load() == pytest.approx(1.0, abs=1e-6)
+
+    def test_fpp_matches_structural(self):
+        fpp = FPPQuorumSystem(2)
+        lp_load = optimal_strategy(fpp).induced_load()
+        assert lp_load == pytest.approx(fpp.load_exact(), abs=1e-6)
+
+    def test_restricted_support(self, maj5):
+        quorums = list(maj5.minimal_quorums())[:2]
+        strategy = optimal_strategy(maj5, quorums=quorums)
+        assert set(strategy.quorums) <= set(quorums)
+        # Fewer choices can only increase the achievable load.
+        assert strategy.induced_load() >= 3 / 5 - 1e-9
+
+
+class TestSystemLoadFrontend:
+    def test_auto_uses_structural(self):
+        majority = MajorityQuorumSystem.of_size(29)
+        # 29 > enumeration cap: only the structural path can answer.
+        assert system_load(majority) == pytest.approx(15 / 29)
+
+    def test_lp_method(self, maj5):
+        assert system_load(maj5, method="lp") == pytest.approx(0.6, abs=1e-6)
+
+    def test_lower_bound_method(self, maj5):
+        assert system_load(maj5, method="lower-bound") == pytest.approx(0.6)
+
+    def test_unknown_method(self, maj5):
+        with pytest.raises(AnalysisError):
+            system_load(maj5, method="guess")
+
+    def test_verify_load_bounds(self, maj5):
+        assert verify_load_bounds(maj5, 0.6)
+        assert not verify_load_bounds(maj5, 0.3)  # below the c/n bound

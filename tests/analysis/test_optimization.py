@@ -1,0 +1,102 @@
+"""Tests for construction-space search."""
+
+import pytest
+
+from repro.analysis.optimization import (
+    best_grid_shape,
+    best_triangle_growth,
+    best_wall,
+    grid_shapes,
+    partitions_nondecreasing,
+)
+from repro.core import AnalysisError
+from repro.systems import CrumblingWallQuorumSystem, HierarchicalTriangle
+
+
+class TestPartitions:
+    def test_small_counts(self):
+        assert len(list(partitions_nondecreasing(4))) == 5
+        assert len(list(partitions_nondecreasing(7))) == 15
+
+    def test_nondecreasing(self):
+        for widths in partitions_nondecreasing(8):
+            assert list(widths) == sorted(widths)
+            assert sum(widths) == 8
+
+    def test_max_parts(self):
+        for widths in partitions_nondecreasing(8, max_parts=2):
+            assert len(widths) <= 2
+
+
+class TestBestWall:
+    def test_beats_cwlog_at_its_own_size(self):
+        # CWlog is the log-quorum trade-off, not the availability optimum:
+        # the search finds strictly better walls at n = 14.
+        ranked = best_wall(14, 0.1, top=3)
+        best_widths, best_value = ranked[0]
+        cwlog = CrumblingWallQuorumSystem.cwlog(14).failure_probability_exact(0.1)
+        assert best_value < cwlog
+        assert sum(best_widths) == 14
+
+    def test_ranking_sorted(self):
+        ranked = best_wall(10, 0.2, top=10)
+        values = [value for _, value in ranked]
+        assert values == sorted(values)
+
+    def test_single_row_is_bad(self):
+        ranked = best_wall(8, 0.2, top=1000)
+        worst_widths, _ = ranked[-1]
+        # The all-in-one-row wall (single quorum = everything) ranks last.
+        assert worst_widths == (8,)
+
+    def test_guards(self):
+        with pytest.raises(AnalysisError):
+            best_wall(50, 0.1)
+        with pytest.raises(AnalysisError):
+            best_wall(10, 0.0)
+
+
+class TestBestGridShape:
+    def test_shapes(self):
+        assert (4, 6) in grid_shapes(24)
+        assert (5, 5) in grid_shapes(24, allow_near=True)
+
+    def test_htgrid_prefers_more_lines_than_columns(self):
+        # The §4.3 observation, rediscovered by search: at 24 elements and
+        # p = 0.1 the best h-T-grid shape has more lines than columns.
+        ranked = best_grid_shape(24, 0.1, system="h-t-grid", top=3)
+        (rows, cols), _ = ranked[0]
+        assert rows > cols
+
+    def test_hgrid_search_runs_large(self):
+        ranked = best_grid_shape(64, 0.1, system="h-grid", top=2)
+        assert ranked[0][1] < ranked[1][1] or ranked[0][1] == ranked[1][1]
+
+    def test_flat_grid_family(self):
+        ranked = best_grid_shape(16, 0.2, system="grid", top=2)
+        assert all(rows * cols == 16 for (rows, cols), _ in ranked)
+
+    def test_guards(self):
+        with pytest.raises(AnalysisError):
+            best_grid_shape(24, 0.1, system="mystery")
+        with pytest.raises(AnalysisError):
+            best_grid_shape(36, 0.1, system="h-t-grid")
+        with pytest.raises(AnalysisError):
+            best_grid_shape(7, 0.1)  # prime: only degenerate shapes
+
+
+class TestTriangleGrowth:
+    def test_ranking(self):
+        triangle = HierarchicalTriangle(5, subgrid="flat")
+        winner, outcomes = best_triangle_growth(triangle, 0.1)
+        assert winner in outcomes
+        assert set(outcomes) == {"t1", "t2", "grid"}
+        for added, value, gain in outcomes.values():
+            assert added > 0
+            assert value < triangle.failure_probability(0.1)
+            assert gain > 0
+
+    def test_winner_has_best_gain(self):
+        triangle = HierarchicalTriangle(4, subgrid="flat")
+        winner, outcomes = best_triangle_growth(triangle, 0.2)
+        assert outcomes[winner][2] == max(gain for _, _, gain in outcomes.values())

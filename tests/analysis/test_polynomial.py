@@ -1,0 +1,82 @@
+"""Tests for the reliability polynomial / transversal counts (Prop. 3.1)."""
+
+from math import comb
+
+import pytest
+
+from repro.analysis import reliability_polynomial
+from repro.analysis.polynomial import popcount_table
+from repro.core import AnalysisError, ExplicitQuorumSystem, Universe
+from ..conftest import brute_force_failure_probability, tiny_majority
+
+
+class TestTransversalCounts:
+    def test_majority5_counts(self, maj5):
+        poly = reliability_polynomial(maj5)
+        # Failed sets of size i hitting every 3-subset: need >= 3 failures.
+        assert poly.transversal_counts == (0, 0, 0, comb(5, 3), comb(5, 4), 1)
+
+    def test_singleton_counts(self):
+        system = ExplicitQuorumSystem(Universe.of_size(3), [{0}])
+        poly = reliability_polynomial(system)
+        # Transversals are exactly the failed sets containing element 0.
+        assert poly.transversal_counts == (0, 1, 2, 1)
+
+    def test_counts_sum(self, maj5):
+        poly = reliability_polynomial(maj5)
+        # a_i <= C(n, i) always; equality only above the failure threshold.
+        for i, count in enumerate(poly.transversal_counts):
+            assert 0 <= count <= comb(5, i)
+
+    def test_minimum_transversal_size(self, maj5):
+        assert reliability_polynomial(maj5).minimum_transversal_size == 3
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("p", (0.0, 0.1, 0.5, 0.9, 1.0))
+    def test_matches_brute_force(self, maj5, p):
+        poly = reliability_polynomial(maj5)
+        assert poly.failure_probability(p) == pytest.approx(
+            brute_force_failure_probability(maj5, p), abs=1e-12
+        )
+
+    def test_availability_complement(self, maj5):
+        poly = reliability_polynomial(maj5)
+        assert poly.availability(0.3) == pytest.approx(
+            1.0 - poly.failure_probability(0.3)
+        )
+
+    def test_monotone_in_p(self, maj5):
+        poly = reliability_polynomial(maj5)
+        values = [poly.failure_probability(p / 20) for p in range(21)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == 1.0
+
+
+class TestSelfComplementarity:
+    def test_odd_majority_is_self_complementary(self, maj5):
+        poly = reliability_polynomial(maj5)
+        assert poly.is_self_complementary()
+        assert poly.failure_probability(0.5) == pytest.approx(0.5)
+
+    def test_even_majority_is_not(self):
+        poly = reliability_polynomial(tiny_majority(4))
+        assert not poly.is_self_complementary()
+
+    def test_star_is_not(self):
+        star = ExplicitQuorumSystem(Universe.of_size(4), [{0, 1}, {0, 2}, {0, 3}])
+        assert not reliability_polynomial(star).is_self_complementary()
+
+
+class TestHelpers:
+    def test_popcount_table(self):
+        table = popcount_table(4)
+        assert table[0] == 0
+        assert table[0b1011] == 3
+        assert table[0b1111] == 4
+
+    def test_large_universe_rejected(self):
+        big = ExplicitQuorumSystem(Universe.of_size(30), [{0}], name="big")
+        with pytest.raises(AnalysisError):
+            reliability_polynomial(big)

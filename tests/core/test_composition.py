@@ -1,0 +1,77 @@
+"""Tests for repro.core.composition."""
+
+import pytest
+
+from repro.core import (
+    ComposedQuorumSystem,
+    ConstructionError,
+    ExplicitQuorumSystem,
+    Universe,
+    compose_universes,
+)
+from repro.analysis import failure_probability_exhaustive
+from ..conftest import tiny_majority
+
+
+def pair_system():
+    """2-of-2 trivial system (both elements needed)."""
+    return ExplicitQuorumSystem(Universe.of_size(2), [{0, 1}], name="both")
+
+
+class TestComposeUniverses:
+    def test_sizes_and_offsets(self):
+        universe, offsets = compose_universes([Universe.of_size(2), Universe.of_size(3)])
+        assert universe.size == 5
+        assert offsets[0] == {0: 0, 1: 1}
+        assert offsets[1] == {0: 2, 1: 3, 2: 4}
+
+    def test_names_are_tagged(self):
+        universe, _ = compose_universes([Universe.of_size(1), Universe.of_size(1)])
+        assert (0, 0) in universe
+        assert (1, 0) in universe
+
+
+class TestComposition:
+    def test_inner_count_must_match(self):
+        with pytest.raises(ConstructionError):
+            ComposedQuorumSystem(tiny_majority(3), [pair_system()] * 2)
+
+    def test_hqs_like_composition(self):
+        # Majority-of-3 of majority-of-3: the 9-element HQS cell.
+        outer = tiny_majority(3)
+        composed = ComposedQuorumSystem(outer, [tiny_majority(3)] * 3)
+        assert composed.n == 9
+        # Quorum = 2 inner quorums of size 2 -> size 4; C(3,2)^... count:
+        # choose 2 of 3 groups, 3 inner quorums each -> 3 * 3 * 3 = 27.
+        assert composed.num_minimal_quorums == 27
+        assert composed.smallest_quorum_size() == 4
+        composed.verify_intersection()
+
+    def test_composition_preserves_intersection(self):
+        outer = tiny_majority(5)
+        inners = [tiny_majority(3) for _ in range(5)]
+        composed = ComposedQuorumSystem(outer, inners)
+        composed.verify_intersection()
+
+    def test_structural_failure_matches_exhaustive(self):
+        outer = tiny_majority(3)
+        composed = ComposedQuorumSystem(outer, [tiny_majority(3)] * 3)
+        for p in (0.1, 0.3, 0.5):
+            structural = composed.failure_probability_exact(p)
+            exhaustive = failure_probability_exhaustive(composed, p)
+            assert structural == pytest.approx(exhaustive, abs=1e-12)
+
+    def test_heterogeneous_inners(self):
+        outer = pair_system()
+        composed = ComposedQuorumSystem(outer, [tiny_majority(3), pair_system()])
+        assert composed.n == 5
+        composed.verify_intersection()
+        structural = composed.failure_probability_exact(0.2)
+        exhaustive = failure_probability_exhaustive(composed, 0.2)
+        assert structural == pytest.approx(exhaustive, abs=1e-12)
+
+    def test_lift_inner_quorum(self):
+        outer = pair_system()
+        composed = ComposedQuorumSystem(outer, [pair_system(), pair_system()])
+        lifted = composed.lift_inner_quorum(1, frozenset({0, 1}))
+        assert lifted == frozenset({2, 3})

@@ -1,0 +1,116 @@
+"""Tests for repro.core.quorum_system."""
+
+import pytest
+
+from repro.core import (
+    ConstructionError,
+    ExplicitQuorumSystem,
+    IntersectionViolation,
+    Universe,
+    reduce_to_coterie,
+)
+from ..conftest import brute_force_minimal_transversals, tiny_majority
+
+
+class TestReduceToCoterie:
+    def test_removes_duplicates(self):
+        quorums = [frozenset({0, 1}), frozenset({0, 1})]
+        assert reduce_to_coterie(quorums) == (frozenset({0, 1}),)
+
+    def test_removes_dominated(self):
+        quorums = [frozenset({0}), frozenset({0, 1}), frozenset({1, 2})]
+        assert set(reduce_to_coterie(quorums)) == {frozenset({0}), frozenset({1, 2})}
+
+    def test_antichain_preserved(self):
+        quorums = [frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})]
+        assert set(reduce_to_coterie(quorums)) == set(quorums)
+
+    def test_deterministic_order(self):
+        quorums = [frozenset({2, 3}), frozenset({0, 1}), frozenset({1, 2})]
+        assert reduce_to_coterie(quorums) == reduce_to_coterie(reversed(quorums))
+
+
+class TestExplicitSystem:
+    def test_basic(self, maj5):
+        assert maj5.n == 5
+        assert maj5.num_minimal_quorums == 10
+        assert maj5.smallest_quorum_size() == 3
+        assert maj5.largest_quorum_size() == 3
+        assert maj5.has_uniform_quorum_size()
+
+    def test_out_of_range_ids_rejected(self):
+        with pytest.raises(ConstructionError):
+            ExplicitQuorumSystem(Universe.of_size(2), [{0, 5}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            ExplicitQuorumSystem(Universe.of_size(2), [])
+
+    def test_intersection_validated_eagerly(self):
+        with pytest.raises(IntersectionViolation):
+            ExplicitQuorumSystem(Universe.of_size(4), [{0, 1}, {2, 3}])
+
+    def test_validation_can_be_skipped(self):
+        system = ExplicitQuorumSystem(
+            Universe.of_size(4), [{0, 1}, {2, 3}], validate=False
+        )
+        assert not system.is_coterie()
+
+    def test_from_names(self):
+        u = Universe(["a", "b", "c"])
+        system = ExplicitQuorumSystem.from_names(u, [["a", "b"], ["b", "c"]])
+        assert frozenset({0, 1}) in system.minimal_quorums()
+
+    def test_named_quorums(self):
+        u = Universe(["a", "b", "c"])
+        system = ExplicitQuorumSystem.from_names(u, [["a", "b"], ["b", "c"]])
+        assert frozenset({"a", "b"}) in system.named_quorums()
+
+
+class TestMembership:
+    def test_contains_quorum(self, maj5):
+        assert maj5.contains_quorum({0, 1, 2})
+        assert maj5.contains_quorum({0, 1, 2, 3})
+        assert not maj5.contains_quorum({0, 1})
+
+    def test_is_transversal(self, maj5):
+        assert maj5.is_transversal({0, 1, 2})  # hits every 3-of-5
+        assert not maj5.is_transversal({0, 1})
+
+    def test_singleton_quorum_membership(self):
+        system = ExplicitQuorumSystem(Universe.of_size(3), [{1}])
+        assert system.contains_quorum({1})
+        assert not system.contains_quorum({0, 2})
+
+
+class TestDuality:
+    def test_dual_matches_brute_force(self, maj5):
+        dual = maj5.dual()
+        assert set(dual.minimal_quorums()) == brute_force_minimal_transversals(maj5)
+
+    def test_majority_odd_self_dual(self, maj5):
+        assert maj5.is_self_dual()
+
+    def test_majority_even_not_self_dual(self):
+        system = tiny_majority(4)
+        assert not system.is_self_dual()
+
+    def test_dual_of_dual_is_identity(self):
+        system = ExplicitQuorumSystem(
+            Universe.of_size(4), [{0, 1}, {1, 2}, {0, 2, 3}]
+        )
+        double_dual = system.dual().dual()
+        assert set(double_dual.minimal_quorums()) == set(system.minimal_quorums())
+
+    def test_singleton_self_dual(self):
+        system = ExplicitQuorumSystem(Universe.of_size(1), [{0}])
+        assert system.is_self_dual()
+
+
+class TestConversions:
+    def test_to_explicit(self, maj5):
+        frozen = maj5.to_explicit()
+        assert set(frozen.minimal_quorums()) == set(maj5.minimal_quorums())
+
+    def test_repr(self, maj5):
+        assert "maj5" in repr(maj5)

@@ -1,0 +1,92 @@
+"""Tests for JSON serialisation of quorum systems."""
+
+import json
+
+import pytest
+
+from repro.core import ConstructionError, Universe
+from repro.core.serialization import (
+    FORMAT,
+    dump,
+    dumps,
+    load,
+    loads,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    YQuorumSystem,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "system",
+        [
+            MajorityQuorumSystem.of_size(5),
+            HierarchicalTriangle(4),
+            YQuorumSystem(4),
+            CrumblingWallQuorumSystem.cwlog(14),
+        ],
+        ids=lambda s: s.system_name,
+    )
+    def test_quorums_preserved(self, system):
+        restored = loads(dumps(system))
+        assert set(restored.minimal_quorums()) == set(system.minimal_quorums())
+        assert restored.universe == system.universe
+        assert restored.system_name == system.system_name
+
+    def test_metrics_preserved(self):
+        system = HierarchicalTriangle(4)
+        restored = loads(dumps(system))
+        for p in (0.1, 0.4):
+            assert restored.failure_probability(p) == pytest.approx(
+                system.failure_probability(p), abs=1e-12
+            )
+        assert restored.load(method="lp") == pytest.approx(
+            system.load(), abs=1e-6
+        )
+
+    def test_tuple_names_roundtrip(self):
+        system = HierarchicalTriangle(3)
+        restored = loads(dumps(system))
+        assert (2, 1) in restored.universe
+
+    def test_file_roundtrip(self, tmp_path):
+        system = MajorityQuorumSystem.of_size(5)
+        path = tmp_path / "maj5.json"
+        dump(system, path)
+        restored = load(path)
+        assert restored.n == 5
+        assert json.loads(path.read_text())["format"] == FORMAT
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConstructionError):
+            system_from_dict({"format": "something-else"})
+
+    def test_unserialisable_name_rejected(self):
+        from repro.core import ExplicitQuorumSystem
+
+        universe = Universe([object()])
+        system = ExplicitQuorumSystem(universe, [{0}])
+        with pytest.raises(ConstructionError):
+            system_to_dict(system)
+
+    def test_validate_flag(self):
+        blob = {
+            "format": FORMAT,
+            "name": "broken",
+            "names": [0, 1, 2, 3],
+            "quorums": [[0, 1], [2, 3]],
+        }
+        from repro.core import IntersectionViolation
+
+        with pytest.raises(IntersectionViolation):
+            system_from_dict(blob)
+        system = system_from_dict(blob, validate=False)
+        assert system.num_minimal_quorums == 2

@@ -1,0 +1,93 @@
+"""Tests for repro.core.strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExplicitQuorumSystem, Strategy, StrategyError, Universe
+
+
+@pytest.fixture
+def star():
+    """Star system: every quorum goes through element 0."""
+    return ExplicitQuorumSystem(
+        Universe.of_size(4), [{0, 1}, {0, 2}, {0, 3}], name="star"
+    )
+
+
+class TestValidation:
+    def test_weights_must_sum_to_one(self, star):
+        with pytest.raises(StrategyError):
+            Strategy(star, list(star.minimal_quorums()), [0.2, 0.2, 0.2])
+
+    def test_weight_count_must_match(self, star):
+        with pytest.raises(StrategyError):
+            Strategy(star, list(star.minimal_quorums()), [0.5, 0.5])
+
+    def test_negative_weights_rejected(self, star):
+        with pytest.raises(StrategyError):
+            Strategy(star, list(star.minimal_quorums()), [1.5, -0.25, -0.25])
+
+    def test_empty_support_rejected(self, star):
+        with pytest.raises(StrategyError):
+            Strategy(star, [], [])
+
+    def test_non_quorum_support_rejected(self, star):
+        with pytest.raises(StrategyError):
+            Strategy(star, [frozenset({1, 2})], [1.0])
+
+    def test_superset_support_allowed(self, star):
+        strategy = Strategy(star, [frozenset({0, 1, 2})], [1.0])
+        assert strategy.induced_load() == 1.0
+
+
+class TestLoads:
+    def test_star_center_load_is_one(self, star):
+        strategy = Strategy.uniform(star)
+        loads = strategy.element_loads()
+        assert loads[0] == pytest.approx(1.0)
+        assert loads[1] == pytest.approx(1 / 3)
+        assert strategy.induced_load() == pytest.approx(1.0)
+
+    def test_average_quorum_size(self, star):
+        strategy = Strategy.uniform(star)
+        assert strategy.average_quorum_size() == pytest.approx(2.0)
+
+    def test_load_imbalance(self, star):
+        strategy = Strategy.uniform(star)
+        # Loads: (1, 1/3, 1/3, 1/3); mean = 0.5; imbalance = 2.
+        assert strategy.load_imbalance() == pytest.approx(2.0)
+
+    def test_single_strategy(self, star):
+        strategy = Strategy.single(star, {0, 1})
+        loads = strategy.element_loads()
+        assert loads[0] == loads[1] == 1.0
+        assert loads[2] == loads[3] == 0.0
+
+    def test_from_mapping(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy.from_mapping(
+            star, {quorums[0]: 0.5, quorums[1]: 0.5}
+        )
+        assert strategy.average_quorum_size() == pytest.approx(2.0)
+
+
+class TestSampling:
+    def test_sample_respects_support(self, star):
+        strategy = Strategy.uniform(star)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert strategy.sample(rng) in strategy.quorums
+
+    def test_sample_distribution(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.8, 0.1, 0.1])
+        rng = np.random.default_rng(1)
+        draws = [strategy.sample(rng) for _ in range(2000)]
+        frequency = draws.count(quorums[0]) / len(draws)
+        assert 0.75 < frequency < 0.85
+
+    def test_weights_are_copied(self, star):
+        strategy = Strategy.uniform(star)
+        weights = strategy.weights
+        weights[0] = 99.0
+        assert strategy.weights[0] == pytest.approx(1 / 3)

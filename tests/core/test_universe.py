@@ -1,0 +1,89 @@
+"""Tests for repro.core.universe."""
+
+import pytest
+
+from repro.core import ConstructionError, Universe
+
+
+class TestConstruction:
+    def test_of_size(self):
+        u = Universe.of_size(4)
+        assert u.size == 4
+        assert list(u.names) == [0, 1, 2, 3]
+
+    def test_named(self):
+        u = Universe(["a", "b", "c"])
+        assert u.size == 3
+        assert u.id_of("b") == 1
+        assert u.name_of(2) == "c"
+
+    def test_tuple_names(self):
+        u = Universe([(r, c) for r in range(2) for c in range(3)])
+        assert u.id_of((1, 2)) == 5
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConstructionError):
+            Universe(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            Universe([])
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConstructionError):
+            Universe.of_size(0)
+        with pytest.raises(ConstructionError):
+            Universe.of_size(-3)
+
+
+class TestLookups:
+    def test_unknown_name(self):
+        with pytest.raises(ConstructionError):
+            Universe.of_size(3).id_of("nope")
+
+    def test_unknown_id(self):
+        with pytest.raises(ConstructionError):
+            Universe.of_size(3).name_of(99)
+
+    def test_subset_roundtrip(self):
+        u = Universe(["x", "y", "z"])
+        ids = u.subset_ids(["x", "z"])
+        assert ids == frozenset({0, 2})
+        assert u.subset_names(ids) == frozenset({"x", "z"})
+
+    def test_contains(self):
+        u = Universe(["x", "y"])
+        assert "x" in u
+        assert "q" not in u
+
+    def test_iteration_order(self):
+        u = Universe(["c", "a", "b"])
+        assert list(u) == ["c", "a", "b"]
+
+
+class TestMasks:
+    def test_mask_roundtrip(self):
+        u = Universe.of_size(8)
+        subset = {1, 3, 7}
+        mask = u.mask_of(subset)
+        assert mask == 0b10001010
+        assert u.ids_of_mask(mask) == frozenset(subset)
+
+    def test_empty_mask(self):
+        u = Universe.of_size(4)
+        assert u.mask_of([]) == 0
+        assert u.ids_of_mask(0) == frozenset()
+
+
+class TestEquality:
+    def test_equal_universes(self):
+        assert Universe.of_size(3) == Universe.of_size(3)
+        assert hash(Universe.of_size(3)) == hash(Universe.of_size(3))
+
+    def test_different_universes(self):
+        assert Universe.of_size(3) != Universe.of_size(4)
+        assert Universe(["a"]) != Universe(["b"])
+
+    def test_repr_small_and_large(self):
+        assert "Universe" in repr(Universe.of_size(3))
+        assert "size=20" in repr(Universe.of_size(20))

@@ -1,0 +1,231 @@
+"""Tests for the event engine, network and node lifecycle."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.sim import (
+    ExponentialLatency,
+    LatencyModel,
+    Message,
+    Network,
+    Node,
+    Simulator,
+    UniformLatency,
+)
+
+
+class Recorder(Node):
+    """Test node recording everything it receives."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.inbox = []
+
+    def on_message(self, src, message):
+        self.inbox.append((self.sim.now, src, message.kind))
+
+
+class TestEngine:
+    def test_time_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(3.0, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, 1)
+        assert sim.run(until=5.0) == 5.0
+        assert not fired
+        sim.run()
+        assert fired == [1]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(2.0, second)
+
+        def second():
+            seen.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_stop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, seen.append, 2)
+        sim.run()
+        assert seen == [1]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_determinism(self):
+        def trace(seed):
+            sim = Simulator(seed=seed)
+            values = []
+            for _ in range(5):
+                delay = float(sim.rng.exponential(1.0))
+                sim.schedule(delay, lambda: values.append(sim.now))
+            sim.run()
+            return values
+
+        assert trace(3) == trace(3)
+        assert trace(3) != trace(4)
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        assert LatencyModel(2.5).sample(Simulator()) == 2.5
+
+    def test_fixed_validation(self):
+        with pytest.raises(SimulationError):
+            LatencyModel(-1.0)
+
+    def test_uniform_range(self):
+        sim = Simulator(seed=0)
+        model = UniformLatency(1.0, 2.0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(sim) <= 2.0
+
+    def test_uniform_validation(self):
+        with pytest.raises(SimulationError):
+            UniformLatency(3.0, 2.0)
+
+    def test_exponential_floor(self):
+        sim = Simulator(seed=0)
+        model = ExponentialLatency(mean=1.0, floor=0.5)
+        assert all(model.sample(sim) >= 0.5 for _ in range(50))
+
+
+class TestNetwork:
+    def test_delivery(self):
+        sim = Simulator()
+        net = Network(sim, latency=LatencyModel(2.0))
+        a, b = Recorder(0, net), Recorder(1, net)
+        net.send(0, 1, Message("ping"))
+        sim.run()
+        assert b.inbox == [(2.0, 0, "ping")]
+
+    def test_duplicate_ids_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        Recorder(0, net)
+        with pytest.raises(SimulationError):
+            Recorder(0, net)
+
+    def test_unknown_node(self):
+        net = Network(Simulator())
+        with pytest.raises(SimulationError):
+            net.node(9)
+
+    def test_drops(self):
+        sim = Simulator(seed=0)
+        net = Network(sim, drop_probability=0.5)
+        a, b = Recorder(0, net), Recorder(1, net)
+        for _ in range(200):
+            net.send(0, 1, Message("ping"))
+        sim.run()
+        assert 60 < len(b.inbox) < 140
+        assert net.messages_dropped + net.messages_delivered == 200
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(SimulationError):
+            Network(Simulator(), drop_probability=1.0)
+
+    def test_partition_blocks_cross_group(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b, c = Recorder(0, net), Recorder(1, net), Recorder(2, net)
+        net.set_partition([{0, 1}, {2}])
+        net.send(0, 1, Message("in-group"))
+        net.send(0, 2, Message("cross"))
+        sim.run()
+        assert [m[2] for m in b.inbox] == ["in-group"]
+        assert c.inbox == []
+
+    def test_heal_partition(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, c = Recorder(0, net), Recorder(2, net)
+        net.set_partition([{0}, {2}])
+        net.heal_partition()
+        net.send(0, 2, Message("hello"))
+        sim.run()
+        assert len(c.inbox) == 1
+
+
+class TestNodeLifecycle:
+    def test_crashed_node_ignores_messages(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder(0, net), Recorder(1, net)
+        b.crash()
+        net.send(0, 1, Message("ping"))
+        sim.run()
+        assert b.inbox == []
+        assert net.messages_dropped == 1
+
+    def test_crashed_node_cannot_send(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder(0, net), Recorder(1, net)
+        a.crash()
+        a.send(1, Message("ping"))
+        sim.run()
+        assert b.inbox == []
+
+    def test_recovery(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Recorder(0, net), Recorder(1, net)
+        b.crash()
+        b.recover()
+        net.send(0, 1, Message("ping"))
+        sim.run()
+        assert len(b.inbox) == 1
+        assert b.crash_count == 1
+
+    def test_crash_idempotent(self):
+        net = Network(Simulator())
+        node = Recorder(0, net)
+        node.crash()
+        node.crash()
+        assert node.crash_count == 1
+
+    def test_base_node_requires_handler(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = Node(0, net)
+        net.send(0, 0, Message("ping"))
+        with pytest.raises(SimulationError):
+            sim.run()

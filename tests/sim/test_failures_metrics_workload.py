@@ -1,0 +1,183 @@
+"""Tests for failure injection, metrics and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError, Strategy
+from repro.sim import (
+    AvailabilityProbe,
+    ClosedLoopWorkload,
+    IidCrashInjector,
+    LatencyStats,
+    LoadMeter,
+    Network,
+    Node,
+    PartitionInjector,
+    PoissonWorkload,
+    QuorumPicker,
+    ReplicaNode,
+    Simulator,
+    TargetedCrashInjector,
+    alive_set,
+)
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem
+
+
+class Sink(Node):
+    def on_message(self, src, message):
+        pass
+
+
+class TestIidCrashInjector:
+    def test_crash_rate(self):
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        nodes = [Sink(i, net) for i in range(10)]
+        injector = IidCrashInjector(net, p=0.3, epoch=1.0)
+        injector.start()
+        down_fractions = []
+
+        def sample():
+            down = sum(1 for i in net.node_ids if not net.node(i).alive)
+            down_fractions.append(down / 10)
+            if sim.now < 3000:
+                sim.schedule(1.0, sample)
+
+        sim.schedule(0.5, sample)
+        sim.run(until=3000)
+        assert np.mean(down_fractions) == pytest.approx(0.3, abs=0.02)
+
+    def test_validation(self):
+        net = Network(Simulator())
+        with pytest.raises(SimulationError):
+            IidCrashInjector(net, p=1.5)
+        with pytest.raises(SimulationError):
+            IidCrashInjector(net, p=0.1, epoch=0.0)
+
+    def test_alive_set(self):
+        net = Network(Simulator())
+        nodes = [Sink(i, net) for i in range(4)]
+        nodes[2].crash()
+        assert alive_set(net) == frozenset({0, 1, 3})
+
+
+class TestTargetedAndPartitionInjectors:
+    def test_targeted_crash_and_recovery(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [Sink(i, net) for i in range(3)]
+        TargetedCrashInjector(net, victims=[0, 2], at=5.0, duration=10.0)
+        sim.run(until=6.0)
+        assert alive_set(net) == frozenset({1})
+        sim.run(until=20.0)
+        assert alive_set(net) == frozenset({0, 1, 2})
+
+    def test_partition_injector(self):
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [Sink(i, net) for i in range(4)]
+        PartitionInjector(net, groups=[[0, 1], [2, 3]], at=1.0, duration=5.0)
+        sim.run(until=2.0)
+        assert not net._connected(0, 2)
+        assert net._connected(0, 1)
+        sim.run(until=10.0)
+        assert net._connected(0, 2)
+
+
+class TestAvailabilityProbe:
+    def test_converges_to_analytic(self):
+        system = MajorityQuorumSystem.of_size(5)
+        sim = Simulator(seed=11)
+        net = Network(sim)
+        nodes = [Sink(i, net) for i in range(system.n)]
+        probe = AvailabilityProbe(system, net)
+        injector = IidCrashInjector(net, p=0.3, epoch=1.0, on_epoch=probe.observe)
+        injector.start()
+        sim.run(until=30_000)
+        exact = system.failure_probability(0.3)
+        assert abs(probe.failure_rate - exact) < probe.confidence_half_width() + 0.01
+
+    def test_empty_probe(self):
+        net = Network(Simulator())
+        Sink(0, net)
+        probe = AvailabilityProbe(MajorityQuorumSystem.of_size(1), net)
+        assert probe.failure_rate == 0.0
+        assert probe.confidence_half_width() == 1.0
+
+
+class TestLoadMeter:
+    def test_counts(self):
+        meter = LoadMeter(4)
+        meter.record_quorum({0, 1})
+        meter.record_quorum({1, 2})
+        loads = meter.empirical_loads()
+        assert loads[1] == pytest.approx(1.0)
+        assert loads[0] == pytest.approx(0.5)
+        assert meter.max_load == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert LoadMeter(3).max_load == 0.0
+
+    def test_converges_to_strategy_load(self):
+        system = HierarchicalTriangle(4)
+        strategy = Strategy.uniform(system)
+        meter = LoadMeter(system.n)
+        rng = np.random.default_rng(0)
+        for _ in range(20_000):
+            meter.record_quorum(strategy.sample(rng))
+        assert meter.max_load == pytest.approx(strategy.induced_load(), abs=0.01)
+
+
+class TestLatencyStats:
+    def test_aggregates(self):
+        stats = LatencyStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.record(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.percentile(50) == pytest.approx(2.0)
+
+    def test_empty(self):
+        stats = LatencyStats()
+        assert stats.mean == 0.0
+        assert stats.percentile(99) == 0.0
+
+
+class TestWorkloads:
+    def test_closed_loop_completes_all(self):
+        sim = Simulator(seed=0)
+        completions = []
+
+        def operation(on_done):
+            sim.schedule(1.0, on_done, "ok")
+
+        workload = ClosedLoopWorkload(sim, operation, think_time=0.5, operations=20)
+        workload.start()
+        sim.run()
+        assert len(workload.completed) == 20
+
+    def test_poisson_rate(self):
+        sim = Simulator(seed=1)
+        workload = PoissonWorkload(sim, lambda: None, rate=2.0, stop_at=1000.0)
+        workload.start()
+        sim.run(until=1100.0)
+        # ~2000 arrivals expected.
+        assert 1800 < workload.issued < 2200
+
+    def test_poisson_validation(self):
+        with pytest.raises(SimulationError):
+            PoissonWorkload(Simulator(), lambda: None, rate=0.0)
+
+    def test_quorum_picker(self):
+        system = HierarchicalTriangle(3)
+        picker = QuorumPicker(Strategy.uniform(system), fallbacks=2)
+        sim = Simulator(seed=0)
+        candidates = picker.pick(sim)
+        assert len(candidates) == 3
+        for quorum in candidates:
+            assert system.contains_quorum(quorum)
+
+    def test_quorum_picker_validation(self):
+        system = HierarchicalTriangle(3)
+        with pytest.raises(SimulationError):
+            QuorumPicker(Strategy.uniform(system), fallbacks=-1)

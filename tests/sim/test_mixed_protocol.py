@@ -1,0 +1,63 @@
+"""Integration: §4.2's mixed protocol.
+
+"It is still possible to manage replicated data using the read quorum
+defined in the h-grid and the quorum defined in the h-T-grid to manage
+the read and the exclusive write operations, respectively."
+
+We run exactly that over the simulator: reads contact h-grid row-covers,
+exclusive writes contact h-T-grid quorums, and regularity holds because
+every h-T-grid quorum intersects every row-cover.
+"""
+
+import pytest
+
+from repro.sim import Network, ReplicaNode, ReplicatedRegisterClient, Simulator
+from repro.systems import HierarchicalGrid, HierarchicalTGrid
+
+
+@pytest.fixture(scope="module")
+def systems():
+    hgrid = HierarchicalGrid.halving(4, 4)
+    htgrid = HierarchicalTGrid.halving(4, 4)
+    return hgrid, htgrid
+
+
+class TestMixedQuorums:
+    def test_every_write_quorum_hits_every_read_cover(self, systems):
+        hgrid, htgrid = systems
+        covers = hgrid.row_covers()
+        for quorum in htgrid.minimal_quorums():
+            for cover in covers:
+                assert quorum & cover
+
+    def test_reads_see_exclusive_writes(self, systems):
+        hgrid, htgrid = systems
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        for element in hgrid.universe.ids:
+            ReplicaNode(element, net)
+        client = ReplicatedRegisterClient(100, net)
+
+        write_quorums = list(htgrid.minimal_quorums())
+        read_quorums = hgrid.row_covers()
+        results = []
+        # Alternate exclusive writes (h-T-grid) and reads (covers),
+        # rotating over different quorums each time.
+        for k in range(6):
+            wq = write_quorums[(37 * k) % len(write_quorums)]
+            rq = read_quorums[(11 * k) % len(read_quorums)]
+            client.read_write([wq], lambda v, k=k: k, on_done=results.append)
+            sim.run()
+            client.read([rq], on_done=results.append)
+            sim.run()
+        assert all(r.ok for r in results)
+        for k in range(6):
+            write, read = results[2 * k], results[2 * k + 1]
+            assert read.value == write.value == k
+            assert read.version >= write.version
+
+    def test_write_quorums_are_smaller_than_rw_quorums(self, systems):
+        hgrid, htgrid = systems
+        # The point of using h-T-grid for the exclusive operation: its
+        # smallest quorums beat the h-grid's constant 2*sqrt(n)-1.
+        assert htgrid.smallest_quorum_size() < hgrid.smallest_quorum_size()

@@ -1,0 +1,224 @@
+"""Tests for quorum-based mutual exclusion."""
+
+import pytest
+
+from repro.core import ExplicitQuorumSystem, ProtocolError, Strategy, Universe
+from repro.sim import MutexMonitor, MutexNode, Network, Simulator
+from repro.systems import (
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    YQuorumSystem,
+)
+
+
+def run_mutex_workload(system, requests=12, seed=0, hold=1.5, spacing=0.4):
+    """Drive `requests` CS requests through the system; return monitor."""
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    nodes = [MutexNode(i, net) for i in range(system.n)]
+    monitor = MutexMonitor()
+    strategy = Strategy.uniform(system)
+
+    def make_request(node):
+        if node._quorum is not None:
+            # The node still has a request in flight (a previous logical
+            # client); retry shortly, like a queued local client would.
+            sim.schedule(1.0, make_request, node)
+            return
+        quorum = strategy.sample(sim.rng)
+
+        def acquired():
+            monitor.enter(node.node_id)
+
+            def leave():
+                monitor.leave(node.node_id)
+                node.release_cs()
+
+            sim.schedule(hold, leave)
+
+        node.request_cs(quorum, acquired)
+
+    for k in range(requests):
+        sim.schedule(k * spacing, make_request, nodes[k % system.n])
+    sim.run(until=100_000)
+    return monitor
+
+
+class TestSafety:
+    @pytest.mark.parametrize(
+        "system",
+        [
+            MajorityQuorumSystem.of_size(5),
+            HierarchicalTriangle(4),
+            HierarchicalTGrid.halving(3, 3),
+            YQuorumSystem(4),
+        ],
+        ids=lambda s: s.system_name,
+    )
+    def test_no_violations_and_all_served(self, system):
+        monitor = run_mutex_workload(system)
+        assert monitor.violations == 0
+        assert monitor.entries == 12
+
+    def test_multiple_seeds(self):
+        system = HierarchicalTriangle(4)
+        for seed in range(5):
+            monitor = run_mutex_workload(system, seed=seed)
+            assert monitor.violations == 0
+            assert monitor.entries == 12
+
+    def test_broken_system_is_detected(self):
+        # Sanity check of the monitor itself: disjoint "quorums" allow
+        # simultaneous critical sections.
+        broken = ExplicitQuorumSystem(
+            Universe.of_size(4), [{0, 1}, {2, 3}], validate=False
+        )
+        monitor = run_mutex_workload(broken, requests=6, spacing=0.0, hold=50.0)
+        assert monitor.violations > 0
+
+
+class TestContention:
+    def test_heavy_contention_all_eventually_served(self):
+        system = HierarchicalTriangle(4)
+        monitor = run_mutex_workload(system, requests=10, spacing=0.0, hold=0.5)
+        assert monitor.violations == 0
+        assert monitor.entries == 10
+
+    def test_grant_load_distribution(self):
+        # Under the uniform strategy every member should see some grants.
+        system = MajorityQuorumSystem.of_size(5)
+        sim = Simulator(seed=2)
+        net = Network(sim)
+        nodes = [MutexNode(i, net) for i in range(5)]
+        strategy = Strategy.uniform(system)
+
+        def cycle(node, remaining):
+            if remaining == 0:
+                return
+            quorum = strategy.sample(sim.rng)
+
+            def acquired():
+                node.release_cs()
+                sim.schedule(1.0, cycle, node, remaining - 1)
+
+            node.request_cs(quorum, acquired)
+
+        cycle(nodes[0], 50)
+        sim.run(until=100_000)
+        grants = [n.grants_issued for n in nodes]
+        assert sum(grants) == 50 * 3
+        assert all(g > 0 for g in grants)
+
+
+class TestProtocolErrors:
+    def test_double_request_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = MutexNode(0, net)
+        other = MutexNode(1, net)
+        node.request_cs(frozenset({1}), lambda: None)
+        with pytest.raises(ProtocolError):
+            node.request_cs(frozenset({1}), lambda: None)
+
+    def test_release_without_cs_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = MutexNode(0, net)
+        with pytest.raises(ProtocolError):
+            node.release_cs()
+
+    def test_crash_clears_state(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = MutexNode(0, net), MutexNode(1, net)
+        a.request_cs(frozenset({1}), lambda: None)
+        a.crash()
+        assert not a.in_critical_section
+        a.recover()
+        # After recovery a fresh request is allowed.
+        a.request_cs(frozenset({1}), lambda: None)
+
+
+class TestTimeouts:
+    def test_request_timeout_aborts_and_returns_grants(self):
+        from repro.sim import Network, Simulator
+
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [MutexNode(i, net) for i in range(4)]
+        nodes[2].crash()  # one quorum member is down
+        failed = []
+        nodes[0].request_cs(
+            frozenset({1, 2, 3}),
+            on_acquired=lambda: pytest.fail("must not acquire"),
+            timeout=20.0,
+            on_failed=lambda: failed.append(True),
+        )
+        sim.run(until=100.0)
+        assert failed == [True]
+        assert nodes[0].requests_aborted == 1
+        # The live members' grants were returned: a fresh request from
+        # another node over the live members succeeds.
+        acquired = []
+        nodes[3].request_cs(frozenset({1, 3}), on_acquired=lambda: acquired.append(True))
+        sim.run(until=200.0)
+        assert acquired == [True]
+
+    def test_timeout_noop_after_acquisition(self):
+        from repro.sim import Network, Simulator
+
+        sim = Simulator()
+        net = Network(sim)
+        nodes = [MutexNode(i, net) for i in range(3)]
+        acquired = []
+        nodes[0].request_cs(
+            frozenset({1, 2}),
+            on_acquired=lambda: acquired.append(True),
+            timeout=50.0,
+            on_failed=lambda: pytest.fail("acquired request must not abort"),
+        )
+        sim.run(until=200.0)
+        assert acquired == [True]
+        assert nodes[0].requests_aborted == 0
+
+    def test_safety_under_crash_recovery(self):
+        # Arbiter grant state is durable: a member crashing and
+        # recovering while a grant is outstanding cannot double-grant.
+        from repro.core import Strategy
+        from repro.sim import Network, Simulator
+        from repro.systems import HierarchicalTriangle
+
+        system = HierarchicalTriangle(4)
+        sim = Simulator(seed=9)
+        net = Network(sim)
+        nodes = [MutexNode(i, net) for i in range(system.n)]
+        monitor = MutexMonitor()
+        strategy = Strategy.uniform(system)
+
+        def request(node, hold):
+            if node._quorum is not None:
+                sim.schedule(2.0, request, node, hold)
+                return
+            quorum = strategy.sample(sim.rng)
+
+            def acquired():
+                monitor.enter(node.node_id)
+
+                def leave():
+                    monitor.leave(node.node_id)
+                    if node.in_critical_section:
+                        node.release_cs()
+
+                sim.schedule(hold, leave)
+
+            node.request_cs(quorum, acquired, timeout=40.0)
+
+        for k in range(10):
+            sim.schedule(k * 3.0, request, nodes[k % system.n], 2.0)
+        # Crash and recover a rotating member while requests are live.
+        for k, victim in enumerate((1, 3, 5, 7)):
+            sim.schedule(5.0 + 7.0 * k, nodes[victim].crash)
+            sim.schedule(9.0 + 7.0 * k, nodes[victim].recover)
+        sim.run(until=100_000)
+        assert monitor.violations == 0

@@ -1,0 +1,122 @@
+"""Tests for online reconfiguration (live §5 growth)."""
+
+import pytest
+
+from repro.core import ProtocolError
+from repro.sim import (
+    Network,
+    ReconfigurableRegister,
+    ReplicaNode,
+    ReplicatedRegisterClient,
+    Simulator,
+)
+from repro.systems import HierarchicalTriangle
+
+
+def make_setup(old_system, new_system, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    # Replicas for the union of both epochs' universes.
+    for element in range(max(old_system.n, new_system.n)):
+        ReplicaNode(element, net)
+    client = ReplicatedRegisterClient(500, net)
+    register = ReconfigurableRegister(client, old_system)
+    return sim, net, register
+
+
+@pytest.fixture(scope="module")
+def grown_pair():
+    old = HierarchicalTriangle(3, subgrid="flat")
+    new = old.grown("t2")  # 6 -> 10 elements
+    return old, new
+
+
+class TestReconfiguration:
+    def test_value_survives_migration(self, grown_pair):
+        old, new = grown_pair
+        sim, net, register = make_setup(old, new)
+        outcomes = []
+        register.write(lambda v: "precious", outcomes.append)
+        sim.run()
+        assert outcomes[0].ok
+
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [True]
+        assert register.epoch == 1
+        assert register.system is new
+
+        register.read(outcomes.append)
+        sim.run()
+        assert outcomes[-1].ok
+        assert outcomes[-1].value == "precious"
+
+    def test_operations_blocked_during_migration(self, grown_pair):
+        old, new = grown_pair
+        sim, net, register = make_setup(old, new)
+        register.reconfigure(new, lambda ok: None)
+        with pytest.raises(ProtocolError):
+            register.read(lambda r: None)
+        sim.run()  # let the migration finish
+
+    def test_failed_migration_keeps_old_epoch(self, grown_pair):
+        old, new = grown_pair
+        sim, net, register = make_setup(old, new)
+        outcomes = []
+        register.write(lambda v: 1, outcomes.append)
+        sim.run()
+        # Crash enough *new* elements that no new-epoch quorum is alive:
+        # kill everything outside the old universe plus one old element
+        # present in every new quorum... simplest: kill all new-only
+        # elements AND all old elements, leaving nothing.
+        for element in range(new.n):
+            net.node(element).crash()
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False]
+        assert register.epoch == 0
+        assert register.system is old
+        # Recover: the register still serves from the old epoch.
+        for element in range(new.n):
+            net.node(element).recover()
+        register.read(outcomes.append)
+        sim.run()
+        assert outcomes[-1].ok
+        assert outcomes[-1].value == 1
+
+    def test_new_epoch_availability_improves(self, grown_pair):
+        old, new = grown_pair
+        # The point of growing: the new system is strictly more available.
+        assert new.failure_probability(0.1) < old.failure_probability(0.1)
+
+    def test_candidate_validation(self, grown_pair):
+        old, new = grown_pair
+        sim, net, _ = make_setup(old, new)
+        client = ReplicatedRegisterClient(600, net)
+        with pytest.raises(ProtocolError):
+            ReconfigurableRegister(client, old, candidate_quorums=0)
+
+    def test_chained_growth(self):
+        # Grow twice in a row: t=2 -> grown -> grown again.
+        base = HierarchicalTriangle(2, subgrid="flat")
+        step1 = base.grown("t2")
+        step2 = HierarchicalTriangle.from_spec(step1._spec_of(step1._root))
+        sim = Simulator(seed=1)
+        net = Network(sim)
+        for element in range(step1.n):
+            ReplicaNode(element, net)
+        client = ReplicatedRegisterClient(500, net)
+        register = ReconfigurableRegister(client, base)
+        done = []
+        register.write(lambda v: 7, done.append)
+        sim.run()
+        register.reconfigure(step1, done.append)
+        sim.run()
+        register.reconfigure(step2, done.append)
+        sim.run()
+        assert register.epoch == 2
+        register.read(done.append)
+        sim.run()
+        assert done[-1].value == 7

@@ -1,0 +1,209 @@
+"""Tests for the quorum-replicated register (h-grid data operations)."""
+
+import pytest
+
+from repro.core import ProtocolError
+from repro.sim import (
+    Network,
+    ReplicaNode,
+    ReplicatedRegisterClient,
+    Simulator,
+    TargetedCrashInjector,
+    UniformLatency,
+)
+from repro.systems import HierarchicalGrid
+
+
+def make_cluster(n=16, seed=0, latency=None, timeout=50.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=latency)
+    replicas = [ReplicaNode(i, net) for i in range(n)]
+    client = ReplicatedRegisterClient(1000, net, timeout=timeout)
+    return sim, net, replicas, client
+
+
+@pytest.fixture(scope="module")
+def hgrid():
+    return HierarchicalGrid.halving(4, 4)
+
+
+class TestBasicOperations:
+    def test_read_write_then_read(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        quorums = list(hgrid.minimal_quorums())[:2]
+        results = []
+        client.read_write(quorums, lambda v: 42, on_done=results.append)
+        sim.run()
+        client.read(quorums, on_done=results.append)
+        sim.run()
+        assert [r.ok for r in results] == [True, True]
+        assert results[1].value == 42
+        assert results[1].version >= results[0].version
+
+    def test_blind_write_last_writer_wins(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        lines = hgrid.full_lines()
+        covers = hgrid.row_covers()
+        results = []
+        client.blind_write([lines[0]], "first", on_done=results.append)
+        sim.run()
+        client.blind_write([lines[1]], "second", on_done=results.append)
+        sim.run()
+        client.read(covers[:1], on_done=results.append)
+        sim.run()
+        assert all(r.ok for r in results)
+        # Row-covers intersect every full-line: the read sees the later
+        # blind write.
+        assert results[-1].value == "second"
+
+    def test_successive_read_writes_increment_version(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        quorums = list(hgrid.minimal_quorums())[:1]
+        results = []
+        for k in range(3):
+            client.read_write(quorums, lambda v, k=k: k, on_done=results.append)
+            sim.run()
+        versions = [r.version for r in results]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 3
+
+    def test_read_initial_value(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        results = []
+        client.read(list(hgrid.minimal_quorums())[:1], on_done=results.append)
+        sim.run()
+        assert results[0].ok
+        assert results[0].value is None
+
+    def test_empty_quorum_list_rejected(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        with pytest.raises(ProtocolError):
+            client.read([])
+
+
+class TestFailures:
+    def test_operation_fails_when_quorum_down(self, hgrid):
+        sim, net, replicas, client = make_cluster(timeout=10.0)
+        quorum = list(hgrid.minimal_quorums())[0]
+        victim = next(iter(quorum))
+        replicas[victim].crash()
+        results = []
+        client.read([quorum], on_done=results.append)
+        sim.run()
+        assert not results[0].ok
+        assert results[0].attempts == 1
+
+    def test_retry_over_second_quorum(self, hgrid):
+        sim, net, replicas, client = make_cluster(timeout=10.0)
+        quorums = list(hgrid.minimal_quorums())
+        first, second = quorums[0], None
+        for candidate in quorums[1:]:
+            if not (candidate & first):
+                break
+        # Quorums always intersect, so crash an element exclusive to the
+        # first candidate instead.
+        exclusive = next(iter(first - quorums[1]))
+        replicas[exclusive].crash()
+        results = []
+        client.read([first, quorums[1]], on_done=results.append)
+        sim.run()
+        assert results[0].ok
+        assert results[0].attempts == 2
+
+    def test_regularity_under_crash_recovery(self, hgrid):
+        # A read after a completed write sees that write even when other
+        # replicas crashed in between (quorum intersection).
+        sim, net, replicas, client = make_cluster(timeout=20.0)
+        quorums = list(hgrid.minimal_quorums())
+        results = []
+        client.read_write(quorums[:1], lambda v: "durable", on_done=results.append)
+        sim.run()
+        assert results[0].ok
+        # Crash everything *outside* the written quorum.
+        written = quorums[0]
+        for replica in replicas:
+            if replica.node_id not in written:
+                replica.crash()
+        live_quorums = [q for q in quorums if q <= written]
+        assert live_quorums, "written quorum should contain a live quorum"
+        client.read(live_quorums[:1], on_done=results.append)
+        sim.run()
+        assert results[1].ok
+        assert results[1].value == "durable"
+
+    def test_replica_state_survives_crash(self, hgrid):
+        sim, net, replicas, client = make_cluster()
+        quorum = list(hgrid.minimal_quorums())[0]
+        results = []
+        client.read_write([quorum], lambda v: 7, on_done=results.append)
+        sim.run()
+        member = next(iter(quorum))
+        replicas[member].crash()
+        replicas[member].recover()
+        assert replicas[member].value == 7
+
+
+class TestLatency:
+    def test_latency_recorded(self, hgrid):
+        sim, net, replicas, client = make_cluster(latency=UniformLatency(1.0, 2.0))
+        results = []
+        client.read(list(hgrid.minimal_quorums())[:1], on_done=results.append)
+        sim.run()
+        # One round trip: between 2 and 4 time units.
+        assert 2.0 <= results[0].latency <= 4.0
+
+    def test_read_write_takes_two_rounds(self, hgrid):
+        sim, net, replicas, client = make_cluster(latency=UniformLatency(1.0, 1.0))
+        results = []
+        client.read_write(
+            list(hgrid.minimal_quorums())[:1], lambda v: 1, on_done=results.append
+        )
+        sim.run()
+        assert results[0].latency == pytest.approx(4.0)
+
+
+class TestPartitions:
+    def test_majority_side_keeps_working(self, hgrid):
+        from repro.systems import MajorityQuorumSystem
+
+        system = MajorityQuorumSystem.of_size(5)
+        sim, net, replicas, client = make_cluster(n=5, timeout=10.0)
+        # Partition 3-2; the client (id 1000) lives with the majority side.
+        net.set_partition([{0, 1, 2, 1000}, {3, 4}])
+        majority_quorum = frozenset({0, 1, 2})
+        minority_quorum = frozenset({2, 3, 4})
+        results = []
+        client.read_write([majority_quorum], lambda v: "committed",
+                          on_done=results.append)
+        sim.run()
+        client.read([minority_quorum], on_done=results.append)
+        sim.run()
+        assert results[0].ok          # the majority side commits
+        assert not results[1].ok      # quorums straddling the cut fail
+        # Heal: the minority catches up on the next quorum operation.
+        net.heal_partition()
+        results.clear()
+        client.read([minority_quorum], on_done=results.append)
+        sim.run()
+        assert results[0].ok
+        # Quorum intersection: {2} carries the committed value across.
+        assert results[0].value == "committed"
+
+    def test_no_split_brain_across_partition(self, hgrid):
+        # Two clients on opposite sides of a partition cannot both commit
+        # exclusive writes: every read-write quorum needs nodes from both
+        # sides of any cut that splits all quorums.
+        sim, net, replicas, _ = make_cluster(timeout=8.0)
+        left_client = ReplicatedRegisterClient(2000, net, timeout=8.0)
+        right_client = ReplicatedRegisterClient(2001, net, timeout=8.0)
+        quorums = list(hgrid.minimal_quorums())
+        # Cut the grid into top half / bottom half: every rw quorum has a
+        # full row plus covers of all rows, so it straddles the cut.
+        top = {e for e in hgrid.universe.ids if hgrid.coordinates(e)[0] < 2}
+        bottom = set(hgrid.universe.ids) - top
+        net.set_partition([top | {2000}, bottom | {2001}])
+        results = []
+        left_client.read_write(quorums[:3], lambda v: "left", on_done=results.append)
+        right_client.read_write(quorums[-3:], lambda v: "right", on_done=results.append)
+        sim.run()
+        assert not any(r.ok for r in results)

@@ -1,0 +1,136 @@
+"""Tests for the quorum reader-writer lock (§4.1 semantics)."""
+
+import pytest
+
+from repro.core import ProtocolError
+from repro.sim import Network, Simulator
+from repro.sim.protocols.rwlock import RWLockMonitor, RWLockNode
+from repro.systems import HierarchicalGrid
+
+
+@pytest.fixture()
+def cluster():
+    grid = HierarchicalGrid.halving(3, 3)
+    sim = Simulator(seed=0)
+    net = Network(sim)
+    nodes = [RWLockNode(i, net) for i in range(grid.n)]
+    monitor = RWLockMonitor()
+    return grid, sim, net, nodes, monitor
+
+
+def hold_then_release(sim, monitor, node, mode, hold):
+    def acquired():
+        monitor.enter(node.node_id, mode)
+
+        def leave():
+            monitor.leave(node.node_id, mode)
+            node.release()
+
+        sim.schedule(hold, leave)
+
+    return acquired
+
+
+class TestSharedLocks:
+    def test_concurrent_readers_allowed(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        covers = grid.row_covers()
+        # Three overlapping readers at once.
+        for k in range(3):
+            node = nodes[k]
+            cover = covers[k % len(covers)]
+            sim.schedule(
+                0.1 * k,
+                node.acquire_shared,
+                cover,
+                hold_then_release(sim, monitor, node, "shared", 50.0),
+            )
+        sim.run(until=10_000)
+        assert monitor.violations == 0
+        assert monitor.reader_sessions == 3
+        assert monitor.max_concurrent_readers == 3  # truly concurrent
+
+    def test_reader_blocks_writer(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        cover = grid.row_covers()[0]
+        rw = grid.minimal_quorums()[0]
+        events = []
+        nodes[0].acquire_shared(cover, lambda: events.append(("read", sim.now)))
+        sim.run(until=10.0)
+        nodes[1].acquire_exclusive(rw, lambda: events.append(("write", sim.now)))
+        sim.run(until=50.0)
+        # Writer must wait: only the read has fired so far.
+        assert [kind for kind, _ in events] == ["read"]
+        nodes[0]._held = nodes[0]._held  # reader still holds
+        nodes[0].release()
+        sim.run(until=200.0)
+        assert [kind for kind, _ in events] == ["read", "write"]
+
+
+class TestExclusiveLocks:
+    def test_writers_exclude_each_other(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        quorums = grid.minimal_quorums()
+        for k in range(4):
+            node = nodes[k]
+            quorum = quorums[(k * 7) % len(quorums)]
+            sim.schedule(
+                0.05 * k,
+                node.acquire_exclusive,
+                quorum,
+                hold_then_release(sim, monitor, node, "exclusive", 3.0),
+            )
+        sim.run(until=100_000)
+        assert monitor.violations == 0
+        assert monitor.writer_sessions == 4
+
+    def test_mixed_workload_safety(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        covers = grid.row_covers()
+        quorums = grid.minimal_quorums()
+        for k in range(9):
+            node = nodes[k % len(nodes)]
+            if node._mode is not None or node._held is not None:
+                continue
+            if k % 3 == 0:
+                quorum = quorums[(k * 5) % len(quorums)]
+                sim.schedule(
+                    0.3 * k,
+                    node.acquire_exclusive,
+                    quorum,
+                    hold_then_release(sim, monitor, node, "exclusive", 2.0),
+                )
+            else:
+                cover = covers[(k * 11) % len(covers)]
+                sim.schedule(
+                    0.3 * k,
+                    node.acquire_shared,
+                    cover,
+                    hold_then_release(sim, monitor, node, "shared", 2.0),
+                )
+        sim.run(until=100_000)
+        assert monitor.violations == 0
+        assert monitor.reader_sessions + monitor.writer_sessions >= 6
+
+
+class TestProtocolErrors:
+    def test_double_acquire_rejected(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        cover = grid.row_covers()[0]
+        nodes[0].acquire_shared(cover, lambda: None)
+        with pytest.raises(ProtocolError):
+            nodes[0].acquire_shared(cover, lambda: None)
+
+    def test_release_without_lock_rejected(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        with pytest.raises(ProtocolError):
+            nodes[0].release()
+
+    def test_crash_clears_requester_state(self, cluster):
+        grid, sim, net, nodes, monitor = cluster
+        cover = grid.row_covers()[0]
+        nodes[0].acquire_shared(cover, lambda: None)
+        nodes[0].crash()
+        assert nodes[0].holds_lock is None
+        nodes[0].recover()
+        nodes[0].acquire_shared(cover, lambda: None)  # fresh request allowed

@@ -1,0 +1,103 @@
+"""Tests for simulator event tracing."""
+
+import pytest
+
+from repro.core import SimulationError
+from repro.sim import Message, Network, Node, Simulator
+from repro.sim.trace import Tracer, TracingNetworkMixin, attach_crash_tracing
+
+
+class Echo(Node):
+    def on_message(self, src, message):
+        pass
+
+
+class TestTracer:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", node=0, dst=1)
+        tracer.record(2.0, "deliver", node=1, src=0)
+        assert len(tracer) == 2
+        assert len(tracer.events(category="send")) == 1
+        assert tracer.events(node=1)[0].category == "deliver"
+        assert tracer.events(since=1.5)[0].time == 2.0
+
+    def test_capacity_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for k in range(5):
+            tracer.record(float(k), "tick")
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert tracer.events()[0].time == 2.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Tracer(capacity=0)
+
+    def test_categories_and_timeline(self):
+        tracer = Tracer()
+        tracer.record(1.0, "send", node=0)
+        tracer.record(2.0, "send", node=1)
+        tracer.record(3.0, "crash", node=1)
+        assert tracer.categories() == {"send": 2, "crash": 1}
+        text = tracer.timeline(limit=2)
+        assert "crash" in text
+        assert text.count("\n") == 1
+
+    def test_json_roundtrip(self, tmp_path):
+        tracer = Tracer()
+        tracer.record(1.5, "send", node=3, dst=4, kind="ping")
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        restored = Tracer.from_json(path.read_text())
+        assert len(restored) == 1
+        event = restored.events()[0]
+        assert event.time == 1.5
+        assert event.detail == {"dst": 4, "kind": "ping"}
+
+
+class TestNetworkTracing:
+    def test_send_and_deliver_traced(self):
+        sim = Simulator()
+        net = Network(sim)
+        a, b = Echo(0, net), Echo(1, net)
+        tracer = Tracer()
+        TracingNetworkMixin.attach(net, tracer)
+        net.send(0, 1, Message("ping"))
+        sim.run()
+        assert tracer.categories() == {"send": 1, "deliver": 1}
+        deliver = tracer.events(category="deliver")[0]
+        assert deliver.node == 1
+        assert deliver.detail["kind"] == "ping"
+
+    def test_crash_tracing(self):
+        sim = Simulator()
+        net = Network(sim)
+        node = Echo(0, net)
+        tracer = Tracer()
+        attach_crash_tracing(net, tracer)
+        node.crash()
+        node.crash()  # idempotent: only one event
+        node.recover()
+        assert [e.category for e in tracer.events()] == ["crash", "recover"]
+
+    def test_traced_protocol_run(self):
+        # Tracing a small mutex run yields a coherent message timeline.
+        from repro.core import Strategy
+        from repro.sim import MutexMonitor, MutexNode
+        from repro.systems import HierarchicalTriangle
+
+        system = HierarchicalTriangle(3)
+        sim = Simulator(seed=0)
+        net = Network(sim)
+        nodes = [MutexNode(i, net) for i in range(system.n)]
+        tracer = Tracer()
+        TracingNetworkMixin.attach(net, tracer)
+        quorum = system.minimal_quorums()[0]
+        done = []
+        nodes[0].request_cs(quorum, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+        kinds = {e.detail["kind"] for e in tracer.events(category="send")}
+        assert "request" in kinds
+        assert "grant" in kinds

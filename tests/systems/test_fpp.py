@@ -1,0 +1,69 @@
+"""Tests for the finite-projective-plane (Maekawa) system."""
+
+import pytest
+
+from repro.analysis import optimal_strategy
+from repro.core import ConstructionError
+from repro.systems import FPPQuorumSystem
+from repro.systems.fpp import projective_plane
+
+
+class TestPlaneConstruction:
+    @pytest.mark.parametrize("q", (2, 3, 5))
+    def test_counts(self, q):
+        points, lines = projective_plane(q)
+        n = q * q + q + 1
+        assert len(points) == n
+        assert len(lines) == n
+        assert all(len(line) == q + 1 for line in lines)
+
+    @pytest.mark.parametrize("q", (2, 3))
+    def test_two_lines_meet_in_one_point(self, q):
+        _, lines = projective_plane(q)
+        for i, first in enumerate(lines):
+            for second in lines[i + 1 :]:
+                assert len(set(first) & set(second)) == 1
+
+    @pytest.mark.parametrize("q", (2, 3))
+    def test_every_point_on_q_plus_1_lines(self, q):
+        points, lines = projective_plane(q)
+        for index in range(len(points)):
+            assert sum(index in line for line in lines) == q + 1
+
+    def test_non_prime_rejected(self):
+        with pytest.raises(ConstructionError):
+            projective_plane(4)
+        with pytest.raises(ConstructionError):
+            projective_plane(1)
+
+
+class TestFPPSystem:
+    def test_fano_plane(self):
+        system = FPPQuorumSystem(2)
+        assert system.n == 7
+        assert system.num_minimal_quorums == 7
+        assert system.smallest_quorum_size() == 3
+        system.verify_intersection()
+
+    def test_of_size(self):
+        assert FPPQuorumSystem.of_size(13).q == 3
+        with pytest.raises(ConstructionError):
+            FPPQuorumSystem.of_size(8)
+
+    def test_optimal_load(self):
+        # The paper's §7 note: FPP has the optimal 1/sqrt(n)-ish load.
+        system = FPPQuorumSystem(2)
+        assert system.load_exact() == pytest.approx(3 / 7)
+        assert optimal_strategy(system).induced_load() == pytest.approx(3 / 7, abs=1e-6)
+
+    def test_load_below_htriang(self):
+        # FPP load (q+1)/n beats h-triang's sqrt(2)/sqrt(n) at equal n=13 ~ 15.
+        from repro.systems import HierarchicalTriangle
+
+        fpp = FPPQuorumSystem(3)  # n = 13
+        triangle = HierarchicalTriangle(5)  # n = 15
+        assert fpp.load_exact() < triangle.load_exact()
+
+    def test_self_dual(self):
+        # Projective planes are self-dual structures.
+        assert FPPQuorumSystem(2).is_self_dual()

@@ -1,0 +1,166 @@
+"""Tests for the flat grid protocol and crumbling walls (incl. CWlog)."""
+
+import pytest
+
+from repro.analysis import failure_probability_exhaustive, optimal_strategy
+from repro.core import ConstructionError
+from repro.systems import CrumblingWallQuorumSystem, GridQuorumSystem
+
+
+class TestGridStructure:
+    def test_element_names(self):
+        grid = GridQuorumSystem(2, 3)
+        assert grid.n == 6
+        assert grid.element(1, 2) == 5
+
+    def test_full_lines(self):
+        grid = GridQuorumSystem(3, 2)
+        lines = list(grid.full_lines())
+        assert len(lines) == 3
+        assert all(len(line) == 2 for line in lines)
+
+    def test_row_covers(self):
+        grid = GridQuorumSystem(3, 2)
+        covers = list(grid.row_covers())
+        assert len(covers) == 2**3
+        assert all(len(c) == 3 for c in covers)
+
+    def test_read_write_quorum_size(self):
+        grid = GridQuorumSystem(4, 4)
+        # Every minimal rw quorum: full row (4) + one per other row (3).
+        assert grid.smallest_quorum_size() == 7
+        assert grid.largest_quorum_size() == 7
+        grid.verify_intersection()
+
+    def test_covers_alone_are_not_a_quorum_system(self):
+        # Concurrent reads are allowed precisely because two covers can
+        # be disjoint.
+        grid = GridQuorumSystem(2, 2)
+        covers = list(grid.row_covers())
+        disjoint = [c for c in covers if not (c & covers[0])]
+        assert disjoint
+
+    def test_lines_intersect_covers(self):
+        grid = GridQuorumSystem(3, 3)
+        for line in grid.full_lines():
+            for cover in grid.row_covers():
+                assert line & cover
+
+    def test_bad_dims(self):
+        with pytest.raises(ConstructionError):
+            GridQuorumSystem(0, 3)
+
+
+class TestGridAnalysis:
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 3), (2, 4), (4, 2)])
+    def test_closed_form_vs_exhaustive(self, dims):
+        grid = GridQuorumSystem(*dims)
+        for p in (0.1, 0.3, 0.5):
+            assert grid.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(grid, p), abs=1e-12
+            )
+
+    def test_read_write_failure_ordering(self):
+        grid = GridQuorumSystem(3, 3)
+        p = 0.2
+        read = grid.read_failure_probability(p)
+        write = grid.write_failure_probability(p)
+        readwrite = grid.failure_probability_exact(p)
+        assert readwrite >= max(read, write)
+
+    def test_availability_degrades_with_size(self):
+        # Peleg–Wool: flat-grid failure probability grows with n — the
+        # motivation for hierarchical grids.
+        values = [
+            GridQuorumSystem(k, k).failure_probability_exact(0.3)
+            for k in (3, 4, 5, 6)
+        ]
+        assert values == sorted(values)
+
+    def test_load_matches_lp(self):
+        grid = GridQuorumSystem(3, 3)
+        assert grid.load_exact() == pytest.approx(5 / 9)
+        assert optimal_strategy(grid).induced_load() == pytest.approx(5 / 9, abs=1e-6)
+
+
+class TestWallStructure:
+    def test_cwlog_widths(self):
+        assert CrumblingWallQuorumSystem.cwlog(14).widths == (1, 2, 2, 3, 3, 3)
+        assert CrumblingWallQuorumSystem.cwlog(29).widths == (1, 2, 2, 3, 3, 3, 3, 4, 4, 4)
+
+    def test_cwlog_quorum_size_range(self):
+        # Table 4: CWlog(14) min 3 max 6; CWlog(29) min 4 max 10.
+        cw14 = CrumblingWallQuorumSystem.cwlog(14)
+        assert (cw14.smallest_quorum_size(), cw14.largest_quorum_size()) == (3, 6)
+        cw29 = CrumblingWallQuorumSystem.cwlog(29)
+        assert (cw29.smallest_quorum_size(), cw29.largest_quorum_size()) == (4, 10)
+
+    def test_intersection(self):
+        CrumblingWallQuorumSystem([1, 2, 3]).verify_intersection()
+        CrumblingWallQuorumSystem.cwlog(14).verify_intersection()
+        CrumblingWallQuorumSystem.flat_tgrid(3, 3).verify_intersection()
+
+    def test_triangle_and_diamond_builders(self):
+        tri = CrumblingWallQuorumSystem.triangle(4)
+        assert tri.n == 10
+        assert tri.widths == (1, 2, 3, 4)
+        dia = CrumblingWallQuorumSystem.diamond(3)
+        assert dia.n == 9
+        assert dia.widths == (1, 2, 3, 2, 1)
+
+    def test_bad_widths(self):
+        with pytest.raises(ConstructionError):
+            CrumblingWallQuorumSystem([])
+        with pytest.raises(ConstructionError):
+            CrumblingWallQuorumSystem([2, 0])
+
+
+class TestWallAnalysis:
+    @pytest.mark.parametrize(
+        "widths", [[1, 2, 3], [3, 3, 3], [2, 2, 2, 2], [1, 2, 2, 3, 3, 3]]
+    )
+    def test_dp_vs_exhaustive(self, widths):
+        wall = CrumblingWallQuorumSystem(widths)
+        for p in (0.1, 0.3, 0.5):
+            assert wall.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(wall, p), abs=1e-12
+            )
+
+    def test_single_row_wall(self):
+        wall = CrumblingWallQuorumSystem([3])
+        # Only quorum is the full row: failure = 1 - q^3.
+        assert wall.failure_probability_exact(0.2) == pytest.approx(1 - 0.8**3)
+
+    def test_flat_tgrid_beats_grid_on_size(self):
+        # The [3] optimisation: smaller quorums than the rw grid.
+        from repro.systems import GridQuorumSystem
+
+        tgrid = CrumblingWallQuorumSystem.flat_tgrid(4, 4)
+        grid = GridQuorumSystem(4, 4)
+        assert tgrid.smallest_quorum_size() < grid.smallest_quorum_size()
+
+
+class TestWallStrategies:
+    def test_row_strategy_validation(self):
+        wall = CrumblingWallQuorumSystem([1, 2])
+        with pytest.raises(ConstructionError):
+            wall.row_strategy([1.0])
+
+    def test_tradeoff_strategy_cw14(self):
+        # §6 numbers: average quorum size 4, load 55.5%.
+        strategy = CrumblingWallQuorumSystem.cwlog(14).tradeoff_strategy()
+        assert strategy.average_quorum_size() == pytest.approx(4.0)
+        assert strategy.induced_load() == pytest.approx(5 / 9, abs=1e-9)
+
+    def test_tradeoff_strategy_cw29(self):
+        # §6 numbers: average quorum size 5.25, load 43.7%.
+        strategy = CrumblingWallQuorumSystem.cwlog(29).tradeoff_strategy()
+        assert strategy.average_quorum_size() == pytest.approx(5.25)
+        assert strategy.induced_load() == pytest.approx(0.4375, abs=1e-9)
+
+    def test_proportional_strategy_loads_less_than_tradeoff(self):
+        cw = CrumblingWallQuorumSystem.cwlog(14)
+        assert (
+            cw.proportional_row_strategy().induced_load()
+            < cw.tradeoff_strategy().induced_load()
+        )

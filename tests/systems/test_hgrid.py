@@ -1,0 +1,140 @@
+"""Tests for the hierarchical grid (Kumar–Cheung)."""
+
+import pytest
+
+from repro.analysis import failure_probability_exhaustive
+from repro.core import ConstructionError
+from repro.systems import GridQuorumSystem, HierarchicalGrid
+from repro.systems.hgrid import (
+    LEAF,
+    flat_spec,
+    halving_spec,
+    pairing_spec,
+)
+
+
+class TestSpecs:
+    def test_flat_spec(self):
+        assert flat_spec(2, 2) == ((LEAF, LEAF), (LEAF, LEAF))
+
+    def test_flat_spec_validation(self):
+        with pytest.raises(ConstructionError):
+            flat_spec(0, 2)
+
+    def test_halving_spec_4x4(self):
+        spec = halving_spec(4, 4)
+        # Top 2x2 of 2x2 leaf blocks (figure 1's 3-level organisation).
+        assert len(spec) == 2 and len(spec[0]) == 2
+        assert spec[0][0] == flat_spec(2, 2)
+
+    def test_halving_splits_floor_first(self):
+        spec = halving_spec(3, 2)
+        # 3 rows -> 1 + 2 (floor first).
+        assert spec[0][0] == flat_spec(1, 2)
+        assert spec[1][0] == flat_spec(2, 2)
+
+    def test_pairing_spec_collapses_singletons(self):
+        spec = pairing_spec(3, 3)
+        # Bottom-right 1x1 group collapses to a bare leaf block.
+        assert len(spec) == 2 and len(spec[1]) == 2
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ConstructionError):
+            HierarchicalGrid(((),))
+
+
+class TestLayout:
+    def test_coordinates_cover_grid(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        coords = {grid.coordinates(e) for e in grid.universe.ids}
+        assert coords == {(r, c) for r in range(4) for c in range(4)}
+
+    def test_rowpaths_track_global_rows(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        # Elements in a higher global row must compare lexicographically
+        # smaller (our "above" orientation).
+        for a in grid.universe.ids:
+            for b in grid.universe.ids:
+                ra, rb = grid.coordinates(a)[0], grid.coordinates(b)[0]
+                if ra < rb:
+                    assert grid.rowpath(a) < grid.rowpath(b)
+
+    def test_names_are_coordinates(self):
+        grid = HierarchicalGrid.halving(3, 3)
+        assert grid.universe.id_of((0, 0)) in grid.universe.ids
+
+
+class TestQuorumFamilies:
+    def test_flat_degenerates_to_grid_protocol(self):
+        hgrid = HierarchicalGrid.flat(3, 3)
+        grid = GridQuorumSystem(3, 3)
+        assert set(hgrid.minimal_quorums()) == set(grid.minimal_quorums())
+
+    def test_full_line_count_4x4(self):
+        # 2 top rows x (2 x 2) block-line choices = 8 hierarchical lines.
+        assert len(HierarchicalGrid.halving(4, 4).full_lines()) == 8
+
+    def test_row_cover_count_4x4(self):
+        # Per top row: 2 blocks x 4 covers = 8; two rows -> 64.
+        assert len(HierarchicalGrid.halving(4, 4).row_covers()) == 64
+
+    def test_lines_are_not_all_global_rows(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        rows = {
+            frozenset(
+                e for e in grid.universe.ids if grid.coordinates(e)[0] == r
+            )
+            for r in range(4)
+        }
+        lines = set(grid.full_lines())
+        assert rows <= lines  # every global row is a hierarchical line
+        assert lines - rows  # ... but there are bent lines too
+
+    def test_every_cover_hits_every_line(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        for cover in grid.row_covers():
+            for line in grid.full_lines():
+                assert cover & line
+
+    def test_intersection_property(self):
+        HierarchicalGrid.halving(3, 3).verify_intersection()
+        HierarchicalGrid.halving(4, 4).verify_intersection()
+
+
+class TestAvailability:
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 3), (4, 4), (2, 4)])
+    def test_recursion_vs_exhaustive(self, dims):
+        grid = HierarchicalGrid.halving(*dims)
+        for p in (0.1, 0.3, 0.5):
+            assert grid.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(grid, p), abs=1e-12
+            )
+
+    def test_pairing_recursion_vs_exhaustive(self):
+        grid = HierarchicalGrid.pairing(4, 4)
+        assert grid.failure_probability_exact(0.2) == pytest.approx(
+            failure_probability_exhaustive(grid, 0.2), abs=1e-12
+        )
+
+    def test_joint_pmf_sums_to_one(self):
+        pmf = HierarchicalGrid.halving(4, 4).joint_cover_line_pmf(0.3)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_read_write_failure_dominates(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        p = 0.25
+        assert grid.failure_probability_exact(p) >= grid.read_failure_probability(p)
+        assert grid.failure_probability_exact(p) >= grid.write_failure_probability(p)
+
+    def test_hierarchy_beats_flat_grid(self):
+        # The point of [9]: the hierarchical grid has asymptotically good
+        # availability while the flat grid degrades.
+        hier = HierarchicalGrid.halving(4, 4)
+        flat = HierarchicalGrid.flat(4, 4)
+        assert hier.failure_probability_exact(0.1) < flat.failure_probability_exact(0.1)
+
+    def test_quorum_size_constant(self):
+        grid = HierarchicalGrid.halving(4, 4)
+        # ~ 2*sqrt(n) - 1 = 7 for n = 16.
+        assert grid.smallest_quorum_size() == 7
+        assert grid.largest_quorum_size() == 7

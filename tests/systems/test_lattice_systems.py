@@ -1,0 +1,150 @@
+"""Tests for the Paths (Naor–Wool) and Y (Kuo–Huang) lattice systems."""
+
+import pytest
+
+from repro.analysis import failure_probability_exhaustive
+from repro.core import ConstructionError
+from repro.systems import PathsQuorumSystem, YQuorumSystem
+from repro.systems.paths import diamond_vertices
+from repro.systems.yquorum import triangle_vertices
+
+
+class TestDiamondGeometry:
+    def test_vertex_count(self):
+        assert len(diamond_vertices(2)) == 13
+        assert len(diamond_vertices(3)) == 25
+        assert len(diamond_vertices(7)) == 113
+
+    def test_of_size(self):
+        assert PathsQuorumSystem.of_size(13).d == 2
+        assert PathsQuorumSystem.of_size(25).d == 3
+        with pytest.raises(ConstructionError):
+            PathsQuorumSystem.of_size(14)
+
+    def test_sides(self):
+        system = PathsQuorumSystem(2)
+        assert len(system.side("nw")) == 3
+        assert system.side("nw") & system.side("ne")  # corners shared
+        with pytest.raises(ConstructionError):
+            system.side("up")
+
+    def test_bad_params(self):
+        with pytest.raises(ConstructionError):
+            PathsQuorumSystem(0)
+        with pytest.raises(ConstructionError):
+            PathsQuorumSystem(2, variant="weird")
+
+
+class TestPathsQuorums:
+    def test_intersection_axis(self):
+        PathsQuorumSystem(1).verify_intersection()
+        PathsQuorumSystem(2).verify_intersection()
+
+    def test_intersection_mixed(self):
+        PathsQuorumSystem(2, variant="mixed").verify_intersection()
+
+    def test_smallest_quorum_is_sqrt_2n(self):
+        # c(S) = 2d+1 ~ sqrt(2n): the main diagonal crosses both ways.
+        for d in (1, 2):
+            system = PathsQuorumSystem(d)
+            assert system.smallest_quorum_size() == 2 * d + 1
+            assert min(len(q) for q in system.minimal_quorums()) == 2 * d + 1
+
+    def test_enumeration_guarded(self):
+        with pytest.raises(ConstructionError):
+            PathsQuorumSystem(3).minimal_quorums()
+
+    def test_dp_matches_exhaustive(self):
+        system = PathsQuorumSystem(2)
+        for p in (0.1, 0.3, 0.5):
+            assert system.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(system, p), abs=1e-12
+            )
+
+    def test_failure_decays_with_d(self):
+        values = [
+            PathsQuorumSystem(d).failure_probability_exact(0.1) for d in (1, 2, 3)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_not_self_dual_at_half(self):
+        # Conjunction of two crossings: F(1/2) > 1/2 (as in the paper's
+        # Tables 2-3 for Paths).
+        assert PathsQuorumSystem(2).failure_probability_exact(0.5) > 0.5
+
+    def test_mixed_variant_has_no_dp(self):
+        system = PathsQuorumSystem(2, variant="mixed")
+        assert system.failure_probability_exact(0.1) is None
+        # The front-end falls back to a generic engine.
+        value = system.failure_probability(0.1)
+        assert 0.0 < value < 1.0
+
+    def test_mixed_beats_axis(self):
+        # Extra diagonal steps can only add quorums.
+        axis = PathsQuorumSystem(2).failure_probability(0.2)
+        mixed = PathsQuorumSystem(2, variant="mixed").failure_probability(0.2)
+        assert mixed <= axis
+
+
+class TestYGeometry:
+    def test_vertex_count(self):
+        assert len(triangle_vertices(5)) == 15
+        assert len(triangle_vertices(7)) == 28
+
+    def test_of_size(self):
+        assert YQuorumSystem.of_size(15).t == 5
+        assert YQuorumSystem.of_size(28).t == 7
+        with pytest.raises(ConstructionError):
+            YQuorumSystem.of_size(16)
+
+    def test_sides(self):
+        system = YQuorumSystem(4)
+        assert len(system.side("left")) == 4
+        assert len(system.side("bottom")) == 4
+        corners = system.side("left") & system.side("right")
+        assert corners == {(0, 0)}
+        with pytest.raises(ConstructionError):
+            system.side("middle")
+
+    def test_neighbours(self):
+        system = YQuorumSystem(3)
+        assert set(system.neighbours((1, 0))) == {(0, 0), (1, 1), (2, 0), (2, 1)}
+
+
+class TestYQuorums:
+    def test_minimal_quorums_are_ys(self):
+        system = YQuorumSystem(4)
+        vertices = list(system.universe.names)
+        for quorum in system.minimal_quorums():
+            sites = {vertices[e] for e in quorum}
+            assert system.is_y_set(sites)
+
+    def test_intersection(self):
+        YQuorumSystem(3).verify_intersection()
+        YQuorumSystem(4).verify_intersection()
+        YQuorumSystem(5).verify_intersection()
+
+    def test_self_dual(self):
+        assert YQuorumSystem(4).is_self_dual()
+        assert YQuorumSystem(5).failure_probability_exact(0.5) == pytest.approx(0.5)
+
+    def test_quorum_size_range_matches_table4(self):
+        # Table 4: Y(15) min 5 max 6.
+        system = YQuorumSystem(5)
+        assert system.smallest_quorum_size() == 5
+        assert system.largest_quorum_size() == 6
+
+    def test_dp_matches_exhaustive(self):
+        system = YQuorumSystem(4)
+        for p in (0.1, 0.3, 0.5):
+            assert system.failure_probability_exact(p) == pytest.approx(
+                failure_probability_exhaustive(system, p), abs=1e-12
+            )
+
+    def test_enumeration_guarded(self):
+        with pytest.raises(ConstructionError):
+            YQuorumSystem(7).minimal_quorums()
+
+    def test_failure_decays_with_t(self):
+        values = [YQuorumSystem(t).failure_probability_exact(0.1) for t in (3, 5, 7)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) over all constructions.
+
+Invariants checked for randomly drawn construction parameters:
+
+* the intersection property (Definition 3.1);
+* failure probability bounds, monotonicity in p and engine agreement;
+* Prop. 3.3 load lower bounds;
+* duality involution on small systems.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    failure_probability_exhaustive,
+    failure_probability_shannon,
+    load_lower_bound,
+    optimal_strategy,
+)
+from repro.core import QuorumSystem
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    GridQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    TreeQuorumSystem,
+    YQuorumSystem,
+)
+
+# Small-parameter generators per construction (kept small so that the
+# exhaustive reference engine stays fast).
+CONSTRUCTIONS = {
+    "majority": st.integers(1, 9).map(MajorityQuorumSystem.of_size),
+    "grid": st.tuples(st.integers(1, 3), st.integers(1, 3)).map(
+        lambda rc: GridQuorumSystem(*rc)
+    ),
+    "wall": st.lists(st.integers(1, 3), min_size=1, max_size=4).map(
+        CrumblingWallQuorumSystem
+    ),
+    "hgrid": st.tuples(st.integers(2, 4), st.integers(2, 4)).map(
+        lambda rc: HierarchicalGrid.halving(*rc)
+    ),
+    "htgrid": st.tuples(st.integers(2, 4), st.integers(2, 4)).map(
+        lambda rc: HierarchicalTGrid.halving(*rc)
+    ),
+    "htriangle": st.integers(1, 5).map(HierarchicalTriangle),
+    "hqs": st.lists(st.sampled_from([3, 5]), min_size=1, max_size=2).map(
+        HQSQuorumSystem.balanced
+    ),
+    "tree": st.integers(0, 2).map(TreeQuorumSystem),
+    "y": st.integers(1, 5).map(YQuorumSystem),
+}
+
+any_system = st.one_of(*CONSTRUCTIONS.values())
+
+
+@settings(max_examples=25, deadline=None)
+@given(system=any_system)
+def test_intersection_property(system: QuorumSystem):
+    system.verify_intersection()
+
+
+@settings(max_examples=25, deadline=None)
+@given(system=any_system)
+def test_minimal_quorums_are_antichain(system: QuorumSystem):
+    quorums = system.minimal_quorums()
+    for first in quorums:
+        for second in quorums:
+            if first != second:
+                assert not first < second
+
+
+@settings(max_examples=20, deadline=None)
+@given(system=any_system, p=st.floats(0.05, 0.95))
+def test_structural_matches_exhaustive(system: QuorumSystem, p: float):
+    structural = system.failure_probability_exact(p)
+    if structural is None:
+        structural = failure_probability_shannon(system, p)
+    assert structural == pytest.approx(
+        failure_probability_exhaustive(system, p), abs=1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=any_system)
+def test_failure_monotone_in_p(system: QuorumSystem):
+    probe = [i / 10 for i in range(11)]
+    values = [system.failure_probability(p) for p in probe]
+    for before, after in zip(values, values[1:]):
+        assert before <= after + 1e-12
+    assert values[0] == pytest.approx(0.0, abs=1e-12)
+    assert values[-1] == pytest.approx(1.0, abs=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=any_system)
+def test_load_respects_lower_bounds(system: QuorumSystem):
+    load = optimal_strategy(system).induced_load()
+    assert load >= load_lower_bound(system) - 1e-6
+    assert load <= 1.0 + 1e-9
+    assert load >= 1 / math.sqrt(system.n) - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(system=st.one_of(CONSTRUCTIONS["majority"], CONSTRUCTIONS["htriangle"],
+                        CONSTRUCTIONS["y"], CONSTRUCTIONS["wall"]))
+def test_dual_is_involution(system: QuorumSystem):
+    if system.n > 12:
+        return
+    double_dual = system.dual().dual()
+    assert set(double_dual.minimal_quorums()) == set(system.minimal_quorums())
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=any_system, p=st.floats(0.1, 0.9))
+def test_transversal_complement_identity(system: QuorumSystem, p: float):
+    # F_p(S) equals the probability that the failed set hits every quorum
+    # (Prop. 3.1): check via the dual on small systems.
+    if system.n > 12:
+        return
+    dual = system.dual()
+    # Failed set contains a minimal transversal <=> hits every quorum.
+    # Pr[failed superset of some dual quorum] = availability of the dual
+    # under survival probability p.
+    dual_availability = 1.0 - failure_probability_exhaustive(dual, 1.0 - p)
+    assert system.failure_probability(p) == pytest.approx(dual_availability, abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    quorums=st.lists(
+        st.frozensets(st.integers(0, 7), min_size=1, max_size=4),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_reduce_to_coterie_matches_naive(quorums):
+    from repro.core import reduce_to_coterie
+
+    reduced = reduce_to_coterie(quorums)
+    # Naive reference: keep sets with no strict subset in the family.
+    unique = set(quorums)
+    expected = {
+        q for q in unique if not any(other < q for other in unique)
+    }
+    assert set(reduced) == expected
+    # Anti-chain property.
+    for first in reduced:
+        for second in reduced:
+            if first != second:
+                assert not (first <= second)
+
+
+@settings(max_examples=10, deadline=None)
+@given(dims=st.tuples(st.integers(2, 4), st.integers(2, 4)))
+def test_htgrid_structural_sizes_match_enumeration(dims):
+    from repro.systems import HierarchicalTGrid
+
+    system = HierarchicalTGrid.halving(*dims)
+    sizes = [len(q) for q in system.minimal_quorums()]
+    assert system.smallest_quorum_size() == min(sizes)
+    assert system.largest_quorum_size() == max(sizes)
+
+
+@settings(max_examples=10, deadline=None)
+@given(widths=st.lists(st.integers(1, 3), min_size=1, max_size=4))
+def test_wall_structural_sizes_match_enumeration(widths):
+    from repro.systems import CrumblingWallQuorumSystem
+
+    system = CrumblingWallQuorumSystem(widths)
+    sizes = [len(q) for q in system.minimal_quorums()]
+    assert system.smallest_quorum_size() == min(sizes)
+    assert system.largest_quorum_size() == max(sizes)
+    assert system.num_quorums_formula() == len(sizes)
+
+
+@settings(max_examples=15, deadline=None)
+@given(system=any_system, seed=st.integers(0, 10_000))
+def test_heterogeneous_matches_generic(system: QuorumSystem, seed: int):
+    # Structured per-element recursions == generic engines, for random
+    # survival vectors (multilinearity exercised off the iid diagonal).
+    import numpy as np
+
+    from repro.core.quorum_system import QuorumSystem as Base
+
+    rng = np.random.default_rng(seed)
+    survive = list(rng.uniform(0.2, 0.99, system.n))
+    structured = system.availability_heterogeneous(survive)
+    generic = Base.availability_heterogeneous(system, survive)
+    assert structured == pytest.approx(generic, abs=1e-9)

@@ -1,0 +1,208 @@
+"""The paper's tables, asserted value by value.
+
+Every entry of Tables 1-4 that our calibrated constructions reproduce
+*exactly* is asserted to 6 decimal places (the paper's precision); the
+documented deviations (Paths everywhere, h-T-grid at 5x5) are asserted
+to the achieved tolerance and flagged in EXPERIMENTS.md.
+
+These tests are the ground truth of the reproduction; the benchmark
+harness prints the same numbers in table form.
+"""
+
+import pytest
+
+from repro.systems import (
+    CrumblingWallQuorumSystem,
+    HQSQuorumSystem,
+    HierarchicalGrid,
+    HierarchicalTGrid,
+    HierarchicalTriangle,
+    MajorityQuorumSystem,
+    YQuorumSystem,
+)
+
+P_GRID = (0.1, 0.2, 0.3, 0.5)
+EXACT = 1.5e-6  # table entries carry 6 decimals (+- last-digit rounding)
+
+
+# ----------------------------------------------------------------------
+# Table 1 — h-grid vs h-T-grid failure probability.
+# ----------------------------------------------------------------------
+TABLE1_HGRID = {
+    (3, 3): (0.016893, 0.109235, 0.286224, 0.716797),
+    (4, 4): (0.005799, 0.069318, 0.243795, 0.746628),
+    (5, 5): (0.001753, 0.039439, 0.191581, 0.751019),
+    (6, 4): (0.001949, 0.034161, 0.167172, 0.725377),  # "4 cols, 6 lines"
+}
+
+TABLE1_HTGRID = {
+    (3, 3): (0.015213, 0.098585, 0.259783, 0.667969),
+    (4, 4): (0.005361, 0.063866, 0.225066, 0.706604),
+    (6, 4): (0.000611, 0.016690, 0.104402, 0.598435),
+}
+
+# Our 5x5 h-T-grid quorum family is marginally richer than the authors'
+# (see EXPERIMENTS.md); agreement is within 0.25% relative.
+TABLE1_HTGRID_55 = (0.001621, 0.036300, 0.176290, 0.708871)
+
+
+@pytest.mark.parametrize("dims", sorted(TABLE1_HGRID))
+def test_table1_hgrid(dims):
+    system = HierarchicalGrid.halving(*dims)
+    for p, expected in zip(P_GRID, TABLE1_HGRID[dims]):
+        assert system.failure_probability_exact(p) == pytest.approx(expected, abs=EXACT)
+
+
+@pytest.mark.parametrize("dims", sorted(TABLE1_HTGRID))
+def test_table1_htgrid(dims):
+    system = HierarchicalTGrid.halving(*dims)
+    for p, expected in zip(P_GRID, TABLE1_HTGRID[dims]):
+        assert system.failure_probability(p, method="shannon") == pytest.approx(
+            expected, abs=EXACT
+        )
+
+
+def test_table1_htgrid_5x5_close():
+    system = HierarchicalTGrid.halving(5, 5)
+    for p, expected in zip(P_GRID, TABLE1_HTGRID_55):
+        got = system.failure_probability(p, method="shannon")
+        assert got == pytest.approx(expected, rel=0.01)
+        assert got <= expected + EXACT  # we are never worse
+
+
+def test_table1_improvement_claims():
+    # §4.3: ~7.5-10% improvement on squares; >3x on the 4x6 grid, which
+    # even beats the 25-node square.
+    for dims in ((3, 3), (4, 4)):
+        hgrid = HierarchicalGrid.halving(*dims).failure_probability_exact(0.1)
+        htgrid = HierarchicalTGrid.halving(*dims).failure_probability(0.1)
+        improvement = (hgrid - htgrid) / hgrid
+        assert 0.05 < improvement < 0.15
+    rect = HierarchicalTGrid.halving(6, 4).failure_probability(0.1)
+    rect_hgrid = HierarchicalGrid.halving(6, 4).failure_probability_exact(0.1)
+    assert rect < rect_hgrid / 3
+    square25 = HierarchicalGrid.halving(5, 5).failure_probability_exact(0.1)
+    assert rect < square25
+
+
+# ----------------------------------------------------------------------
+# Tables 2 and 3 — failure probability at ~15 and ~28 nodes.
+# ----------------------------------------------------------------------
+TABLE2 = {
+    "majority": ((0.000034, 0.004240, 0.050013, 0.500000), MajorityQuorumSystem.of_size, 15),
+    "hqs": ((0.000210, 0.009567, 0.070946, 0.500000), lambda n: HQSQuorumSystem.balanced([5, 3]), 15),
+    "cwlog": ((0.001639, 0.021787, 0.099915, 0.500000), CrumblingWallQuorumSystem.cwlog, 14),
+    # The paper labels this column "(16)", but its values are exactly
+    # the 3x3 (9-node) h-T-grid of Table 1 — a labelling slip in the
+    # paper; we reproduce the printed numbers with the 3x3 instance
+    # (our 16-node value, 0.005361 at p=0.1, equals Table 1's 4x4 cell).
+    "h-t-grid": ((0.015213, 0.098585, 0.259783, 0.667969), lambda n: HierarchicalTGrid.halving(3, 3), 9),
+    "y": ((0.000745, 0.017603, 0.093599, 0.500000), YQuorumSystem.of_size, 15),
+    "h-triang": ((0.000677, 0.016577, 0.090712, 0.500000), HierarchicalTriangle.of_size, 15),
+}
+
+TABLE3 = {
+    # "Majority (28)": the printed values (and Table 4's quorum size 14
+    # and load ~51%) match the 27-element majority exactly — the paper
+    # evidently used an odd universe.
+    "majority": ((0.000000, 0.000229, 0.014257, 0.500000), MajorityQuorumSystem.of_size, 27),
+    "hqs": ((0.000016, 0.002681, 0.039626, 0.500000), lambda n: HQSQuorumSystem.balanced([3, 3, 3]), 27),
+    "cwlog": ((0.000205, 0.006865, 0.056988, 0.500000), CrumblingWallQuorumSystem.cwlog, 29),
+    "y": ((0.000057, 0.005012, 0.052777, 0.500000), YQuorumSystem.of_size, 28),
+    "h-triang": ((0.000055, 0.004851, 0.051670, 0.500000), HierarchicalTriangle.of_size, 28),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2))
+def test_table2(name):
+    expected, factory, n = TABLE2[name]
+    system = factory(n)
+    for p, value in zip(P_GRID, expected):
+        assert system.failure_probability(p) == pytest.approx(value, abs=EXACT)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3))
+def test_table3(name):
+    expected, factory, n = TABLE3[name]
+    system = factory(n)
+    for p, value in zip(P_GRID, expected):
+        assert system.failure_probability(p) == pytest.approx(value, abs=EXACT)
+
+
+def test_table3_htgrid_25_is_table1_5x5():
+    # Table 3's h-T-grid column is the 5x5 instance of Table 1.
+    system = HierarchicalTGrid.halving(5, 5)
+    assert system.failure_probability(0.2, method="shannon") == pytest.approx(
+        0.036300, rel=0.01
+    )
+
+
+def test_tables23_htriang_beats_other_sqrt_systems():
+    # §6: among the O(sqrt(n))-quorum systems, h-triang is best.
+    p = 0.1
+    tri = HierarchicalTriangle.of_size(15).failure_probability(p)
+    y = YQuorumSystem.of_size(15).failure_probability(p)
+    htg = HierarchicalTGrid.halving(4, 4).failure_probability(p)
+    assert tri < y < htg
+
+
+# ----------------------------------------------------------------------
+# Table 4 — quorum sizes and loads.
+# ----------------------------------------------------------------------
+def test_table4_sizes_15():
+    assert MajorityQuorumSystem.of_size(15).quorum_size == 8
+    assert HQSQuorumSystem.balanced([5, 3]).quorum_size_formula() == 6
+    cw = CrumblingWallQuorumSystem.cwlog(14)
+    assert (cw.smallest_quorum_size(), cw.largest_quorum_size()) == (3, 6)
+    ht = HierarchicalTGrid.halving(4, 4)
+    assert (ht.smallest_quorum_size(), ht.largest_quorum_size()) == (4, 7)
+    y = YQuorumSystem.of_size(15)
+    assert (y.smallest_quorum_size(), y.largest_quorum_size()) == (5, 6)
+    tri = HierarchicalTriangle.of_size(15)
+    assert (tri.smallest_quorum_size(), tri.largest_quorum_size()) == (5, 5)
+
+
+def test_table4_sizes_28():
+    # Table 4 prints 14 for "Majority (28)": that is the 27-element
+    # instance (14 = 27//2 + 1), consistent with Table 3.
+    assert MajorityQuorumSystem.of_size(27).quorum_size == 14
+    assert HQSQuorumSystem.balanced([3, 3, 3]).quorum_size_formula() == 8
+    cw = CrumblingWallQuorumSystem.cwlog(29)
+    assert (cw.smallest_quorum_size(), cw.largest_quorum_size()) == (4, 10)
+    tri = HierarchicalTriangle.of_size(28)
+    assert (tri.smallest_quorum_size(), tri.largest_quorum_size()) == (7, 7)
+    assert YQuorumSystem.of_size(28).smallest_quorum_size() == 7
+
+
+def test_table4_sizes_100():
+    # ~100 nodes row: majority 51, h-triang 14/14, cwlog min 5.
+    assert MajorityQuorumSystem.of_size(101).quorum_size == 51
+    tri = HierarchicalTriangle.of_size(105)
+    assert (tri.smallest_quorum_size(), tri.largest_quorum_size()) == (14, 14)
+    # cwlog(99) ends on an exact width-5 row (the paper's min 5);
+    # cwlog(100) folds the one-element remainder into the bottom row.
+    assert CrumblingWallQuorumSystem.cwlog(99).smallest_quorum_size() == 5
+    assert CrumblingWallQuorumSystem.cwlog(100).smallest_quorum_size() == 6
+    assert CrumblingWallQuorumSystem.cwlog(99).largest_quorum_size() == 25
+
+
+def test_table4_loads():
+    assert MajorityQuorumSystem.of_size(15).load_exact() == pytest.approx(8 / 15)
+    assert HQSQuorumSystem.balanced([5, 3]).load_exact() == pytest.approx(0.40)
+    assert HierarchicalTriangle.of_size(15).load_exact() == pytest.approx(1 / 3)
+    assert HierarchicalTriangle.of_size(28).load_exact() == pytest.approx(0.25)
+    # CWlog trade-off strategy loads (§6): 55.5% and 43.7%.
+    cw14 = CrumblingWallQuorumSystem.cwlog(14).tradeoff_strategy()
+    assert cw14.induced_load() == pytest.approx(0.5555, abs=1e-3)
+    cw29 = CrumblingWallQuorumSystem.cwlog(29).tradeoff_strategy()
+    assert cw29.induced_load() == pytest.approx(0.437, abs=1e-3)
+    # h-T-grid line strategy: 41% > measured >= 36.5% lower variant.
+    ht = HierarchicalTGrid.halving(4, 4)
+    assert ht.line_based_strategy().induced_load() == pytest.approx(0.365, abs=0.005)
+
+
+def test_table4_cwlog_tradeoff_sizes():
+    cw14 = CrumblingWallQuorumSystem.cwlog(14).tradeoff_strategy()
+    assert cw14.average_quorum_size() == pytest.approx(4.0)
+    cw29 = CrumblingWallQuorumSystem.cwlog(29).tradeoff_strategy()
+    assert cw29.average_quorum_size() == pytest.approx(5.25)
