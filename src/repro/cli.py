@@ -7,6 +7,9 @@ Subcommands
 ``load <system>``      exact system load (LP or structural)
 ``compare``            the Table 2/3-style comparison at a given scale
 ``figures``            re-print the paper's two construction figures
+``kvbench <system>``   drive the quorum-replicated KV service, compare
+                       observed per-element load with the LP prediction
+``serve <system>``     run TCP/JSON-lines replica servers for the system
 
 Systems are named like ``h-triang:15``, ``h-t-grid:4x4``, ``majority:15``,
 ``hqs:5x3``, ``cwlog:14``, ``grid:4x4``, ``h-grid:5x5``, ``y:15``,
@@ -223,6 +226,119 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"analytic  : {exact:.6f}")
 
 
+def _cmd_kvbench(args: argparse.Namespace) -> None:
+    import json as json_module
+
+    from .analysis.load import optimal_strategy
+    from .core.errors import ServiceError
+    from .service import TcpTransport, WorkloadConfig, run_kv_benchmark
+
+    system = build_system(args.system)
+    strategy = optimal_strategy(system)
+    transport = None
+    if args.tcp:
+        host, colon, base = args.tcp.partition(":")
+        if not (host and colon and base.isdigit()):
+            raise SystemExit(f"bad --tcp address {args.tcp!r}: expected HOST:BASEPORT")
+        addresses = {
+            element: (host, int(base) + element) for element in system.universe.ids
+        }
+        transport = TcpTransport(addresses)
+    try:
+        config = WorkloadConfig(
+            ops=args.ops,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            skew=args.skew,
+            clients=args.clients,
+            crash_rate=args.crash_rate,
+            ops_per_epoch=args.ops_per_epoch,
+            timeout=args.timeout,
+        )
+        report = run_kv_benchmark(
+            system, seed=args.seed, strategy=strategy, transport=transport, config=config
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"kvbench failed: {exc}")
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return
+    snapshot = report.to_dict()
+    ops = snapshot["ops"]
+    latency = snapshot["latency_ms"]
+    deviation = snapshot["load_deviation"]
+    print(f"system        : {system.system_name} (n={system.n})")
+    print(f"strategy load : {report.lp_load:.4f} (LP-optimal, Def. 3.4)")
+    print(
+        f"workload      : {ops['attempted']} ops, clients={config.clients},"
+        f" read fraction={config.read_fraction:g}, key skew={config.skew:g},"
+        f" crash rate={config.crash_rate:g}, seed={args.seed}"
+    )
+    print(f"success rate  : {ops['success_rate']:.2%}")
+    print(
+        f"latency (ms)  : mean={latency['mean']:.2f}"
+        f" p50={latency['p50']:.2f} p99={latency['p99']:.2f}"
+    )
+    print(
+        f"recovery      : retries={snapshot['retries']}"
+        f" fallbacks={snapshot['fallbacks']} timeouts={snapshot['timeouts']}"
+        f" unavailable={snapshot['unavailable']}"
+        f" read-repairs={snapshot['read_repairs']}"
+    )
+    print("element loads : observed vs LP-predicted")
+    observed = report.observed_loads
+    predicted = report.predicted_loads
+    for element in system.universe.ids:
+        name = system.universe.name_of(element)
+        print(
+            f"   {str(name):>10}  observed={observed[element]:.4f}"
+            f"  predicted={predicted[element]:.4f}"
+        )
+    print(
+        f"deviation     : max |observed-predicted| = {deviation['max_abs_error']:.4f}"
+        f" (relative {deviation['max_relative_error']:.2%})"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    import asyncio
+
+    from .service import make_replicas, start_tcp_replicas
+
+    system = build_system(args.system)
+
+    async def _serve() -> None:
+        replicas = make_replicas(system)
+        servers, addresses = await start_tcp_replicas(
+            replicas, host=args.host, base_port=args.base_port
+        )
+        print(f"serving {system.system_name} (n={system.n}) over TCP/JSON-lines")
+        for element in sorted(addresses):
+            host, port = addresses[element]
+            name = system.universe.name_of(element)
+            print(f"   replica {str(name):>10} -> {host}:{port}")
+        print("press Ctrl-C to stop" if args.duration is None else
+              f"serving for {args.duration:g}s")
+        try:
+            if args.duration is None:
+                await asyncio.gather(*(s.serve_forever() for s in servers))
+            else:
+                await asyncio.sleep(args.duration)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            for server in servers:
+                server.close()
+                await server.wait_closed()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        raise SystemExit(f"serve failed: {exc}")
+
+
 def main(argv: List[str] = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -280,6 +396,38 @@ def main(argv: List[str] = None) -> None:
     p_sim.add_argument("--epochs", type=int, default=20_000)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_bench = sub.add_parser(
+        "kvbench", help="benchmark the quorum-replicated KV service"
+    )
+    p_bench.add_argument("system")
+    p_bench.add_argument("--ops", type=int, default=1000)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--read-fraction", type=float, default=0.9)
+    p_bench.add_argument("--keys", type=int, default=64)
+    p_bench.add_argument("--skew", type=float, default=0.8)
+    p_bench.add_argument("--clients", type=int, default=4)
+    p_bench.add_argument("--crash-rate", type=float, default=0.0)
+    p_bench.add_argument("--ops-per-epoch", type=int, default=50)
+    p_bench.add_argument("--timeout", type=float, default=50.0,
+                         help="per-request deadline in ms")
+    p_bench.add_argument("--tcp", metavar="HOST:BASEPORT", default=None,
+                         help="drive live `quorumtool serve` replicas instead"
+                              " of the in-process transport")
+    p_bench.add_argument("--json", action="store_true",
+                         help="print the full metrics dict as JSON")
+    p_bench.set_defaults(func=_cmd_kvbench)
+
+    p_serve = sub.add_parser(
+        "serve", help="run TCP replica servers for a system"
+    )
+    p_serve.add_argument("system")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--base-port", type=int, default=9000,
+                         help="replica i listens on base-port + i (0 = ephemeral)")
+    p_serve.add_argument("--duration", type=float, default=None,
+                         help="stop after this many seconds (default: forever)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     if hasattr(args, "p") and args.p is None:

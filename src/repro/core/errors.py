@@ -50,3 +50,12 @@ class SimulationError(QuorumError):
 
 class ProtocolError(SimulationError):
     """A distributed protocol on top of the simulator violated its API."""
+
+
+class ServiceError(QuorumError):
+    """The quorum-replicated key-value service failed an operation.
+
+    Base class for the serving layer (:mod:`repro.service`): transport
+    failures, per-request timeouts, and operations that exhausted every
+    fallback quorum all derive from this.
+    """

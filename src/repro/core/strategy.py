@@ -127,8 +127,70 @@ class Strategy:
 
     def sample(self, rng: np.random.Generator) -> Quorum:
         """Draw a quorum according to the distribution."""
-        index = int(rng.choice(len(self._quorums), p=self._weights))
-        return self._quorums[index]
+        return self._quorums[self.sample_index(rng)]
+
+    def sample_index(self, rng: np.random.Generator) -> int:
+        """Draw the index of a support quorum according to the distribution.
+
+        Coordinators that keep per-quorum statistics (hit rates, latencies)
+        want the index rather than the frozenset; :meth:`sample` wraps this.
+        """
+        return int(rng.choice(len(self._quorums), p=self._weights))
+
+    def sample_many(self, rng: np.random.Generator, count: int) -> List[Quorum]:
+        """Draw ``count`` iid quorums in one vectorised pass.
+
+        Equivalent to ``[self.sample(rng) for _ in range(count)]`` but one
+        RNG call, which matters for load generators issuing thousands of
+        operations.
+        """
+        if count < 0:
+            raise StrategyError(f"sample count must be >= 0, got {count}")
+        indices = rng.choice(len(self._quorums), size=count, p=self._weights)
+        return [self._quorums[int(i)] for i in indices]
+
+    def ranked_quorums(self) -> List[Quorum]:
+        """Support quorums sorted by descending weight (ties: small first).
+
+        The deterministic fallback order used by coordinators when
+        sampling keeps hitting crashed elements: try the most-preferred
+        quorums first.
+        """
+        order = sorted(
+            range(len(self._quorums)),
+            key=lambda j: (-self._weights[j], len(self._quorums[j]),
+                           sorted(self._quorums[j])),
+        )
+        return [self._quorums[j] for j in order]
+
+    def avoiding(self, down: Iterable[int]) -> Optional["Strategy"]:
+        """The strategy conditioned on quorums disjoint from ``down``.
+
+        Returns ``None`` when every support quorum touches a down element
+        (the caller must then wait for recoveries or widen its support).
+        Surviving weights are renormalised; if they all carry zero weight
+        the restriction falls back to uniform over the survivors, so a
+        crash can never resurrect an empty distribution.
+        """
+        blocked = frozenset(down)
+        kept = [
+            (quorum, float(weight))
+            for quorum, weight in zip(self._quorums, self._weights)
+            if not (quorum & blocked)
+        ]
+        if not kept:
+            return None
+        total = sum(weight for _, weight in kept)
+        if total <= _PROBABILITY_TOLERANCE:
+            uniform = 1.0 / len(kept)
+            return Strategy(
+                self._system, [q for q, _ in kept], [uniform] * len(kept)
+            )
+        return Strategy(
+            self._system,
+            [q for q, _ in kept],
+            [w / total for _, w in kept],
+        )
 
     # ------------------------------------------------------------------
     # Constructors

@@ -1,0 +1,69 @@
+"""Serving layer: an asyncio quorum-replicated key-value store.
+
+Turns any :class:`~repro.core.quorum_system.QuorumSystem` in the repo
+into a running service:
+
+* :mod:`repro.service.replica` — per-element versioned replicas
+  (timestamp ordering, read-repair targets);
+* :mod:`repro.service.transport` — pluggable transports: a
+  deterministic seeded in-process one (virtual latency, iid crash
+  epochs shared with :mod:`repro.sim.failures`) and TCP/JSON-lines for
+  real sockets;
+* :mod:`repro.service.coordinator` — strategy-sampling coordinator with
+  concurrent fan-out, per-request timeouts, capped-exponential-backoff
+  retries and fallback to quorums avoiding suspected-down replicas;
+* :mod:`repro.service.metrics` — observed per-element load (comparable
+  to the LP-predicted load of Definition 3.4), latency percentiles,
+  success rate;
+* :mod:`repro.service.loadgen` — closed-loop workload generator behind
+  ``quorumtool kvbench`` / ``quorumtool serve``.
+"""
+
+from .coordinator import Coordinator, OperationFailed, ReadResult, WriteResult
+from .loadgen import (
+    BenchmarkReport,
+    WorkloadConfig,
+    build_schedule,
+    key_weights,
+    make_replicas,
+    run_kv_benchmark,
+    run_workload,
+)
+from .metrics import ServiceMetrics
+from .replica import NULL_TIMESTAMP, Replica, Versioned
+from .transport import (
+    DEFAULT_TIMEOUT_MS,
+    InProcessTransport,
+    Reply,
+    ReplicaUnavailable,
+    RequestTimeout,
+    TcpTransport,
+    Transport,
+    start_tcp_replicas,
+)
+
+__all__ = [
+    "BenchmarkReport",
+    "Coordinator",
+    "DEFAULT_TIMEOUT_MS",
+    "InProcessTransport",
+    "NULL_TIMESTAMP",
+    "OperationFailed",
+    "ReadResult",
+    "Replica",
+    "ReplicaUnavailable",
+    "Reply",
+    "RequestTimeout",
+    "ServiceMetrics",
+    "TcpTransport",
+    "Transport",
+    "Versioned",
+    "WorkloadConfig",
+    "WriteResult",
+    "build_schedule",
+    "key_weights",
+    "make_replicas",
+    "run_kv_benchmark",
+    "run_workload",
+    "start_tcp_replicas",
+]

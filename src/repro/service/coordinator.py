@@ -1,0 +1,318 @@
+"""Quorum coordinator: the client-facing side of the KV service.
+
+One :class:`Coordinator` turns ``read``/``write`` calls into quorum
+phases against any :class:`~repro.core.quorum_system.QuorumSystem`:
+
+1. pick a quorum by sampling the configured
+   :class:`~repro.core.strategy.Strategy` (so the *observed* per-element
+   load converges to the strategy's analytic
+   :meth:`~repro.core.strategy.Strategy.element_loads`);
+2. fan the request out concurrently to every member with a per-request
+   timeout;
+3. on any member failure, mark the culprits suspected, back off
+   (capped exponential) and fall back to a quorum avoiding suspects via
+   :meth:`~repro.core.strategy.Strategy.avoiding`;
+4. reads apply read-repair: replicas that returned a stale version get
+   the winning version written back.
+
+Writes carry ``(counter, coordinator_id)`` timestamps from a logical
+clock that also advances on every read (the clock adopts the largest
+counter seen), so concurrent coordinators converge on a total order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ServiceError
+from ..core.quorum_system import Quorum, QuorumSystem
+from ..core.strategy import Strategy
+from .metrics import ServiceMetrics
+from .replica import NULL_TIMESTAMP
+from .transport import (
+    DEFAULT_TIMEOUT_MS,
+    Reply,
+    ReplicaUnavailable,
+    RequestTimeout,
+    Transport,
+)
+
+
+class OperationFailed(ServiceError):
+    """Every attempt (including fallbacks) failed for one operation."""
+
+    def __init__(self, kind: str, key: str, attempts: int, latency: float) -> None:
+        self.kind = kind
+        self.key = key
+        self.attempts = attempts
+        self.latency = latency
+        super().__init__(
+            f"{kind}({key!r}) failed after {attempts} quorum attempts"
+        )
+
+
+class ReadResult(NamedTuple):
+    """Outcome of a quorum read."""
+
+    value: Any
+    counter: int
+    writer: int
+    latency: float
+    attempts: int
+
+
+class WriteResult(NamedTuple):
+    """Outcome of a quorum write."""
+
+    counter: int
+    writer: int
+    latency: float
+    attempts: int
+
+
+class Coordinator:
+    """Executes KV operations through quorums of a system.
+
+    Parameters
+    ----------
+    system:
+        The quorum system to serve through.
+    transport:
+        Channel to the replicas (in-process or TCP).
+    strategy:
+        Quorum-picking distribution; defaults to the LP-optimal strategy
+        from :mod:`repro.analysis.load`, i.e. the system served at its
+        analytic load ``L(S)``.
+    coordinator_id:
+        Tie-breaker in write timestamps; give every concurrent client a
+        distinct id.
+    seed:
+        Seed for this coordinator's sampling RNG.
+    timeout:
+        Per-request deadline (ms) handed to the transport.
+    max_attempts:
+        Quorum attempts per operation (first try + fallbacks).
+    backoff_base, backoff_cap:
+        Capped exponential backoff between attempts (ms):
+        ``min(cap, base * 2**(attempt-1))``.
+    suspicion_ttl:
+        Suspected-down replicas are avoided for this many subsequent
+        operations, then probed again (crashed replicas may recover).
+    """
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        transport: Transport,
+        strategy: Optional[Strategy] = None,
+        *,
+        coordinator_id: int = 0,
+        seed: int = 0,
+        timeout: float = DEFAULT_TIMEOUT_MS,
+        max_attempts: int = 5,
+        backoff_base: float = 8.0,
+        backoff_cap: float = 128.0,
+        suspicion_ttl: int = 25,
+        read_repair: bool = True,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        if timeout <= 0:
+            raise ServiceError(f"timeout must be positive, got {timeout}")
+        self.system = system
+        self.transport = transport
+        if strategy is None:
+            from ..analysis.load import optimal_strategy
+
+            strategy = optimal_strategy(system)
+        if strategy.system is not system:
+            raise ServiceError("strategy belongs to a different system")
+        self.strategy = strategy
+        self.coordinator_id = coordinator_id
+        self.rng = np.random.default_rng(seed)
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.suspicion_ttl = suspicion_ttl
+        self.read_repair = read_repair
+        self.metrics = metrics if metrics is not None else ServiceMetrics(system.n)
+        self._clock = 0
+        self._ops_issued = 0
+        self._suspected: Dict[int, int] = {}  # replica id -> op index suspected at
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    async def read(self, key: str) -> ReadResult:
+        """Quorum read: newest version wins; stale members get repaired."""
+        self._ops_issued += 1
+        try:
+            payloads, latency, attempts, quorum = await self._quorum_phase(
+                lambda rid: {"op": "read", "key": key}, kind="read", key=key
+            )
+        except OperationFailed as exc:
+            self.metrics.record_op("read", exc.latency, ok=False, attempts=exc.attempts)
+            raise
+        best_rid = max(
+            payloads, key=lambda rid: (payloads[rid]["counter"], payloads[rid]["writer"])
+        )
+        best = payloads[best_rid]
+        self._clock = max(self._clock, int(best["counter"]))
+        self.metrics.record_op("read", latency, ok=True, attempts=attempts)
+        if self.read_repair and best["counter"] > NULL_TIMESTAMP[0]:
+            await self._repair_stale(key, best, payloads)
+        return ReadResult(
+            best["value"], int(best["counter"]), int(best["writer"]), latency, attempts
+        )
+
+    async def write(self, key: str, value: Any) -> WriteResult:
+        """Quorum write stamped by this coordinator's logical clock."""
+        self._ops_issued += 1
+        self._clock += 1
+        counter, writer = self._clock, self.coordinator_id
+        request = {
+            "op": "write",
+            "key": key,
+            "value": value,
+            "counter": counter,
+            "writer": writer,
+        }
+        try:
+            payloads, latency, attempts, quorum = await self._quorum_phase(
+                lambda rid: request, kind="write", key=key
+            )
+        except OperationFailed as exc:
+            self.metrics.record_op("write", exc.latency, ok=False, attempts=exc.attempts)
+            raise
+        # A replica that ignored us saw a newer version; catch the clock up
+        # so the next write of this coordinator is not stale too.
+        newest = max(int(p["counter"]) for p in payloads.values())
+        self._clock = max(self._clock, newest)
+        self.metrics.record_op("write", latency, ok=True, attempts=attempts)
+        return WriteResult(counter, writer, latency, attempts)
+
+    # ------------------------------------------------------------------
+    # Quorum machinery
+    # ------------------------------------------------------------------
+    def _active_suspects(self) -> frozenset:
+        horizon = self._ops_issued - self.suspicion_ttl
+        self._suspected = {
+            rid: at for rid, at in self._suspected.items() if at > horizon
+        }
+        return frozenset(self._suspected)
+
+    def _pick_quorum(self) -> Quorum:
+        suspects = self._active_suspects()
+        if suspects:
+            restricted = self.strategy.avoiding(suspects)
+            if restricted is not None:
+                return restricted.sample(self.rng)
+            # Every quorum touches a suspect: optimistically forget
+            # suspicions (replicas recover) rather than refusing to serve.
+            self._suspected.clear()
+        return self.strategy.sample(self.rng)
+
+    async def _quorum_phase(
+        self,
+        request_for: Callable[[int], Dict[str, Any]],
+        kind: str = "op",
+        key: str = "",
+    ) -> Tuple[Dict[int, Dict[str, Any]], float, int, Quorum]:
+        """Run one request against a full quorum, retrying with fallbacks.
+
+        Returns ``(payloads by replica id, total latency, attempts, quorum)``.
+        Attempt latency is the slowest member (fan-out is concurrent);
+        operation latency accumulates attempts plus backoffs.
+        """
+        total_latency = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            quorum = self._pick_quorum()
+            members = sorted(quorum)
+            outcomes = await asyncio.gather(
+                *(
+                    self.transport.call(rid, request_for(rid), self.timeout)
+                    for rid in members
+                ),
+                return_exceptions=True,
+            )
+            attempt_latency = 0.0
+            payloads: Dict[int, Dict[str, Any]] = {}
+            failed: List[int] = []
+            for rid, outcome in zip(members, outcomes):
+                if isinstance(outcome, Reply):
+                    attempt_latency = max(attempt_latency, outcome.latency)
+                    if outcome.payload.get("ok"):
+                        payloads[rid] = outcome.payload
+                    else:
+                        failed.append(rid)
+                elif isinstance(outcome, (ReplicaUnavailable, RequestTimeout)):
+                    attempt_latency = max(attempt_latency, outcome.latency)
+                    failed.append(rid)
+                    if isinstance(outcome, RequestTimeout):
+                        self.metrics.record_timeout()
+                    else:
+                        self.metrics.record_unavailable()
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+            total_latency += attempt_latency
+            if not failed:
+                for rid in members:
+                    self._suspected.pop(rid, None)
+                self.metrics.record_quorum_access(quorum)
+                return payloads, total_latency, attempt, quorum
+            for rid in failed:
+                self._suspected[rid] = self._ops_issued
+            if attempt < self.max_attempts:
+                backoff = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+                total_latency += backoff
+                self.metrics.record_fallback()
+                await self.transport.pause(backoff)
+        raise OperationFailed(kind, key, self.max_attempts, total_latency)
+
+    async def _repair_stale(
+        self,
+        key: str,
+        best: Dict[str, Any],
+        payloads: Dict[int, Dict[str, Any]],
+    ) -> None:
+        """Write the winning version back to members that returned older
+        data.  Best-effort: repair failures never fail the read, and
+        repair traffic is tracked separately from quorum-access load."""
+        best_ts = (int(best["counter"]), int(best["writer"]))
+        stale = [
+            rid
+            for rid, payload in payloads.items()
+            if (int(payload["counter"]), int(payload["writer"])) < best_ts
+        ]
+        if not stale:
+            return
+        request = {
+            "op": "repair",
+            "key": key,
+            "value": best["value"],
+            "counter": best_ts[0],
+            "writer": best_ts[1],
+        }
+        outcomes = await asyncio.gather(
+            *(self.transport.call(rid, request, self.timeout) for rid in sorted(stale)),
+            return_exceptions=True,
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, Reply) and outcome.payload.get("ok"):
+                self.metrics.record_read_repair()
+            elif isinstance(outcome, BaseException) and not isinstance(
+                outcome, (ReplicaUnavailable, RequestTimeout)
+            ):
+                raise outcome
+
+    def __repr__(self) -> str:
+        return (
+            f"<Coordinator id={self.coordinator_id}"
+            f" system={self.system.system_name!r}"
+            f" clock={self._clock} ops={self._ops_issued}>"
+        )

@@ -1,0 +1,260 @@
+"""Closed-loop workload generator for the KV service.
+
+Drives a fleet of concurrent coordinator clients through a configurable
+read/write mix with power-law key skew, injecting iid crash epochs, and
+reports observed metrics next to the strategy's analytic predictions —
+the end-to-end demonstration of the paper's load results: run
+``quorumtool kvbench majority:15`` and ``quorumtool kvbench h-triang:15``
+and watch the busiest element serve half the traffic under majority but
+only a third under the hierarchical triangle.
+
+The whole benchmark is deterministic on the in-process transport: the
+operation schedule is precomputed from the seed, message latencies and
+crash epochs come from seeded RNGs, and the asyncio event loop
+interleaves the clients reproducibly because nothing blocks on real I/O.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ServiceError
+from ..core.quorum_system import QuorumSystem
+from ..core.strategy import Strategy
+from .coordinator import Coordinator, OperationFailed
+from .metrics import ServiceMetrics
+from .replica import Replica
+from .transport import DEFAULT_TIMEOUT_MS, InProcessTransport, Transport
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the generated workload."""
+
+    ops: int = 1000
+    read_fraction: float = 0.9
+    keys: int = 64
+    skew: float = 0.8  # key popularity ~ 1/rank^skew (0 = uniform)
+    clients: int = 4
+    crash_rate: float = 0.0
+    ops_per_epoch: int = 50  # crash-set resample cadence
+    timeout: float = DEFAULT_TIMEOUT_MS
+    preload: bool = True  # write every key once before the timed run
+
+    def validate(self) -> None:
+        if self.ops < 0:
+            raise ServiceError(f"ops must be >= 0, got {self.ops}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ServiceError("read fraction must be in [0,1]")
+        if self.keys <= 0:
+            raise ServiceError("need at least one key")
+        if self.skew < 0:
+            raise ServiceError("skew must be >= 0")
+        if self.clients <= 0:
+            raise ServiceError("need at least one client")
+        if self.ops_per_epoch <= 0:
+            raise ServiceError("ops_per_epoch must be positive")
+
+
+@dataclass
+class BenchmarkReport:
+    """Everything a benchmark run produced, JSON-exportable."""
+
+    system_name: str
+    n: int
+    seed: int
+    config: WorkloadConfig
+    metrics: ServiceMetrics
+    predicted_loads: np.ndarray
+    lp_load: float
+    element_names: List[Any] = field(default_factory=list)
+
+    @property
+    def observed_loads(self) -> np.ndarray:
+        return self.metrics.observed_loads()
+
+    def load_deviation(self) -> Dict[str, float]:
+        """Observed vs strategy-predicted per-element load summary."""
+        return self.metrics.load_deviation(self.predicted_loads)
+
+    def to_dict(self) -> Dict[str, Any]:
+        snapshot = self.metrics.to_dict(predicted=self.predicted_loads)
+        snapshot.update(
+            {
+                "system": self.system_name,
+                "seed": self.seed,
+                "lp_load": self.lp_load,
+                "config": {
+                    "ops": self.config.ops,
+                    "read_fraction": self.config.read_fraction,
+                    "keys": self.config.keys,
+                    "skew": self.config.skew,
+                    "clients": self.config.clients,
+                    "crash_rate": self.config.crash_rate,
+                    "ops_per_epoch": self.config.ops_per_epoch,
+                },
+            }
+        )
+        return snapshot
+
+
+def key_weights(count: int, skew: float) -> np.ndarray:
+    """Power-law key popularity: weight of rank ``r`` is ``1/(r+1)^skew``."""
+    weights = 1.0 / np.power(np.arange(1, count + 1, dtype=float), skew)
+    return weights / weights.sum()
+
+
+def build_schedule(
+    rng: np.random.Generator, config: WorkloadConfig
+) -> List[Tuple[str, str]]:
+    """Precompute the (kind, key) sequence so runs are seed-reproducible
+    regardless of client interleaving."""
+    weights = key_weights(config.keys, config.skew)
+    kinds = rng.random(config.ops) < config.read_fraction
+    key_indices = rng.choice(config.keys, size=config.ops, p=weights)
+    return [
+        ("read" if is_read else "write", f"k{int(index):04d}")
+        for is_read, index in zip(kinds, key_indices)
+    ]
+
+
+def make_replicas(system: QuorumSystem) -> List[Replica]:
+    """One replica per universe element, carrying the element's name."""
+    return [
+        Replica(element, name=system.universe.name_of(element))
+        for element in system.universe.ids
+    ]
+
+
+async def run_workload(
+    system: QuorumSystem,
+    transport: Transport,
+    strategy: Strategy,
+    config: WorkloadConfig,
+    *,
+    seed: int = 0,
+    metrics: Optional[ServiceMetrics] = None,
+) -> ServiceMetrics:
+    """Run the closed-loop workload against an existing transport.
+
+    ``clients`` coordinators share one metrics sink and pull operations
+    from a single precomputed schedule; crash epochs are resampled every
+    ``ops_per_epoch`` operations when the transport supports injection.
+    """
+    config.validate()
+    metrics = metrics if metrics is not None else ServiceMetrics(system.n)
+    seeds = np.random.SeedSequence(seed).generate_state(config.clients + 1)
+    schedule = build_schedule(np.random.default_rng(int(seeds[0])), config)
+    coordinators = [
+        Coordinator(
+            system,
+            transport,
+            strategy,
+            coordinator_id=client,
+            seed=int(seeds[client + 1]),
+            timeout=config.timeout,
+            metrics=metrics,
+        )
+        for client in range(config.clients)
+    ]
+
+    if config.preload:
+        warmup = Coordinator(
+            system,
+            transport,
+            strategy,
+            coordinator_id=config.clients,
+            seed=int(seeds[0]),
+            timeout=config.timeout,
+            metrics=ServiceMetrics(system.n),  # warmup not counted
+        )
+        for index in range(config.keys):
+            await warmup.write(f"k{index:04d}", None)
+
+    can_inject = config.crash_rate > 0 and hasattr(transport, "resample_crashes")
+    next_op = itertools.count()
+
+    async def client_loop(coordinator: Coordinator) -> None:
+        while True:
+            index = next(next_op)
+            if index >= config.ops:
+                return
+            if can_inject and index % config.ops_per_epoch == 0:
+                transport.resample_crashes()
+            kind, key = schedule[index]
+            try:
+                if kind == "read":
+                    await coordinator.read(key)
+                else:
+                    await coordinator.write(key, f"v{index}")
+            except OperationFailed:
+                pass  # already counted in metrics
+
+    await asyncio.gather(*(client_loop(c) for c in coordinators))
+    return metrics
+
+
+def run_kv_benchmark(
+    system: QuorumSystem,
+    *,
+    seed: int = 0,
+    strategy: Optional[Strategy] = None,
+    transport: Optional[Transport] = None,
+    config: Optional[WorkloadConfig] = None,
+    **overrides: Any,
+) -> BenchmarkReport:
+    """One-call benchmark: build the service, drive it, report loads.
+
+    Keyword overrides map onto :class:`WorkloadConfig` fields, so
+    ``run_kv_benchmark(sys, ops=5000, crash_rate=0.1)`` works.  When no
+    transport is given an in-process one is created with the requested
+    crash rate; a caller-supplied transport (e.g. TCP against live
+    ``quorumtool serve`` replicas) is used as-is.
+    """
+    if config is None:
+        config = WorkloadConfig()
+    for name, value in overrides.items():
+        if not hasattr(config, name):
+            raise ServiceError(f"unknown workload option {name!r}")
+        setattr(config, name, value)
+    config.validate()
+
+    if strategy is None:
+        from ..analysis.load import optimal_strategy
+
+        strategy = optimal_strategy(system)
+
+    owns_transport = transport is None
+    if transport is None:
+        transport = InProcessTransport(
+            make_replicas(system),
+            seed=seed + 1,  # distinct stream from the schedule RNG
+            crash_rate=config.crash_rate,
+        )
+
+    async def _run() -> ServiceMetrics:
+        assert transport is not None
+        try:
+            return await run_workload(
+                system, transport, strategy, config, seed=seed
+            )
+        finally:
+            if owns_transport:
+                await transport.close()
+
+    metrics = asyncio.run(_run())
+    return BenchmarkReport(
+        system_name=system.system_name,
+        n=system.n,
+        seed=seed,
+        config=config,
+        metrics=metrics,
+        predicted_loads=strategy.element_loads(),
+        lp_load=strategy.induced_load(),
+        element_names=list(system.universe.names),
+    )

@@ -1,0 +1,176 @@
+"""Metrics for the serving layer: observed load, latency, reliability.
+
+The point of the subsystem is to close the loop between the paper's
+analytic quantities and a running service, so the central object here is
+*observed element load*: the fraction of quorum accesses that touched
+each element, directly comparable to
+:meth:`repro.core.strategy.Strategy.element_loads` (Definition 3.4) and
+to the LP-optimal load from :mod:`repro.analysis.load`.
+
+Everything is exportable as a plain dict (:meth:`ServiceMetrics.to_dict`)
+so benchmarks can be diffed run-to-run — the determinism tests assert
+bit-identical dicts for identical seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.errors import ServiceError
+
+
+class ServiceMetrics:
+    """Counters and histograms for one coordinator/benchmark run.
+
+    Parameters
+    ----------
+    n:
+        Universe size (number of replicas) — sizes the per-element
+        access counters.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ServiceError(f"metrics need a positive universe size, got {n}")
+        self.n = n
+        self.element_accesses = np.zeros(n, dtype=np.int64)
+        self.quorum_accesses = 0
+        self.ops_attempted = 0
+        self.ops_succeeded = 0
+        self.ops_failed = 0
+        self.ops_by_kind: Dict[str, int] = {}
+        self.retries = 0
+        self.fallbacks = 0
+        self.timeouts = 0
+        self.unavailable = 0
+        self.read_repairs = 0
+        self.op_latencies: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_quorum_access(self, quorum: Iterable[int]) -> None:
+        """Count one successful access of a full quorum."""
+        self.quorum_accesses += 1
+        for element in quorum:
+            self.element_accesses[element] += 1
+
+    def record_op(self, kind: str, latency: float, ok: bool, attempts: int) -> None:
+        """Count one client operation (read or write) end to end."""
+        self.ops_attempted += 1
+        self.ops_by_kind[kind] = self.ops_by_kind.get(kind, 0) + 1
+        if ok:
+            self.ops_succeeded += 1
+        else:
+            self.ops_failed += 1
+        if attempts > 1:
+            self.retries += attempts - 1
+        self.op_latencies.append(float(latency))
+
+    def record_fallback(self) -> None:
+        """A retry that switched to a different (next-best) quorum."""
+        self.fallbacks += 1
+
+    def record_timeout(self) -> None:
+        """One per-request deadline miss."""
+        self.timeouts += 1
+
+    def record_unavailable(self) -> None:
+        """One request that hit a crashed/unreachable replica."""
+        self.unavailable += 1
+
+    def record_read_repair(self) -> None:
+        """One stale replica rewritten during a read."""
+        self.read_repairs += 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def success_rate(self) -> float:
+        """Fraction of operations that completed (1.0 when idle)."""
+        if self.ops_attempted == 0:
+            return 1.0
+        return self.ops_succeeded / self.ops_attempted
+
+    def observed_loads(self) -> np.ndarray:
+        """Per-element access frequency over quorum accesses (Def. 3.4).
+
+        Comparable to ``Strategy.element_loads()``: both are "probability
+        the element takes part in a picked quorum".
+        """
+        if self.quorum_accesses == 0:
+            return np.zeros(self.n)
+        return self.element_accesses / self.quorum_accesses
+
+    def latency_percentile(self, q: float) -> float:
+        """Operation latency percentile ``q`` in [0, 100] (ms)."""
+        if not self.op_latencies:
+            return 0.0
+        return float(np.percentile(self.op_latencies, q))
+
+    def load_deviation(self, predicted: Sequence[float]) -> Dict[str, float]:
+        """Observed-vs-predicted load summary against a strategy's loads.
+
+        ``max_abs_error`` is the worst per-element gap;
+        ``max_relative_error`` normalises by the predicted value (elements
+        predicted below 1% of the maximum are compared absolutely, so an
+        element the strategy never touches cannot blow up the ratio).
+        """
+        predicted_arr = np.asarray(predicted, dtype=float)
+        if predicted_arr.shape != (self.n,):
+            raise ServiceError(
+                f"expected {self.n} predicted loads, got {predicted_arr.shape}"
+            )
+        observed = self.observed_loads()
+        errors = np.abs(observed - predicted_arr)
+        floor = max(predicted_arr.max(), 1e-12) * 0.01
+        relative = errors / np.maximum(predicted_arr, floor)
+        return {
+            "max_abs_error": float(errors.max()),
+            "max_relative_error": float(relative.max()),
+            "mean_abs_error": float(errors.mean()),
+            "observed_max_load": float(observed.max()),
+            "predicted_max_load": float(predicted_arr.max()),
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self, predicted: Optional[Sequence[float]] = None) -> Dict[str, Any]:
+        """JSON-serialisable snapshot; pass the strategy's element loads
+        to include the observed-vs-predicted comparison."""
+        snapshot: Dict[str, Any] = {
+            "n": self.n,
+            "ops": {
+                "attempted": self.ops_attempted,
+                "succeeded": self.ops_succeeded,
+                "failed": self.ops_failed,
+                "by_kind": dict(sorted(self.ops_by_kind.items())),
+                "success_rate": self.success_rate,
+            },
+            "quorum_accesses": self.quorum_accesses,
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+            "timeouts": self.timeouts,
+            "unavailable": self.unavailable,
+            "read_repairs": self.read_repairs,
+            "latency_ms": {
+                "count": len(self.op_latencies),
+                "mean": float(np.mean(self.op_latencies)) if self.op_latencies else 0.0,
+                "p50": self.latency_percentile(50),
+                "p99": self.latency_percentile(99),
+            },
+            "observed_loads": [float(x) for x in self.observed_loads()],
+        }
+        if predicted is not None:
+            snapshot["predicted_loads"] = [float(x) for x in predicted]
+            snapshot["load_deviation"] = self.load_deviation(predicted)
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"<ServiceMetrics ops={self.ops_attempted}"
+            f" success={self.success_rate:.3f}"
+            f" accesses={self.quorum_accesses}>"
+        )

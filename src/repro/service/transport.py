@@ -1,0 +1,322 @@
+"""Transports for the quorum-replicated key-value service.
+
+Two implementations of one abstraction:
+
+* :class:`InProcessTransport` — replicas live in the same process; message
+  latencies are *virtual* milliseconds drawn from a seeded RNG and crash
+  injection reuses the paper's iid model via
+  :func:`repro.sim.failures.sample_iid_crash_set`.  Nothing ever sleeps
+  real time (awaits are ``sleep(0)`` yields), so a fixed seed produces a
+  bit-identical run — timeouts included, because a request "times out"
+  exactly when its sampled latency exceeds the deadline.
+* :class:`TcpTransport` — real sockets speaking JSON lines (one request
+  dict per line, one response dict per line) against replica servers
+  started with :func:`start_tcp_replicas`; latencies are wall-clock.
+
+Both report per-message latency in the reply so the coordinator can
+aggregate operation latency the same way regardless of transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ServiceError
+from ..sim.failures import sample_iid_crash_set
+from .replica import Replica
+
+#: Default per-request deadline (milliseconds, virtual or wall-clock).
+DEFAULT_TIMEOUT_MS = 50.0
+
+
+class ReplicaUnavailable(ServiceError):
+    """The target replica is crashed or unreachable.
+
+    ``latency`` is the time (ms) the caller spent learning that, so the
+    coordinator can account failed probes into operation latency.
+    """
+
+    def __init__(self, replica_id: int, latency: float, reason: str = "down") -> None:
+        self.replica_id = replica_id
+        self.latency = latency
+        super().__init__(f"replica {replica_id} unavailable ({reason})")
+
+
+class RequestTimeout(ServiceError):
+    """A request missed its deadline; ``latency`` equals the deadline."""
+
+    def __init__(self, replica_id: int, latency: float) -> None:
+        self.replica_id = replica_id
+        self.latency = latency
+        super().__init__(f"request to replica {replica_id} timed out after {latency:g}ms")
+
+
+class Reply(NamedTuple):
+    """A replica response plus the observed message latency (ms)."""
+
+    payload: Dict[str, Any]
+    latency: float
+
+
+class Transport(ABC):
+    """Request/response channel from a coordinator to replicas."""
+
+    @abstractmethod
+    async def call(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> Reply:
+        """Send one request; raise :class:`ReplicaUnavailable` /
+        :class:`RequestTimeout` on failure."""
+
+    async def pause(self, delay_ms: float) -> None:
+        """Backoff hook: sleep ``delay_ms`` of transport time.
+
+        Real transports sleep wall-clock; the in-process transport only
+        *accounts* the delay (the coordinator adds it to operation
+        latency), keeping benchmark runs instantaneous and deterministic.
+        """
+        await asyncio.sleep(delay_ms / 1000.0)
+
+    async def close(self) -> None:
+        """Release sockets/resources; idempotent."""
+
+
+class InProcessTransport(Transport):
+    """Deterministic in-process transport with latency and crash injection.
+
+    Parameters
+    ----------
+    replicas:
+        The replicas, one per universe element (list or {id: replica}).
+    seed:
+        Seed for the transport RNG (latencies and crash epochs).
+    base_latency, mean_latency:
+        Message latency (virtual ms) is ``base + Exp(mean)`` per call.
+    crash_rate:
+        The paper's iid crash probability ``p`` used by
+        :meth:`resample_crashes`; each epoch resample draws every
+        replica down independently with probability ``p``.
+    """
+
+    def __init__(
+        self,
+        replicas: Iterable[Replica],
+        *,
+        seed: int = 0,
+        base_latency: float = 1.0,
+        mean_latency: float = 4.0,
+        crash_rate: float = 0.0,
+    ) -> None:
+        if isinstance(replicas, Mapping):
+            self.replicas: Dict[int, Replica] = dict(replicas)
+        else:
+            self.replicas = {r.replica_id: r for r in replicas}
+        if not self.replicas:
+            raise ServiceError("transport needs at least one replica")
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ServiceError(f"crash rate must be in [0,1], got {crash_rate}")
+        if base_latency < 0 or mean_latency < 0:
+            raise ServiceError("latencies must be non-negative")
+        self.rng = np.random.default_rng(seed)
+        self.base_latency = base_latency
+        self.mean_latency = mean_latency
+        self.crash_rate = crash_rate
+        self.down: frozenset = frozenset()
+        self.epochs = 0
+        self.calls = 0
+
+    # ------------------------------------------------------------------
+    # Crash injection
+    # ------------------------------------------------------------------
+    def crash(self, *replica_ids: int) -> None:
+        """Mark replicas as crashed (targeted injection, e.g. in tests)."""
+        self.down = self.down | frozenset(replica_ids)
+
+    def recover(self, *replica_ids: int) -> None:
+        """Bring replicas back; with no arguments, recover everyone."""
+        if not replica_ids:
+            self.down = frozenset()
+        else:
+            self.down = self.down - frozenset(replica_ids)
+
+    def resample_crashes(self) -> frozenset:
+        """Start a new crash epoch: replica ``i`` down iid w.p. ``crash_rate``.
+
+        The same model (and helper) as the simulator's
+        :class:`~repro.sim.failures.IidCrashInjector`, so measured
+        service availability converges to the analytic ``F_p``.
+        """
+        self.down = sample_iid_crash_set(
+            self.rng, sorted(self.replicas), self.crash_rate
+        )
+        self.epochs += 1
+        return self.down
+
+    # ------------------------------------------------------------------
+    async def call(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> Reply:
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            raise ServiceError(f"unknown replica id {replica_id}")
+        self.calls += 1
+        # Draw the round-trip latency unconditionally so the RNG stream
+        # does not depend on the current crash set.
+        latency = self.base_latency + float(self.rng.exponential(self.mean_latency))
+        if replica_id in self.down:
+            # A crashed replica never answers: the caller burns the full
+            # deadline discovering it.
+            raise ReplicaUnavailable(replica_id, latency=timeout)
+        if latency > timeout:
+            raise RequestTimeout(replica_id, latency=timeout)
+        await asyncio.sleep(0)  # cooperative yield; keeps fan-out interleaved
+        return Reply(replica.handle(request), latency)
+
+    async def pause(self, delay_ms: float) -> None:
+        # Virtual time only: the coordinator accounts the delay itself.
+        await asyncio.sleep(0)
+
+
+# ----------------------------------------------------------------------
+# TCP / JSON-lines
+# ----------------------------------------------------------------------
+
+#: Hard cap on one JSON line on the wire (values are small in this demo).
+MAX_LINE_BYTES = 1 << 20
+
+
+async def _serve_connection(
+    replica: Replica, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response = {"ok": False, "error": f"bad json: {exc}"}
+            else:
+                response = replica.handle(request)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    except asyncio.CancelledError:
+        # Loop shutdown while blocked on readline: finish quietly so the
+        # streams machinery does not log the cancellation as an error.
+        pass
+    finally:
+        writer.close()
+
+
+async def start_tcp_replicas(
+    replicas: Iterable[Replica],
+    host: str = "127.0.0.1",
+    base_port: int = 0,
+) -> Tuple[List[asyncio.base_events.Server], Dict[int, Tuple[str, int]]]:
+    """Start one JSON-lines server per replica.
+
+    With ``base_port > 0`` replica ``i`` listens on ``base_port + i``;
+    with ``base_port == 0`` the OS assigns ephemeral ports.  Returns the
+    server objects (close them to "crash" a replica) and the
+    ``{replica_id: (host, port)}`` address map a :class:`TcpTransport`
+    consumes.
+    """
+    servers: List[asyncio.base_events.Server] = []
+    addresses: Dict[int, Tuple[str, int]] = {}
+    for replica in replicas:
+        port = 0 if base_port == 0 else base_port + replica.replica_id
+        server = await asyncio.start_server(
+            lambda r, w, rep=replica: _serve_connection(rep, r, w),
+            host=host,
+            port=port,
+        )
+        bound_port = server.sockets[0].getsockname()[1]
+        servers.append(server)
+        addresses[replica.replica_id] = (host, bound_port)
+    return servers, addresses
+
+
+class TcpTransport(Transport):
+    """JSON-lines client over real sockets, one persistent connection per
+    replica (serialised per replica with a lock; concurrency happens
+    across replicas, which is what quorum fan-out needs)."""
+
+    def __init__(self, addresses: Mapping[int, Tuple[str, int]]) -> None:
+        if not addresses:
+            raise ServiceError("TCP transport needs at least one address")
+        self.addresses = dict(addresses)
+        self._connections: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+        self._locks: Dict[int, asyncio.Lock] = {}
+
+    def _lock_for(self, replica_id: int) -> asyncio.Lock:
+        if replica_id not in self._locks:
+            self._locks[replica_id] = asyncio.Lock()
+        return self._locks[replica_id]
+
+    async def _connection(
+        self, replica_id: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        cached = self._connections.get(replica_id)
+        if cached is not None and not cached[1].is_closing():
+            return cached
+        host, port = self.addresses[replica_id]
+        reader, writer = await asyncio.open_connection(host, port)
+        self._connections[replica_id] = (reader, writer)
+        return reader, writer
+
+    async def call(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> Reply:
+        if replica_id not in self.addresses:
+            raise ServiceError(f"unknown replica id {replica_id}")
+        start = time.monotonic()
+        try:
+            async with self._lock_for(replica_id):
+                reader, writer = await self._connection(replica_id)
+                writer.write(json.dumps(request).encode() + b"\n")
+                await writer.drain()
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=timeout / 1000.0
+                )
+        except asyncio.TimeoutError:
+            self._drop(replica_id)
+            raise RequestTimeout(replica_id, latency=timeout)
+        except (ConnectionError, OSError) as exc:
+            self._drop(replica_id)
+            elapsed = (time.monotonic() - start) * 1000.0
+            raise ReplicaUnavailable(replica_id, latency=elapsed, reason=str(exc))
+        if not line:
+            self._drop(replica_id)
+            elapsed = (time.monotonic() - start) * 1000.0
+            raise ReplicaUnavailable(replica_id, latency=elapsed, reason="closed")
+        if len(line) > MAX_LINE_BYTES:
+            raise ServiceError(f"oversized response from replica {replica_id}")
+        elapsed = (time.monotonic() - start) * 1000.0
+        return Reply(json.loads(line), elapsed)
+
+    def _drop(self, replica_id: int) -> None:
+        cached = self._connections.pop(replica_id, None)
+        if cached is not None:
+            cached[1].close()
+
+    async def close(self) -> None:
+        for replica_id in list(self._connections):
+            self._drop(replica_id)

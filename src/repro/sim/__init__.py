@@ -13,6 +13,7 @@ from .failures import (
     PartitionInjector,
     TargetedCrashInjector,
     alive_set,
+    sample_iid_crash_set,
 )
 from .metrics import AvailabilityProbe, LatencyStats, LoadMeter
 from .network import (
@@ -77,4 +78,5 @@ __all__ = [
     "measure_strategy_load",
     "mutex_cluster",
     "replicated_cluster",
+    "sample_iid_crash_set",
 ]

@@ -13,11 +13,25 @@ examples and robustness tests.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..core.errors import SimulationError
 from .engine import Simulator
 from .network import Network
+
+
+def sample_iid_crash_set(rng, ids: Iterable[int], p: float) -> frozenset:
+    """Draw the paper's iid crash set: each id is down with probability ``p``.
+
+    One ``rng.random()`` draw per id, in iteration order, so a fixed seed
+    yields a fixed crash schedule.  Shared by :class:`IidCrashInjector`
+    (epoch resampling in the simulator) and the serving layer's
+    in-process transport (:mod:`repro.service.transport`), so both stacks
+    realise the exact same failure model.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise SimulationError(f"crash probability must be in [0,1], got {p}")
+    return frozenset(i for i in ids if rng.random() < p)
 
 
 class IidCrashInjector:
@@ -60,10 +74,10 @@ class IidCrashInjector:
         self.sim.schedule(0.0, self._tick)
 
     def _tick(self) -> None:
-        rng = self.sim.rng
+        down = sample_iid_crash_set(self.sim.rng, self.network.node_ids, self.p)
         for node_id in self.network.node_ids:
             node = self.network.node(node_id)
-            if rng.random() < self.p:
+            if node_id in down:
                 node.crash()
             else:
                 node.recover()

@@ -91,3 +91,78 @@ class TestSampling:
         weights = strategy.weights
         weights[0] = 99.0
         assert strategy.weights[0] == pytest.approx(1 / 3)
+
+    def test_sample_sequence_deterministic_under_seed(self, star):
+        # The coordinator replays benchmarks from a seed: identical seeds
+        # must give identical quorum sequences, distinct seeds may not.
+        strategy = Strategy.uniform(star)
+        first = [strategy.sample(np.random.default_rng(7)) for _ in range(1)]
+        runs = [
+            [strategy.sample(rng) for _ in range(50)]
+            for rng in (np.random.default_rng(42), np.random.default_rng(42))
+        ]
+        assert runs[0] == runs[1]
+        assert first[0] in strategy.quorums
+
+    def test_sample_index_matches_sample(self, star):
+        strategy = Strategy.uniform(star)
+        via_index = [
+            strategy.quorums[strategy.sample_index(np.random.default_rng(3))]
+            for _ in range(5)
+        ]
+        via_sample = [strategy.sample(np.random.default_rng(3)) for _ in range(5)]
+        assert via_index == via_sample
+
+    def test_sample_many_matches_weights_within_tolerance(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.6, 0.3, 0.1])
+        draws = strategy.sample_many(np.random.default_rng(11), 5000)
+        assert len(draws) == 5000
+        for quorum, weight in zip(quorums, [0.6, 0.3, 0.1]):
+            frequency = draws.count(quorum) / len(draws)
+            assert frequency == pytest.approx(weight, abs=0.03)
+
+    def test_sample_many_deterministic_and_validated(self, star):
+        strategy = Strategy.uniform(star)
+        a = strategy.sample_many(np.random.default_rng(5), 40)
+        b = strategy.sample_many(np.random.default_rng(5), 40)
+        assert a == b
+        assert strategy.sample_many(np.random.default_rng(5), 0) == []
+        with pytest.raises(StrategyError):
+            strategy.sample_many(np.random.default_rng(5), -1)
+
+    def test_ranked_quorums_by_descending_weight(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.2, 0.7, 0.1])
+        ranked = strategy.ranked_quorums()
+        assert ranked[0] == quorums[1]
+        assert set(ranked) == set(quorums)
+
+
+class TestAvoiding:
+    def test_avoiding_renormalises(self, star):
+        quorums = list(star.minimal_quorums())  # {0,1}, {0,2}, {0,3}
+        strategy = Strategy(star, quorums, [0.5, 0.25, 0.25])
+        restricted = strategy.avoiding({1})
+        assert restricted is not None
+        assert all(1 not in q for q in restricted.quorums)
+        assert restricted.weights.sum() == pytest.approx(1.0)
+        # {0,2} and {0,3} keep their 1:1 ratio after renormalisation.
+        assert sorted(restricted.weights) == pytest.approx([0.5, 0.5])
+
+    def test_avoiding_the_center_is_impossible(self, star):
+        strategy = Strategy.uniform(star)
+        assert strategy.avoiding({0}) is None
+
+    def test_avoiding_nothing_keeps_support(self, star):
+        strategy = Strategy.uniform(star)
+        restricted = strategy.avoiding(set())
+        assert restricted is not None
+        assert set(restricted.quorums) == set(strategy.quorums)
+
+    def test_avoiding_zero_weight_survivors_falls_back_to_uniform(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [1.0, 0.0, 0.0])
+        restricted = strategy.avoiding({1})  # only zero-weight quorums survive
+        assert restricted is not None
+        assert sorted(restricted.weights) == pytest.approx([0.5, 0.5])

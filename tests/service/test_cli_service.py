@@ -1,0 +1,50 @@
+"""CLI coverage for the serving layer: kvbench and serve."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKvbench:
+    def test_kvbench_reports_loads(self, capsys):
+        main(["kvbench", "h-triang:15", "--ops", "200", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert "observed" in out and "predicted" in out
+        assert "success rate" in out
+        assert "deviation" in out
+
+    def test_kvbench_is_deterministic(self, capsys):
+        main(["kvbench", "majority:5", "--ops", "150", "--seed", "7", "--json"])
+        first = capsys.readouterr().out
+        main(["kvbench", "majority:5", "--ops", "150", "--seed", "7", "--json"])
+        second = capsys.readouterr().out
+        assert first == second
+        snapshot = json.loads(first)
+        assert snapshot["ops"]["attempted"] == 150
+        assert snapshot["seed"] == 7
+
+    def test_kvbench_with_crash_rate(self, capsys):
+        main([
+            "kvbench", "h-triang:15", "--ops", "200", "--seed", "0",
+            "--crash-rate", "0.1", "--json",
+        ])
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["ops"]["success_rate"] > 0.9
+        assert snapshot["config"]["crash_rate"] == 0.1
+
+    def test_bad_system_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["kvbench", "not-a-system:3"])
+
+
+class TestServe:
+    def test_serve_binds_and_exits_after_duration(self, capsys):
+        main([
+            "serve", "majority:3", "--base-port", "0", "--duration", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert "serving majority" in out
+        assert out.count("replica") == 3
+        assert "127.0.0.1:" in out

@@ -1,0 +1,225 @@
+"""Tests for repro.service.coordinator: quorum ops, repair, fallback."""
+
+import asyncio
+
+import pytest
+
+from repro.core import Strategy
+from repro.service import (
+    Coordinator,
+    InProcessTransport,
+    OperationFailed,
+    Replica,
+    ServiceMetrics,
+    make_replicas,
+)
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem
+
+
+def build_service(system, *, strategy=None, seed=0, **coordinator_kwargs):
+    replicas = make_replicas(system)
+    transport = InProcessTransport(replicas, seed=seed)
+    coordinator = Coordinator(
+        system, transport, strategy, seed=seed, **coordinator_kwargs
+    )
+    return replicas, transport, coordinator
+
+
+class TestBasicOps:
+    def test_write_then_read(self):
+        system = MajorityQuorumSystem.of_size(5)
+        _, _, coordinator = build_service(system)
+
+        async def scenario():
+            ack = await coordinator.write("x", {"v": 1})
+            assert (ack.counter, ack.writer) == (1, 0)
+            result = await coordinator.read("x")
+            assert result.value == {"v": 1}
+            assert result.attempts == 1
+            assert result.latency > 0
+
+        asyncio.run(scenario())
+        metrics = coordinator.metrics
+        assert metrics.ops_attempted == 2
+        assert metrics.success_rate == 1.0
+        assert metrics.quorum_accesses == 2
+
+    def test_read_of_unwritten_key_returns_none(self):
+        system = MajorityQuorumSystem.of_size(3)
+        _, _, coordinator = build_service(system)
+        result = asyncio.run(coordinator.read("missing"))
+        assert result.value is None
+        assert result.counter == 0
+
+    def test_writes_advance_the_logical_clock(self):
+        system = MajorityQuorumSystem.of_size(3)
+        _, _, coordinator = build_service(system)
+
+        async def scenario():
+            for index in range(3):
+                ack = await coordinator.write("k", index)
+                assert ack.counter == index + 1
+
+        asyncio.run(scenario())
+
+
+class TestReadRepair:
+    def test_stale_member_of_read_quorum_gets_repaired(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(replicas, seed=0)
+        # Force the quorum {0, 1}; replica 0 is stale, replica 1 newest.
+        replicas[0].apply_write("x", "old", 1, 0)
+        replicas[1].apply_write("x", "new", 2, 0)
+        strategy = Strategy.single(system, {0, 1})
+        coordinator = Coordinator(system, transport, strategy, seed=0)
+
+        result = asyncio.run(coordinator.read("x"))
+        assert result.value == "new"
+        assert replicas[0].get("x").value == "new"
+        assert replicas[0].repairs_applied == 1
+        assert coordinator.metrics.read_repairs == 1
+
+    def test_unwritten_key_triggers_no_repair(self):
+        system = MajorityQuorumSystem.of_size(3)
+        _, _, coordinator = build_service(system)
+        asyncio.run(coordinator.read("x"))
+        assert coordinator.metrics.read_repairs == 0
+
+    def test_repair_convergence_between_coordinators(self):
+        system = MajorityQuorumSystem.of_size(5)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(replicas, seed=3)
+        shared = ServiceMetrics(system.n)
+        first = Coordinator(
+            system, transport, coordinator_id=0, seed=1, metrics=shared
+        )
+        second = Coordinator(
+            system, transport, coordinator_id=1, seed=2, metrics=shared
+        )
+
+        async def scenario():
+            await first.write("k", "from-first")
+            await second.write("k", "from-second")
+            # Any read sees the newest write (quorum intersection) and the
+            # second coordinator's clock adopted the first's counter.
+            result = await first.read("k")
+            assert result.value == "from-second"
+            assert result.writer == 1
+
+        asyncio.run(scenario())
+
+
+class TestFailureHandling:
+    def test_crashing_a_quorums_worth_mid_run_falls_back(self):
+        # Acceptance scenario: kill as many replicas as a quorum holds
+        # (chosen so a live quorum still exists — a full quorum is a
+        # transversal, so crashing one exactly would kill every quorum),
+        # and the coordinator must keep serving via fallback quorums.
+        system = HierarchicalTriangle.of_size(15)
+        replicas, transport, coordinator = build_service(
+            system, seed=0, suspicion_ttl=10
+        )
+        quorums = system.minimal_quorums()
+        quorum_size = len(quorums[0])
+        victims = None
+        everyone = set(system.universe.ids)
+        for candidate_extra in sorted(everyone - quorums[0]):
+            candidate = set(sorted(quorums[0])[: quorum_size - 1]) | {candidate_extra}
+            if system.contains_quorum(everyone - candidate):
+                victims = candidate
+                break
+        assert victims is not None and len(victims) == quorum_size
+
+        async def scenario():
+            await coordinator.write("k", "before")
+            for index in range(10):
+                await coordinator.read("k")
+            transport.crash(*victims)
+            for index in range(30):
+                result = await coordinator.read("k")
+                assert result.value == "before"
+            await coordinator.write("k", "after")
+            assert (await coordinator.read("k")).value == "after"
+
+        asyncio.run(scenario())
+        metrics = coordinator.metrics
+        assert metrics.success_rate == 1.0
+        assert metrics.unavailable > 0  # crashed replicas were actually hit
+        assert metrics.fallbacks > 0  # and fallback quorums finished the ops
+        # Crashed elements stop appearing in served quorums once suspected.
+        observed = metrics.observed_loads()
+        live_max = max(observed[e] for e in everyone - victims)
+        assert live_max > 0
+
+    def test_all_replicas_down_exhausts_attempts(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=3, backoff_base=2.0, backoff_cap=4.0
+        )
+        transport.crash(0, 1, 2)
+
+        with pytest.raises(OperationFailed) as info:
+            asyncio.run(coordinator.read("x"))
+        assert info.value.attempts == 3
+        metrics = coordinator.metrics
+        assert metrics.ops_failed == 1
+        assert metrics.success_rate == 0.0
+        # Latency accounts every burned deadline plus the two backoffs.
+        assert info.value.latency >= 3 * coordinator.timeout + 2.0 + 4.0
+
+    def test_timeouts_are_counted_and_fail_the_op(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(
+            replicas, seed=0, base_latency=10.0, mean_latency=0.0
+        )
+        coordinator = Coordinator(
+            system, transport, timeout=5.0, max_attempts=2
+        )
+        with pytest.raises(OperationFailed):
+            asyncio.run(coordinator.write("x", 1))
+        assert coordinator.metrics.timeouts > 0
+        assert coordinator.metrics.ops_failed == 1
+
+    def test_suspected_replicas_are_probed_again_after_ttl(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, suspicion_ttl=2, max_attempts=4
+        )
+
+        async def scenario():
+            await coordinator.write("x", 1)
+            transport.crash(0)
+            for _ in range(4):
+                await coordinator.read("x")
+            transport.recover(0)
+            for _ in range(6):
+                await coordinator.read("x")
+
+        asyncio.run(scenario())
+        # After recovery and TTL expiry, replica 0 serves again.
+        assert replicas[0].reads_served > 0
+        assert coordinator.metrics.success_rate == 1.0
+
+
+class TestValidation:
+    def test_foreign_strategy_rejected(self):
+        system = MajorityQuorumSystem.of_size(3)
+        other = MajorityQuorumSystem.of_size(5)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(replicas)
+        from repro.core.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            Coordinator(system, transport, Strategy.uniform(other))
+
+    def test_bad_parameters_rejected(self):
+        system = MajorityQuorumSystem.of_size(3)
+        transport = InProcessTransport(make_replicas(system))
+        from repro.core.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            Coordinator(system, transport, max_attempts=0)
+        with pytest.raises(ServiceError):
+            Coordinator(system, transport, timeout=0.0)

@@ -1,0 +1,80 @@
+"""Tests for repro.service.replica: versioning and the dict protocol."""
+
+import pytest
+
+from repro.service import NULL_TIMESTAMP, Replica, Versioned
+
+
+@pytest.fixture
+def replica():
+    return Replica(3, name=(1, 1))
+
+
+class TestVersioning:
+    def test_fresh_key_reads_null_timestamp(self, replica):
+        response = replica.handle({"op": "read", "key": "x"})
+        assert response["ok"]
+        assert response["value"] is None
+        assert (response["counter"], response["writer"]) == NULL_TIMESTAMP
+
+    def test_write_then_read_round_trip(self, replica):
+        ack = replica.handle(
+            {"op": "write", "key": "x", "value": [1, 2], "counter": 1, "writer": 0}
+        )
+        assert ack["ok"] and ack["applied"]
+        response = replica.handle({"op": "read", "key": "x"})
+        assert response["value"] == [1, 2]
+        assert (response["counter"], response["writer"]) == (1, 0)
+
+    def test_stale_write_is_ignored(self, replica):
+        replica.apply_write("x", "new", 5, 1)
+        assert not replica.apply_write("x", "old", 4, 9)
+        assert not replica.apply_write("x", "same-ts", 5, 1)
+        assert replica.get("x").value == "new"
+        assert replica.writes_ignored == 2
+
+    def test_writer_id_breaks_counter_ties(self, replica):
+        replica.apply_write("x", "low", 5, 1)
+        assert replica.apply_write("x", "high", 5, 2)
+        assert replica.get("x") == Versioned("high", 5, 2)
+
+    def test_writes_are_idempotent_and_reorderable(self, replica):
+        writes = [("a", 3, 0), ("b", 1, 0), ("c", 2, 1), ("a", 3, 0)]
+        for value, counter, writer in writes:
+            replica.apply_write("k", value, counter, writer)
+        # Newest timestamp wins no matter the arrival order.
+        assert replica.get("k") == Versioned("a", 3, 0)
+
+
+class TestProtocol:
+    def test_repair_tracked_separately(self, replica):
+        ack = replica.handle(
+            {"op": "repair", "key": "x", "value": 1, "counter": 2, "writer": 0}
+        )
+        assert ack["ok"] and ack["applied"]
+        assert replica.repairs_applied == 1
+        # A stale repair applies nothing and counts nothing.
+        stale = replica.handle(
+            {"op": "repair", "key": "x", "value": 0, "counter": 1, "writer": 0}
+        )
+        assert stale["ok"] and not stale["applied"]
+        assert replica.repairs_applied == 1
+
+    def test_ping(self, replica):
+        assert replica.handle({"op": "ping"}) == {"ok": True, "replica": 3}
+
+    @pytest.mark.parametrize(
+        "request_dict",
+        [
+            {"op": "nope", "key": "x"},
+            {"op": "read"},
+            {"op": "read", "key": ""},
+            {"op": "read", "key": 42},
+            {"op": "write", "key": "x", "counter": "NaN", "writer": 0},
+            {"op": "write", "key": "x"},
+        ],
+    )
+    def test_bad_requests_answer_instead_of_raising(self, replica, request_dict):
+        response = replica.handle(request_dict)
+        assert response["ok"] is False
+        assert "error" in response

@@ -1,0 +1,135 @@
+"""Tests for repro.service.transport: determinism, crashes, TCP."""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service import (
+    InProcessTransport,
+    Replica,
+    ReplicaUnavailable,
+    RequestTimeout,
+    TcpTransport,
+    start_tcp_replicas,
+)
+
+
+def make_transport(n=5, **kwargs):
+    return InProcessTransport([Replica(i) for i in range(n)], **kwargs)
+
+
+class TestInProcess:
+    def test_latency_sequence_is_seed_deterministic(self):
+        async def latencies(seed):
+            transport = make_transport(seed=seed)
+            return [
+                (await transport.call(i % 5, {"op": "ping"})).latency
+                for i in range(20)
+            ]
+
+        first = asyncio.run(latencies(123))
+        second = asyncio.run(latencies(123))
+        other = asyncio.run(latencies(124))
+        assert first == second
+        assert first != other
+        assert all(lat >= 1.0 for lat in first)  # base latency floor
+
+    def test_crashed_replica_burns_the_deadline(self):
+        async def scenario():
+            transport = make_transport(seed=0)
+            transport.crash(2)
+            with pytest.raises(ReplicaUnavailable) as info:
+                await transport.call(2, {"op": "ping"}, timeout=30.0)
+            assert info.value.latency == 30.0
+            transport.recover(2)
+            reply = await transport.call(2, {"op": "ping"})
+            assert reply.payload["ok"]
+
+        asyncio.run(scenario())
+
+    def test_slow_message_times_out_deterministically(self):
+        async def scenario():
+            transport = make_transport(seed=0, base_latency=10.0, mean_latency=0.0)
+            with pytest.raises(RequestTimeout) as info:
+                await transport.call(0, {"op": "ping"}, timeout=5.0)
+            assert info.value.latency == 5.0
+            # A generous deadline admits the same message.
+            reply = await transport.call(0, {"op": "ping"}, timeout=100.0)
+            assert reply.latency >= 10.0
+
+        asyncio.run(scenario())
+
+    def test_iid_crash_epochs_reproducible(self):
+        first = make_transport(n=30, seed=9, crash_rate=0.3)
+        second = make_transport(n=30, seed=9, crash_rate=0.3)
+        epochs_a = [first.resample_crashes() for _ in range(10)]
+        epochs_b = [second.resample_crashes() for _ in range(10)]
+        assert epochs_a == epochs_b
+        assert any(epochs_a)  # p=0.3 over 30 replicas: crashes do happen
+        assert first.epochs == 10
+
+    def test_zero_crash_rate_never_crashes(self):
+        transport = make_transport(seed=4, crash_rate=0.0)
+        assert transport.resample_crashes() == frozenset()
+
+    def test_unknown_replica_and_bad_params_rejected(self):
+        transport = make_transport()
+        with pytest.raises(ServiceError):
+            asyncio.run(transport.call(99, {"op": "ping"}))
+        with pytest.raises(ServiceError):
+            make_transport(crash_rate=1.5)
+        with pytest.raises(ServiceError):
+            InProcessTransport([])
+
+
+class TestTcp:
+    def test_round_trip_and_crash(self):
+        async def scenario():
+            replicas = [Replica(i) for i in range(3)]
+            servers, addresses = await start_tcp_replicas(replicas, base_port=0)
+            transport = TcpTransport(addresses)
+            try:
+                ack = await transport.call(
+                    0,
+                    {"op": "write", "key": "k", "value": "v", "counter": 1, "writer": 0},
+                    timeout=2000.0,
+                )
+                assert ack.payload["ok"] and ack.payload["applied"]
+                read = await transport.call(0, {"op": "read", "key": "k"}, timeout=2000.0)
+                assert read.payload["value"] == "v"
+                assert read.latency > 0.0
+                # Replica servers answer garbage lines with an error dict,
+                # and a killed server surfaces as ReplicaUnavailable.
+                bad = await transport.call(1, {"op": "bogus"}, timeout=2000.0)
+                assert bad.payload["ok"] is False
+                servers[2].close()
+                await servers[2].wait_closed()
+                with pytest.raises(ReplicaUnavailable):
+                    await transport.call(2, {"op": "ping"}, timeout=2000.0)
+            finally:
+                await transport.close()
+                for server in servers[:2]:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_base_port_layout(self):
+        async def scenario():
+            replicas = [Replica(i) for i in range(2)]
+            servers, addresses = await start_tcp_replicas(replicas, base_port=0)
+            try:
+                assert set(addresses) == {0, 1}
+                ports = {port for _, port in addresses.values()}
+                assert len(ports) == 2  # distinct ephemeral ports
+            finally:
+                for server in servers:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_empty_address_map_rejected(self):
+        with pytest.raises(ServiceError):
+            TcpTransport({})
