@@ -37,6 +37,7 @@ from .importance import (
 )
 from .availability import (
     availability,
+    availability_comparison,
     failure_probability,
     failure_probability_heterogeneous,
 )

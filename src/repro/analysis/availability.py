@@ -84,6 +84,31 @@ def availability(system: QuorumSystem, p: float, method: str = "auto", **kwargs)
     return 1.0 - failure_probability(system, p, method=method, **kwargs)
 
 
+def availability_comparison(
+    system: QuorumSystem,
+    p: float,
+    measured: float,
+    method: str = "auto",
+    **kwargs,
+) -> dict:
+    """Measured availability next to the exact ``1 - F_p(S)``.
+
+    The closing-the-loop summary used by the chaos harness and service
+    benchmarks: ``measured`` is an empirical fraction of epochs (or
+    operations) in which a quorum was fully alive, compared against the
+    exact failure probability of the same iid crash model.
+    """
+    if not 0.0 <= measured <= 1.0:
+        raise AnalysisError(f"measured availability must be in [0, 1], got {measured}")
+    exact = availability(system, p, method=method, **kwargs)
+    return {
+        "crash_rate": p,
+        "exact": exact,
+        "measured": measured,
+        "abs_error": abs(measured - exact),
+    }
+
+
 def failure_probability_heterogeneous(
     system: QuorumSystem, per_element: Sequence[float], method: str = "auto"
 ) -> float:

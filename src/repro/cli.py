@@ -10,6 +10,9 @@ Subcommands
 ``kvbench <system>``   drive the quorum-replicated KV service, compare
                        observed per-element load with the LP prediction
 ``serve <system>``     run TCP/JSON-lines replica servers for the system
+``chaos``              randomized fault schedule against the KV service,
+                       safety-invariant checks, measured-vs-exact
+                       availability; exits 1 on any violation
 
 Systems are named like ``h-triang:15``, ``h-t-grid:4x4``, ``majority:15``,
 ``hqs:5x3``, ``cwlog:14``, ``grid:4x4``, ``h-grid:5x5``, ``y:15``,
@@ -300,6 +303,65 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_chaos(args: argparse.Namespace) -> None:
+    import json as json_module
+
+    from .core.errors import ServiceError
+    from .service.chaos import ChaosConfig, run_chaos
+
+    system = build_system(args.system)
+    try:
+        config = ChaosConfig(
+            ops=args.ops,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            clients=args.clients,
+            crash_rate=args.crash_rate,
+            epoch=args.epoch,
+            timeout=args.timeout,
+            degraded_reads=not args.no_degraded_reads,
+            partitions=args.partitions,
+            unsafe_partial_writes=args.unsafe_partial_writes,
+        )
+        report = run_chaos(system, seed=args.seed, config=config)
+    except ServiceError as exc:
+        raise SystemExit(f"chaos failed: {exc}")
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        availability = report.availability
+        operations = report.operations
+        print(f"system        : {system.system_name} (n={system.n})")
+        print(f"seed          : {report.seed} ({config.ops} ops,"
+              f" {config.clients} clients, {config.keys} keys)")
+        print(f"fault rules   : {report.schedule.to_dict()['by_kind']}")
+        print(f"injected      : {dict(sorted(report.injected.items()))}")
+        print(
+            f"operations    : reads ok={operations['reads_ok']}"
+            f" degraded={operations['reads_degraded']}"
+            f" failed={operations['reads_failed']} |"
+            f" writes ok={operations['writes_ok']}"
+            f" failed={operations['writes_failed']}"
+        )
+        print(
+            f"availability  : measured={availability['measured']:.4f}"
+            f" exact={availability['exact']:.4f}"
+            f" (iid crash p={availability['crash_rate']:g},"
+            f" |delta|={availability['abs_error']:.4f})"
+        )
+        print(f"op success    : {availability['op_success_rate']:.2%}")
+        if report.ok:
+            print("invariants    : all held (no acked write lost, no stale"
+                  " unflagged read, versions intact, timestamps monotone)")
+        else:
+            print(f"invariants    : {len(report.violations)} VIOLATION(S)")
+            for violation in report.violations:
+                detail = {k: v for k, v in violation.items() if k != "invariant"}
+                print(f"   [{violation['invariant']}] {detail}")
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -417,6 +479,38 @@ def main(argv: List[str] = None) -> None:
     p_bench.add_argument("--json", action="store_true",
                          help="print the full metrics dict as JSON")
     p_bench.set_defaults(func=_cmd_kvbench)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault injection against the KV service with"
+             " safety-invariant checks (exit 1 on violation)",
+    )
+    p_chaos.add_argument("--system", required=True,
+                         help="system spec, e.g. htriang:15")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--ops", type=int, default=400)
+    p_chaos.add_argument("--read-fraction", type=float, default=0.6)
+    p_chaos.add_argument("--keys", type=int, default=8)
+    p_chaos.add_argument("--clients", type=int, default=2)
+    p_chaos.add_argument("--crash-rate", type=float, default=0.15,
+                         help="iid crash probability per epoch (compared"
+                              " against the exact F_p)")
+    p_chaos.add_argument("--epoch", type=int, default=25,
+                         help="ticks per crash epoch")
+    p_chaos.add_argument("--timeout", type=float, default=50.0,
+                         help="per-request deadline in ms")
+    p_chaos.add_argument("--partitions", type=int, default=1,
+                         help="random partition windows in the schedule")
+    p_chaos.add_argument("--no-degraded-reads", action="store_true",
+                         help="fail reads outright instead of serving"
+                              " best-effort stale results")
+    p_chaos.add_argument("--unsafe-partial-writes", action="store_true",
+                         help="TESTING ONLY: ack partial quorums under a"
+                              " forced split-brain partition; the harness"
+                              " must detect the violation and exit 1")
+    p_chaos.add_argument("--json", action="store_true",
+                         help="print the full chaos report as JSON")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_serve = sub.add_parser(
         "serve", help="run TCP replica servers for a system"

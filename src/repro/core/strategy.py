@@ -163,6 +163,28 @@ class Strategy:
         )
         return [self._quorums[j] for j in order]
 
+    def least_damaged(self, down: Iterable[int]) -> Quorum:
+        """The support quorum with the fewest members in ``down``.
+
+        Unlike :meth:`avoiding` this always returns a quorum, even when
+        every support quorum touches a down element — it is the degraded
+        fan-out set used by coordinators serving best-effort stale reads
+        when no fully-live quorum exists.  Ties break toward higher
+        weight, then smaller quorums, then lexicographic order, so the
+        result is deterministic.
+        """
+        blocked = frozenset(down)
+        best = min(
+            range(len(self._quorums)),
+            key=lambda j: (
+                len(self._quorums[j] & blocked),
+                -self._weights[j],
+                len(self._quorums[j]),
+                sorted(self._quorums[j]),
+            ),
+        )
+        return self._quorums[best]
+
     def avoiding(self, down: Iterable[int]) -> Optional["Strategy"]:
         """The strategy conditioned on quorums disjoint from ``down``.
 

@@ -16,10 +16,29 @@ into a running service:
   to the LP-predicted load of Definition 3.4), latency percentiles,
   success rate;
 * :mod:`repro.service.loadgen` — closed-loop workload generator behind
-  ``quorumtool kvbench`` / ``quorumtool serve``.
+  ``quorumtool kvbench`` / ``quorumtool serve``;
+* :mod:`repro.service.faults` — declarative fault schedules (crash
+  windows, asymmetric partitions, latency spikes, drop/duplication,
+  flapping) applied by a :class:`FaultyTransport` over any transport;
+* :mod:`repro.service.chaos` — seeded randomized chaos runs with safety
+  invariant checking and measured-vs-exact availability, behind
+  ``quorumtool chaos``.
 """
 
+from .chaos import ChaosConfig, ChaosReport, run_chaos
 from .coordinator import Coordinator, OperationFailed, ReadResult, WriteResult
+from .faults import (
+    CrashFault,
+    DropFault,
+    DuplicateFault,
+    FaultSchedule,
+    FaultyTransport,
+    FlappingFault,
+    LatencyFault,
+    PartitionFault,
+    Window,
+    split_brain_schedule,
+)
 from .loadgen import (
     BenchmarkReport,
     WorkloadConfig,
@@ -44,11 +63,21 @@ from .transport import (
 
 __all__ = [
     "BenchmarkReport",
+    "ChaosConfig",
+    "ChaosReport",
     "Coordinator",
+    "CrashFault",
     "DEFAULT_TIMEOUT_MS",
+    "DropFault",
+    "DuplicateFault",
+    "FaultSchedule",
+    "FaultyTransport",
+    "FlappingFault",
     "InProcessTransport",
+    "LatencyFault",
     "NULL_TIMESTAMP",
     "OperationFailed",
+    "PartitionFault",
     "ReadResult",
     "Replica",
     "ReplicaUnavailable",
@@ -58,12 +87,15 @@ __all__ = [
     "TcpTransport",
     "Transport",
     "Versioned",
+    "Window",
     "WorkloadConfig",
     "WriteResult",
     "build_schedule",
     "key_weights",
     "make_replicas",
+    "run_chaos",
     "run_kv_benchmark",
     "run_workload",
+    "split_brain_schedule",
     "start_tcp_replicas",
 ]

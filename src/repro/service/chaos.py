@@ -1,0 +1,438 @@
+"""Chaos harness: randomized fault schedules + safety invariants.
+
+Runs a seeded, bit-reproducible workload against the KV service while a
+:class:`~repro.service.faults.FaultSchedule` injects crashes, flapping,
+asymmetric partitions, latency spikes, and message drop/duplication —
+then checks safety invariants over the full operation history:
+
+1. **No acknowledged write lost** — after the run, the newest version
+   surviving on *any* replica is at least the newest acknowledged
+   timestamp per key (and carries the acknowledged value on equality).
+   Guaranteed while quorum intersection holds; broken (and detected) by
+   ``unsafe_partial_writes`` split-brain runs.
+2. **No stale unflagged read** — a successful quorum read returns a
+   timestamp at least as new as every write acknowledged before it
+   (operations run sequentially, so this subsumes read-your-writes and
+   monotone reads per coordinator).  Opt-in degraded reads are exempt:
+   their ``stale=True`` flag is precisely the permission to be stale.
+3. **Version integrity** — every version a read returns was actually
+   issued by some writer, with the exact value it was issued with
+   (catches corruption from duplicated/replayed messages).
+4. **Per-replica timestamp monotonicity** — replica journals only ever
+   move forward (write idempotence under duplication and handoff replay).
+
+On top, the harness measures availability under the schedule's iid crash
+component and compares it against the *exact* failure probability
+``F_p`` from :mod:`repro.analysis` — closing the loop between the
+paper's §4.3/§6 numbers and served traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.availability import availability_comparison
+from ..core.errors import ServiceError
+from ..core.quorum_system import QuorumSystem
+from ..core.strategy import Strategy
+from .coordinator import Coordinator, OperationFailed
+from .faults import FaultSchedule, FaultyTransport, Window, split_brain_schedule
+from .metrics import ServiceMetrics
+from .replica import NULL_TIMESTAMP, Replica
+from .transport import InProcessTransport
+
+_TS = Tuple[int, int]
+
+
+@dataclass
+class ChaosConfig:
+    """Shape of one chaos run."""
+
+    ops: int = 400
+    read_fraction: float = 0.6
+    keys: int = 8
+    clients: int = 2
+    crash_rate: float = 0.15
+    epoch: int = 25  # ticks per iid crash epoch
+    timeout: float = 50.0
+    max_attempts: int = 4
+    suspicion_ttl: int = 15
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 30
+    degraded_reads: bool = True
+    hinted_handoff: bool = True
+    latency_spikes: int = 2
+    drops: int = 2
+    duplicates: int = 1
+    flappers: int = 1
+    partitions: int = 1
+    unsafe_partial_writes: bool = False  # intentionally breaks intersection
+
+    def validate(self) -> None:
+        if self.ops < 1:
+            raise ServiceError(f"chaos needs at least one op, got {self.ops}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ServiceError("read fraction must be in [0,1]")
+        if self.keys < 1:
+            raise ServiceError("need at least one key")
+        if self.clients < 1:
+            raise ServiceError("need at least one client")
+        if not 0.0 <= self.crash_rate <= 1.0:
+            raise ServiceError("crash rate must be in [0,1]")
+        if self.epoch < 1:
+            raise ServiceError("epoch must be >= 1 tick")
+        if self.unsafe_partial_writes and self.clients < 2:
+            raise ServiceError(
+                "split-brain demonstration needs at least two clients"
+            )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, JSON-exportable and seed-stable."""
+
+    system_name: str
+    n: int
+    seed: int
+    config: ChaosConfig
+    schedule: FaultSchedule
+    injected: Dict[str, int]
+    operations: Dict[str, int]
+    availability: Dict[str, float]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Optional[ServiceMetrics] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every safety invariant held."""
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        snapshot: Dict[str, Any] = {
+            "system": self.system_name,
+            "n": self.n,
+            "seed": self.seed,
+            "config": asdict(self.config),
+            "schedule": self.schedule.to_dict(),
+            "faults_injected": dict(sorted(self.injected.items())),
+            "operations": dict(sorted(self.operations.items())),
+            "availability": dict(sorted(self.availability.items())),
+            "invariants": {
+                "checked": [
+                    "acked-write-durable",
+                    "no-stale-unflagged-read",
+                    "version-integrity",
+                    "replica-ts-monotone",
+                ],
+                "ok": self.ok,
+                "violations": self.violations,
+            },
+        }
+        if self.metrics is not None:
+            snapshot["metrics"] = self.metrics.to_dict()
+        return snapshot
+
+
+def _plan(
+    rng: np.random.Generator, config: ChaosConfig
+) -> List[Tuple[int, str, str]]:
+    """Precomputed ``(client, kind, key)`` sequence, one entry per tick."""
+    reads = rng.random(config.ops) < config.read_fraction
+    keys = rng.integers(0, config.keys, size=config.ops)
+    return [
+        (index % config.clients, "read" if is_read else "write", f"k{int(k):03d}")
+        for index, (is_read, k) in enumerate(zip(reads, keys))
+    ]
+
+
+def run_chaos(
+    system: QuorumSystem,
+    *,
+    seed: int = 0,
+    config: Optional[ChaosConfig] = None,
+    schedule: Optional[FaultSchedule] = None,
+    strategy: Optional[Strategy] = None,
+) -> ChaosReport:
+    """Run one seeded chaos scenario and check every safety invariant.
+
+    A caller-provided ``schedule`` overrides the randomized one (the
+    config's fault knobs are then ignored); ``unsafe_partial_writes``
+    additionally appends a forced split-brain partition and disables the
+    coordinators' full-quorum acknowledgement check — the intentionally
+    intersection-breaking scenario that must be *detected*.
+    """
+    if config is None:
+        config = ChaosConfig()
+    config.validate()
+    if strategy is None:
+        from ..analysis.load import optimal_strategy
+
+        strategy = optimal_strategy(system)
+
+    states = np.random.SeedSequence(seed).generate_state(3 + 2 * config.clients)
+    ids = sorted(system.universe.ids)
+    universe = frozenset(ids)
+
+    # Replica journals for the monotonicity invariant.
+    journals: Dict[int, Dict[str, List[_TS]]] = {rid: {} for rid in ids}
+
+    def journal_for(rid: int):
+        def on_apply(key: str, counter: int, writer: int) -> None:
+            journals[rid].setdefault(key, []).append((counter, writer))
+
+        return on_apply
+
+    replicas = [
+        Replica(rid, name=system.universe.name_of(rid), on_apply=journal_for(rid))
+        for rid in ids
+    ]
+    inner = InProcessTransport(replicas, seed=int(states[0]))
+
+    if schedule is None:
+        schedule = FaultSchedule.random(
+            np.random.default_rng(int(states[1])),
+            ids,
+            float(config.ops),
+            crash_rate=config.crash_rate,
+            epoch=float(config.epoch),
+            latency_spikes=config.latency_spikes,
+            drops=config.drops,
+            duplicates=config.duplicates,
+            flappers=config.flappers,
+            partitions=config.partitions,
+            sites=min(config.clients, 2),
+        )
+    if config.unsafe_partial_writes:
+        window = Window(config.ops * 0.25, config.ops * 0.75)
+        schedule = schedule.extended(split_brain_schedule(ids, window))
+
+    transports = [
+        FaultyTransport(
+            inner, schedule, seed=int(states[3 + client]), site=client % 2
+        )
+        for client in range(config.clients)
+    ]
+    metrics = ServiceMetrics(system.n)
+    coordinators = [
+        Coordinator(
+            system,
+            transports[client],
+            strategy,
+            coordinator_id=client,
+            seed=int(states[3 + config.clients + client]),
+            timeout=config.timeout,
+            max_attempts=config.max_attempts,
+            suspicion_ttl=config.suspicion_ttl,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            degraded_reads=config.degraded_reads,
+            hinted_handoff=config.hinted_handoff,
+            require_full_quorum=not config.unsafe_partial_writes,
+            metrics=metrics,
+        )
+        for client in range(config.clients)
+    ]
+    plan = _plan(np.random.default_rng(int(states[2])), config)
+
+    acked_max: Dict[str, _TS] = {}
+    acked_values: Dict[Tuple[str, int, int], Any] = {}
+    issued_values: Dict[Tuple[str, int, int], Any] = {}
+    violations: List[Dict[str, Any]] = []
+    counts = {
+        "reads_ok": 0,
+        "reads_degraded": 0,
+        "reads_failed": 0,
+        "writes_ok": 0,
+        "writes_failed": 0,
+        "preloads": 0,
+    }
+
+    def record_ack(key: str, timestamp: _TS, value: Any) -> None:
+        acked_values[(key, timestamp[0], timestamp[1])] = value
+        if timestamp > acked_max.get(key, NULL_TIMESTAMP):
+            acked_max[key] = timestamp
+
+    def check_read(index: int, client: int, key: str, result) -> None:
+        timestamp = (result.counter, result.writer)
+        if timestamp != NULL_TIMESTAMP:
+            issued = issued_values.get((key, result.counter, result.writer))
+            if (key, result.counter, result.writer) not in issued_values:
+                violations.append(
+                    {
+                        "invariant": "version-integrity",
+                        "op": index,
+                        "client": client,
+                        "key": key,
+                        "detail": f"read returned never-issued version {timestamp}",
+                    }
+                )
+            elif issued != result.value:
+                violations.append(
+                    {
+                        "invariant": "version-integrity",
+                        "op": index,
+                        "client": client,
+                        "key": key,
+                        "detail": (
+                            f"version {timestamp} returned value {result.value!r},"
+                            f" issued as {issued!r}"
+                        ),
+                    }
+                )
+        if result.stale:
+            return  # degraded reads are allowed to lag — that is the flag
+        expected = acked_max.get(key)
+        if expected is not None and timestamp < expected:
+            violations.append(
+                {
+                    "invariant": "no-stale-unflagged-read",
+                    "op": index,
+                    "client": client,
+                    "key": key,
+                    "detail": (
+                        f"read returned {timestamp}, but {expected} was"
+                        " acknowledged earlier"
+                    ),
+                }
+            )
+
+    async def _run() -> None:
+        # Preload every key through the fault-free inner transport so each
+        # key has an acknowledged baseline version.
+        warmup = Coordinator(
+            system,
+            inner,
+            strategy,
+            coordinator_id=config.clients,
+            seed=int(states[0]),
+            timeout=10_000.0,
+            max_attempts=6,
+            metrics=ServiceMetrics(system.n),
+        )
+        for key_index in range(config.keys):
+            key, value = f"k{key_index:03d}", f"preload-{key_index}"
+            ack = await warmup.write(key, value)
+            issued_values[(key, ack.counter, ack.writer)] = value
+            record_ack(key, (ack.counter, ack.writer), value)
+            counts["preloads"] += 1
+
+        for index, (client, kind, key) in enumerate(plan):
+            for transport in transports:
+                transport.clock = float(index)
+            coordinator = coordinators[client]
+            if kind == "write":
+                value = f"v{index}-c{client}"
+                # The timestamp is determined before the attempt (clock+1),
+                # so even a failed write's partially-applied version is a
+                # known, legal version for later reads to return.
+                stamped = (coordinator.clock + 1, coordinator.coordinator_id)
+                issued_values[(key, stamped[0], stamped[1])] = value
+                try:
+                    ack = await coordinator.write(key, value)
+                except OperationFailed:
+                    counts["writes_failed"] += 1
+                else:
+                    counts["writes_ok"] += 1
+                    record_ack(key, (ack.counter, ack.writer), value)
+            else:
+                try:
+                    result = await coordinator.read(key)
+                except OperationFailed:
+                    counts["reads_failed"] += 1
+                else:
+                    if result.stale:
+                        counts["reads_degraded"] += 1
+                    else:
+                        counts["reads_ok"] += 1
+                    check_read(index, client, key, result)
+
+    asyncio.run(_run())
+
+    # ------------------------------------------------------------------
+    # Post-run invariants
+    # ------------------------------------------------------------------
+    for key in sorted(acked_max):
+        expected = acked_max[key]
+        surviving = NULL_TIMESTAMP
+        surviving_value = None
+        for replica in replicas:
+            version = replica.get(key)
+            if version is not None and version.timestamp > surviving:
+                surviving = version.timestamp
+                surviving_value = version.value
+        if surviving < expected:
+            violations.append(
+                {
+                    "invariant": "acked-write-durable",
+                    "key": key,
+                    "detail": (
+                        f"newest surviving version is {surviving}, but"
+                        f" {expected} was acknowledged"
+                    ),
+                }
+            )
+        elif (
+            surviving == expected
+            and surviving_value != acked_values[(key, expected[0], expected[1])]
+        ):
+            violations.append(
+                {
+                    "invariant": "acked-write-durable",
+                    "key": key,
+                    "detail": (
+                        f"surviving version {surviving} holds"
+                        f" {surviving_value!r}, acknowledged as"
+                        f" {acked_values[(key, expected[0], expected[1])]!r}"
+                    ),
+                }
+            )
+
+    for rid in sorted(journals):
+        for key in sorted(journals[rid]):
+            entries = journals[rid][key]
+            for previous, current in zip(entries, entries[1:]):
+                if current <= previous:
+                    violations.append(
+                        {
+                            "invariant": "replica-ts-monotone",
+                            "replica": rid,
+                            "key": key,
+                            "detail": f"{previous} then {current}",
+                        }
+                    )
+
+    # ------------------------------------------------------------------
+    # Availability: measured under the schedule's iid crash component vs
+    # the exact failure probability of the same model.
+    # ------------------------------------------------------------------
+    alive_ticks = sum(
+        1
+        for tick in range(config.ops)
+        if system.contains_quorum(universe - schedule.crash_down_at(float(tick)))
+    )
+    availability = availability_comparison(
+        system, config.crash_rate, alive_ticks / config.ops
+    )
+    availability["op_success_rate"] = metrics.success_rate
+
+    injected: Dict[str, int] = {}
+    for transport in transports:
+        for fault_kind, count in transport.injected.items():
+            injected[fault_kind] = injected.get(fault_kind, 0) + count
+
+    return ChaosReport(
+        system_name=system.system_name,
+        n=system.n,
+        seed=seed,
+        config=config,
+        schedule=schedule,
+        injected=injected,
+        operations=counts,
+        availability=availability,
+        violations=violations,
+        metrics=metrics,
+    )

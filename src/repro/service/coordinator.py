@@ -18,6 +18,26 @@ phases against any :class:`~repro.core.quorum_system.QuorumSystem`:
 Writes carry ``(counter, coordinator_id)`` timestamps from a logical
 clock that also advances on every read (the clock adopts the largest
 counter seen), so concurrent coordinators converge on a total order.
+
+Graceful degradation (added for the fault-injection layer):
+
+* **Circuit breakers** (``breaker_threshold > 0``): a replica that fails
+  ``breaker_threshold`` consecutive requests is excluded from quorum
+  selection for ``breaker_cooldown`` operations — longer-horizon
+  avoidance than the short suspicion TTL, so a hard-down replica stops
+  burning timeouts.  After the cooldown the replica is half-open: the
+  next sampled quorum may probe it; success closes the breaker, failure
+  reopens it.
+* **Hinted handoff** (``hinted_handoff=True``): writes that could not
+  reach a quorum member are queued as hints and replayed (as idempotent
+  ``repair`` requests) once the member looks reachable again —
+  anti-entropy that accelerates convergence after recovery.  Hints never
+  make an operation succeed; they only repair afterwards.
+* **Degraded reads** (``degraded_reads=True``, opt-in): when every
+  quorum attempt fails, serve a best-effort read from the least-damaged
+  support quorum instead of raising :class:`OperationFailed`.  The
+  result carries ``stale=True`` — the caller explicitly trades
+  freshness for availability.
 """
 
 from __future__ import annotations
@@ -55,13 +75,18 @@ class OperationFailed(ServiceError):
 
 
 class ReadResult(NamedTuple):
-    """Outcome of a quorum read."""
+    """Outcome of a quorum read.
+
+    ``stale`` is False for quorum reads; True only for opt-in degraded
+    reads served without a full quorum (the value may miss newer writes).
+    """
 
     value: Any
     counter: int
     writer: int
     latency: float
     attempts: int
+    stale: bool = False
 
 
 class WriteResult(NamedTuple):
@@ -101,6 +126,22 @@ class Coordinator:
     suspicion_ttl:
         Suspected-down replicas are avoided for this many subsequent
         operations, then probed again (crashed replicas may recover).
+    breaker_threshold:
+        Consecutive failures that trip a replica's circuit breaker
+        (0 disables breakers, the default).
+    breaker_cooldown:
+        Operations a tripped breaker stays open before the replica is
+        probed again (half-open).
+    degraded_reads:
+        Opt-in: serve best-effort stale reads (``stale=True``) instead of
+        raising :class:`OperationFailed` when no full quorum responds.
+    hinted_handoff:
+        Queue writes for unreachable quorum members and replay them after
+        recovery (capped at ``hint_capacity`` queued key-hints).
+    require_full_quorum:
+        **Testing only.**  When False, an operation is acknowledged as
+        soon as *any* member responds, which breaks quorum intersection —
+        the chaos harness flips this to demonstrate split-brain detection.
     """
 
     def __init__(
@@ -117,12 +158,28 @@ class Coordinator:
         backoff_cap: float = 128.0,
         suspicion_ttl: int = 25,
         read_repair: bool = True,
+        breaker_threshold: int = 0,
+        breaker_cooldown: int = 50,
+        degraded_reads: bool = False,
+        hinted_handoff: bool = True,
+        hint_capacity: int = 256,
+        require_full_quorum: bool = True,
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if max_attempts < 1:
             raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
         if timeout <= 0:
             raise ServiceError(f"timeout must be positive, got {timeout}")
+        if breaker_threshold < 0:
+            raise ServiceError(
+                f"breaker_threshold must be >= 0, got {breaker_threshold}"
+            )
+        if breaker_cooldown < 1:
+            raise ServiceError(
+                f"breaker_cooldown must be >= 1, got {breaker_cooldown}"
+            )
+        if hint_capacity < 0:
+            raise ServiceError(f"hint_capacity must be >= 0, got {hint_capacity}")
         self.system = system
         self.transport = transport
         if strategy is None:
@@ -140,32 +197,54 @@ class Coordinator:
         self.backoff_cap = backoff_cap
         self.suspicion_ttl = suspicion_ttl
         self.read_repair = read_repair
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.degraded_reads = degraded_reads
+        self.hinted_handoff = hinted_handoff
+        self.hint_capacity = hint_capacity
+        self.require_full_quorum = require_full_quorum
         self.metrics = metrics if metrics is not None else ServiceMetrics(system.n)
         self._clock = 0
         self._ops_issued = 0
         self._suspected: Dict[int, int] = {}  # replica id -> op index suspected at
+        self._breaker_fails: Dict[int, int] = {}  # consecutive failures
+        self._breaker_open_until: Dict[int, int] = {}  # replica id -> op index
+        # replica id -> {key: (counter, writer, value)} pending handoffs
+        self._hints: Dict[int, Dict[str, Tuple[int, int, Any]]] = {}
+
+    @property
+    def clock(self) -> int:
+        """Current logical-clock counter (the next write gets ``clock+1``)."""
+        return self._clock
 
     # ------------------------------------------------------------------
     # Public operations
     # ------------------------------------------------------------------
     async def read(self, key: str) -> ReadResult:
-        """Quorum read: newest version wins; stale members get repaired."""
+        """Quorum read: newest version wins; stale members get repaired.
+
+        With ``degraded_reads`` enabled, a read that exhausts every quorum
+        attempt is retried best-effort against the least-damaged support
+        quorum and, if anyone answers, served with ``stale=True``.
+        """
         self._ops_issued += 1
         try:
             payloads, latency, attempts, quorum = await self._quorum_phase(
                 lambda rid: {"op": "read", "key": key}, kind="read", key=key
             )
         except OperationFailed as exc:
+            if self.degraded_reads:
+                degraded = await self._degraded_read(key, exc)
+                if degraded is not None:
+                    return degraded
             self.metrics.record_op("read", exc.latency, ok=False, attempts=exc.attempts)
             raise
-        best_rid = max(
-            payloads, key=lambda rid: (payloads[rid]["counter"], payloads[rid]["writer"])
-        )
-        best = payloads[best_rid]
+        best = self._best_payload(payloads)
         self._clock = max(self._clock, int(best["counter"]))
         self.metrics.record_op("read", latency, ok=True, attempts=attempts)
         if self.read_repair and best["counter"] > NULL_TIMESTAMP[0]:
             await self._repair_stale(key, best, payloads)
+        await self._replay_hints()
         return ReadResult(
             best["value"], int(best["counter"]), int(best["writer"]), latency, attempts
         )
@@ -184,7 +263,7 @@ class Coordinator:
         }
         try:
             payloads, latency, attempts, quorum = await self._quorum_phase(
-                lambda rid: request, kind="write", key=key
+                lambda rid: request, kind="write", key=key, hint=request
             )
         except OperationFailed as exc:
             self.metrics.record_op("write", exc.latency, ok=False, attempts=exc.attempts)
@@ -194,6 +273,7 @@ class Coordinator:
         newest = max(int(p["counter"]) for p in payloads.values())
         self._clock = max(self._clock, newest)
         self.metrics.record_op("write", latency, ok=True, attempts=attempts)
+        await self._replay_hints()
         return WriteResult(counter, writer, latency, attempts)
 
     # ------------------------------------------------------------------
@@ -206,15 +286,48 @@ class Coordinator:
         }
         return frozenset(self._suspected)
 
+    def _open_breakers(self) -> frozenset:
+        if self.breaker_threshold <= 0:
+            return frozenset()
+        return frozenset(
+            rid
+            for rid, until in self._breaker_open_until.items()
+            if self._ops_issued < until
+        )
+
+    def _blocked_replicas(self) -> frozenset:
+        """Replicas excluded from quorum selection: suspects + open breakers."""
+        return self._active_suspects() | self._open_breakers()
+
+    def _note_success(self, rid: int) -> None:
+        self._suspected.pop(rid, None)
+        self._breaker_fails.pop(rid, None)
+        self._breaker_open_until.pop(rid, None)
+
+    def _note_failure(self, rid: int) -> None:
+        self._suspected[rid] = self._ops_issued
+        if self.breaker_threshold <= 0:
+            return
+        fails = self._breaker_fails.get(rid, 0) + 1
+        self._breaker_fails[rid] = fails
+        if fails >= self.breaker_threshold:
+            already_open = self._ops_issued < self._breaker_open_until.get(rid, 0)
+            self._breaker_open_until[rid] = self._ops_issued + self.breaker_cooldown
+            if not already_open:
+                self.metrics.record_breaker_open()
+
     def _pick_quorum(self) -> Quorum:
-        suspects = self._active_suspects()
-        if suspects:
-            restricted = self.strategy.avoiding(suspects)
+        blocked = self._blocked_replicas()
+        if blocked:
+            restricted = self.strategy.avoiding(blocked)
             if restricted is not None:
                 return restricted.sample(self.rng)
-            # Every quorum touches a suspect: optimistically forget
-            # suspicions (replicas recover) rather than refusing to serve.
+            # Every quorum touches a blocked replica: optimistically forget
+            # suspicions and open breakers (replicas recover) rather than
+            # refusing to serve.
             self._suspected.clear()
+            self._breaker_fails.clear()
+            self._breaker_open_until.clear()
         return self.strategy.sample(self.rng)
 
     async def _quorum_phase(
@@ -222,12 +335,15 @@ class Coordinator:
         request_for: Callable[[int], Dict[str, Any]],
         kind: str = "op",
         key: str = "",
+        hint: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Dict[int, Dict[str, Any]], float, int, Quorum]:
         """Run one request against a full quorum, retrying with fallbacks.
 
         Returns ``(payloads by replica id, total latency, attempts, quorum)``.
         Attempt latency is the slowest member (fan-out is concurrent);
-        operation latency accumulates attempts plus backoffs.
+        operation latency accumulates attempts plus backoffs.  ``hint`` is
+        the write request to queue for members that could not be reached
+        (hinted handoff).
         """
         total_latency = 0.0
         for attempt in range(1, self.max_attempts + 1):
@@ -260,19 +376,137 @@ class Coordinator:
                 elif isinstance(outcome, BaseException):
                     raise outcome
             total_latency += attempt_latency
-            if not failed:
-                for rid in members:
-                    self._suspected.pop(rid, None)
+            acknowledged = not failed or (not self.require_full_quorum and payloads)
+            if acknowledged:
+                for rid in payloads:
+                    self._note_success(rid)
+                for rid in failed:
+                    self._note_failure(rid)
+                    if hint is not None:
+                        self._record_hint(rid, hint)
                 self.metrics.record_quorum_access(quorum)
                 return payloads, total_latency, attempt, quorum
             for rid in failed:
-                self._suspected[rid] = self._ops_issued
+                self._note_failure(rid)
+                if hint is not None:
+                    self._record_hint(rid, hint)
+            # Every failed attempt is a fallback: the coordinator abandons
+            # the picked quorum (the final attempt too, so failed ops do
+            # not undercount by one).
+            self.metrics.record_fallback()
             if attempt < self.max_attempts:
                 backoff = min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
                 total_latency += backoff
-                self.metrics.record_fallback()
                 await self.transport.pause(backoff)
         raise OperationFailed(kind, key, self.max_attempts, total_latency)
+
+    @staticmethod
+    def _best_payload(payloads: Dict[int, Dict[str, Any]]) -> Dict[str, Any]:
+        best_rid = max(
+            payloads, key=lambda rid: (payloads[rid]["counter"], payloads[rid]["writer"])
+        )
+        return payloads[best_rid]
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    async def _degraded_read(
+        self, key: str, failure: OperationFailed
+    ) -> Optional[ReadResult]:
+        """Best-effort read against the least-damaged support quorum.
+
+        Returns ``None`` when nobody answered (the caller then raises the
+        original :class:`OperationFailed`); otherwise the newest version
+        any respondent held, flagged ``stale=True``.
+        """
+        probe = self.strategy.least_damaged(self._blocked_replicas())
+        members = sorted(probe)
+        request = {"op": "read", "key": key}
+        outcomes = await asyncio.gather(
+            *(self.transport.call(rid, request, self.timeout) for rid in members),
+            return_exceptions=True,
+        )
+        attempt_latency = 0.0
+        payloads: Dict[int, Dict[str, Any]] = {}
+        for rid, outcome in zip(members, outcomes):
+            if isinstance(outcome, Reply):
+                attempt_latency = max(attempt_latency, outcome.latency)
+                if outcome.payload.get("ok"):
+                    payloads[rid] = outcome.payload
+            elif isinstance(outcome, (ReplicaUnavailable, RequestTimeout)):
+                attempt_latency = max(attempt_latency, outcome.latency)
+                if isinstance(outcome, RequestTimeout):
+                    self.metrics.record_timeout()
+                else:
+                    self.metrics.record_unavailable()
+            elif isinstance(outcome, BaseException):
+                raise outcome
+        if not payloads:
+            return None
+        best = self._best_payload(payloads)
+        self._clock = max(self._clock, int(best["counter"]))
+        latency = failure.latency + attempt_latency
+        attempts = failure.attempts + 1
+        self.metrics.record_op("read", latency, ok=True, attempts=attempts)
+        self.metrics.record_degraded_read()
+        return ReadResult(
+            best["value"],
+            int(best["counter"]),
+            int(best["writer"]),
+            latency,
+            attempts,
+            stale=True,
+        )
+
+    def _record_hint(self, rid: int, request: Dict[str, Any]) -> None:
+        """Queue a write for an unreachable member, newest version per key."""
+        if not self.hinted_handoff:
+            return
+        key = str(request["key"])
+        timestamp = (int(request["counter"]), int(request["writer"]))
+        pending = self._hints.setdefault(rid, {})
+        existing = pending.get(key)
+        if existing is not None and (existing[0], existing[1]) >= timestamp:
+            return
+        if existing is None:
+            queued = sum(len(per) for per in self._hints.values())
+            if queued >= self.hint_capacity:
+                return  # full: read-repair still converges, just slower
+        pending[key] = (timestamp[0], timestamp[1], request.get("value"))
+        self.metrics.record_hint()
+
+    async def _replay_hints(self) -> None:
+        """Anti-entropy: deliver queued hints to replicas that look alive.
+
+        Runs after successful operations, best-effort.  A replica that
+        fails its replay is re-suspected and keeps its remaining hints
+        for the next round.
+        """
+        if not self._hints:
+            return
+        blocked = self._blocked_replicas()
+        for rid in sorted(self._hints):
+            if rid in blocked:
+                continue
+            pending = self._hints[rid]
+            for key, (counter, writer, value) in sorted(pending.items()):
+                request = {
+                    "op": "repair",
+                    "key": key,
+                    "value": value,
+                    "counter": counter,
+                    "writer": writer,
+                }
+                try:
+                    reply = await self.transport.call(rid, request, self.timeout)
+                except (ReplicaUnavailable, RequestTimeout):
+                    self._note_failure(rid)
+                    break
+                if reply.payload.get("ok"):
+                    del pending[key]
+                    self.metrics.record_hint_replayed()
+            if not pending:
+                del self._hints[rid]
 
     async def _repair_stale(
         self,

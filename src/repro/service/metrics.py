@@ -46,6 +46,10 @@ class ServiceMetrics:
         self.timeouts = 0
         self.unavailable = 0
         self.read_repairs = 0
+        self.degraded_reads = 0
+        self.hints_recorded = 0
+        self.hints_replayed = 0
+        self.breaker_opens = 0
         self.op_latencies: List[float] = []
 
     # ------------------------------------------------------------------
@@ -84,6 +88,22 @@ class ServiceMetrics:
     def record_read_repair(self) -> None:
         """One stale replica rewritten during a read."""
         self.read_repairs += 1
+
+    def record_degraded_read(self) -> None:
+        """One best-effort stale read served without a full quorum."""
+        self.degraded_reads += 1
+
+    def record_hint(self) -> None:
+        """One write queued as a hinted handoff for a failed replica."""
+        self.hints_recorded += 1
+
+    def record_hint_replayed(self) -> None:
+        """One hinted write delivered to its replica after recovery."""
+        self.hints_replayed += 1
+
+    def record_breaker_open(self) -> None:
+        """One per-replica circuit breaker tripped open."""
+        self.breaker_opens += 1
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -155,6 +175,10 @@ class ServiceMetrics:
             "timeouts": self.timeouts,
             "unavailable": self.unavailable,
             "read_repairs": self.read_repairs,
+            "degraded_reads": self.degraded_reads,
+            "hints_recorded": self.hints_recorded,
+            "hints_replayed": self.hints_replayed,
+            "breaker_opens": self.breaker_opens,
             "latency_ms": {
                 "count": len(self.op_latencies),
                 "mean": float(np.mean(self.op_latencies)) if self.op_latencies else 0.0,

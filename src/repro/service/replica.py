@@ -15,7 +15,7 @@ protocol.
 
 from __future__ import annotations
 
-from typing import Any, Dict, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Dict, NamedTuple, Optional, Tuple
 
 from ..core.errors import ServiceError
 
@@ -45,11 +45,22 @@ class Replica:
         Dense element id this replica backs.
     name:
         Optional user-facing element name (e.g. a grid coordinate).
+    on_apply:
+        Optional journal hook invoked as ``on_apply(key, counter, writer)``
+        after every stored write (regular, repair or hinted-handoff
+        replay).  The chaos harness uses it to verify that stored
+        timestamps only ever move forward.
     """
 
-    def __init__(self, replica_id: int, name: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        replica_id: int,
+        name: Optional[object] = None,
+        on_apply: Optional[Callable[[str, int, int], None]] = None,
+    ) -> None:
         self.replica_id = replica_id
         self.name = replica_id if name is None else name
+        self.on_apply = on_apply
         self.store: Dict[str, Versioned] = {}
         self.reads_served = 0
         self.writes_applied = 0
@@ -75,6 +86,8 @@ class Replica:
             return False
         self.store[key] = Versioned(value, counter, writer)
         self.writes_applied += 1
+        if self.on_apply is not None:
+            self.on_apply(key, counter, writer)
         return True
 
     # ------------------------------------------------------------------

@@ -254,7 +254,16 @@ async def start_tcp_replicas(
 class TcpTransport(Transport):
     """JSON-lines client over real sockets, one persistent connection per
     replica (serialised per replica with a lock; concurrency happens
-    across replicas, which is what quorum fan-out needs)."""
+    across replicas, which is what quorum fan-out needs).
+
+    A request that fails because the *cached* persistent connection died
+    (the peer restarted or closed the socket between calls) is retried
+    once on a fresh connection before :class:`ReplicaUnavailable`
+    surfaces; the dict protocol is idempotent (writes are ordered by
+    timestamp), so the possible duplicate delivery is harmless.  A fresh
+    connection that fails is reported immediately — the replica really is
+    unreachable.
+    """
 
     def __init__(self, addresses: Mapping[int, Tuple[str, int]]) -> None:
         if not addresses:
@@ -262,6 +271,7 @@ class TcpTransport(Transport):
         self.addresses = dict(addresses)
         self._connections: Dict[int, Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
         self._locks: Dict[int, asyncio.Lock] = {}
+        self.reconnects = 0
 
     def _lock_for(self, replica_id: int) -> asyncio.Lock:
         if replica_id not in self._locks:
@@ -270,14 +280,15 @@ class TcpTransport(Transport):
 
     async def _connection(
         self, replica_id: int
-    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, bool]:
+        """Return ``(reader, writer, reused)`` for the replica's channel."""
         cached = self._connections.get(replica_id)
         if cached is not None and not cached[1].is_closing():
-            return cached
+            return cached[0], cached[1], True
         host, port = self.addresses[replica_id]
         reader, writer = await asyncio.open_connection(host, port)
         self._connections[replica_id] = (reader, writer)
-        return reader, writer
+        return reader, writer, False
 
     async def call(
         self,
@@ -288,29 +299,44 @@ class TcpTransport(Transport):
         if replica_id not in self.addresses:
             raise ServiceError(f"unknown replica id {replica_id}")
         start = time.monotonic()
-        try:
-            async with self._lock_for(replica_id):
-                reader, writer = await self._connection(replica_id)
-                writer.write(json.dumps(request).encode() + b"\n")
-                await writer.drain()
-                line = await asyncio.wait_for(
-                    reader.readline(), timeout=timeout / 1000.0
-                )
-        except asyncio.TimeoutError:
-            self._drop(replica_id)
-            raise RequestTimeout(replica_id, latency=timeout)
-        except (ConnectionError, OSError) as exc:
-            self._drop(replica_id)
-            elapsed = (time.monotonic() - start) * 1000.0
-            raise ReplicaUnavailable(replica_id, latency=elapsed, reason=str(exc))
-        if not line:
-            self._drop(replica_id)
-            elapsed = (time.monotonic() - start) * 1000.0
-            raise ReplicaUnavailable(replica_id, latency=elapsed, reason="closed")
-        if len(line) > MAX_LINE_BYTES:
-            raise ServiceError(f"oversized response from replica {replica_id}")
-        elapsed = (time.monotonic() - start) * 1000.0
-        return Reply(json.loads(line), elapsed)
+        payload = json.dumps(request).encode() + b"\n"
+        async with self._lock_for(replica_id):
+            for retry in (False, True):
+                reused = False
+                try:
+                    reader, writer, reused = await self._connection(replica_id)
+                    writer.write(payload)
+                    await writer.drain()
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=timeout / 1000.0
+                    )
+                except asyncio.TimeoutError:
+                    self._drop(replica_id)
+                    raise RequestTimeout(replica_id, latency=timeout)
+                except (ConnectionError, OSError) as exc:
+                    self._drop(replica_id)
+                    if reused and not retry:
+                        self.reconnects += 1
+                        continue
+                    elapsed = (time.monotonic() - start) * 1000.0
+                    raise ReplicaUnavailable(replica_id, latency=elapsed, reason=str(exc))
+                if not line:
+                    # EOF: the peer closed the stream.  On a reused
+                    # connection that just means our cached socket went
+                    # stale — reconnect and retry once.
+                    self._drop(replica_id)
+                    if reused and not retry:
+                        self.reconnects += 1
+                        continue
+                    elapsed = (time.monotonic() - start) * 1000.0
+                    raise ReplicaUnavailable(replica_id, latency=elapsed, reason="closed")
+                if len(line) > MAX_LINE_BYTES:
+                    raise ServiceError(f"oversized response from replica {replica_id}")
+                elapsed = (time.monotonic() - start) * 1000.0
+                return Reply(json.loads(line), elapsed)
+        raise ReplicaUnavailable(  # pragma: no cover - loop always returns/raises
+            replica_id, latency=(time.monotonic() - start) * 1000.0, reason="closed"
+        )
 
     def _drop(self, replica_id: int) -> None:
         cached = self._connections.pop(replica_id, None)

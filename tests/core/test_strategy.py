@@ -166,3 +166,40 @@ class TestAvoiding:
         restricted = strategy.avoiding({1})  # only zero-weight quorums survive
         assert restricted is not None
         assert sorted(restricted.weights) == pytest.approx([0.5, 0.5])
+
+    def test_avoiding_the_whole_universe_is_none(self, star):
+        # Down-set equals the universe: no quorum can avoid it, and the
+        # coordinator's optimistic-reset path relies on getting None here
+        # rather than an error.
+        strategy = Strategy.uniform(star)
+        assert strategy.avoiding(set(star.universe.ids)) is None
+
+    def test_avoiding_a_superset_of_the_universe_is_none(self, star):
+        strategy = Strategy.uniform(star)
+        assert strategy.avoiding(set(range(100))) is None
+
+
+class TestLeastDamaged:
+    def test_empty_down_set_returns_heaviest_quorum(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.2, 0.5, 0.3])
+        assert strategy.least_damaged(set()) == quorums[1]
+
+    def test_minimal_overlap_wins(self, star):
+        quorums = list(star.minimal_quorums())  # {0,1}, {0,2}, {0,3}
+        strategy = Strategy(star, quorums, [0.6, 0.3, 0.1])
+        # {1} hits only the heaviest quorum; the best untouched one wins.
+        assert strategy.least_damaged({1}) == frozenset({0, 2})
+
+    def test_total_outage_still_returns_a_quorum(self, star):
+        # Unlike avoiding(), least_damaged() never gives up — degraded
+        # reads probe it even when everything looks down.
+        strategy = Strategy(star, list(star.minimal_quorums()), [0.2, 0.5, 0.3])
+        probe = strategy.least_damaged(set(star.universe.ids))
+        assert probe == frozenset({0, 2})  # every overlap ties; weight decides
+
+    def test_weight_breaks_overlap_ties(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.1, 0.1, 0.8])
+        # {0} touches every quorum equally: the heaviest is least damaged.
+        assert strategy.least_damaged({0}) == frozenset({0, 3})

@@ -1,0 +1,192 @@
+"""Tests for repro.service.chaos: invariants, reproducibility, reports."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service import (
+    ChaosConfig,
+    ChaosReport,
+    CrashFault,
+    FaultSchedule,
+    PartitionFault,
+    Window,
+    run_chaos,
+)
+from repro.service.chaos import _plan
+from repro.systems import HierarchicalTriangle, MajorityQuorumSystem
+
+import numpy as np
+
+
+def small_config(**overrides):
+    base = dict(ops=120, keys=4, clients=2, crash_rate=0.2, epoch=20)
+    base.update(overrides)
+    return ChaosConfig(**base)
+
+
+class TestSafeRuns:
+    def test_majority_run_holds_every_invariant(self):
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(5), seed=3, config=small_config()
+        )
+        assert report.ok
+        assert report.violations == []
+        ops = report.operations
+        assert ops["preloads"] == 4
+        total = (
+            ops["reads_ok"]
+            + ops["reads_degraded"]
+            + ops["reads_failed"]
+            + ops["writes_ok"]
+            + ops["writes_failed"]
+        )
+        assert total == 120
+        assert ops["writes_ok"] > 0 and ops["reads_ok"] > 0
+        # Faults were actually injected, not a fair-weather pass.
+        assert sum(report.injected.values()) > 0
+
+    def test_hierarchical_run_reports_availability_comparison(self):
+        report = run_chaos(
+            HierarchicalTriangle.of_size(15), seed=7, config=small_config()
+        )
+        assert report.ok
+        availability = report.availability
+        assert 0.0 <= availability["measured"] <= 1.0
+        assert 0.0 <= availability["exact"] <= 1.0
+        assert availability["crash_rate"] == 0.2
+        assert availability["abs_error"] == pytest.approx(
+            abs(availability["measured"] - availability["exact"])
+        )
+        assert 0.0 <= availability["op_success_rate"] <= 1.0
+
+    def test_bit_reproducible_per_seed(self):
+        system = MajorityQuorumSystem.of_size(5)
+        first = run_chaos(system, seed=11, config=small_config())
+        second = run_chaos(system, seed=11, config=small_config())
+        different = run_chaos(system, seed=12, config=small_config())
+        dump = lambda report: json.dumps(report.to_dict(), sort_keys=True)
+        assert dump(first) == dump(second)
+        assert dump(first) != dump(different)
+
+
+class TestUnsafeRuns:
+    def test_split_brain_is_detected(self):
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(5),
+            seed=7,
+            config=small_config(ops=200, unsafe_partial_writes=True),
+        )
+        assert not report.ok
+        kinds = {violation["invariant"] for violation in report.violations}
+        # Partial-quorum acks across the partition manufacture stale reads
+        # (and possibly lost acknowledged writes).
+        assert kinds <= {
+            "no-stale-unflagged-read",
+            "acked-write-durable",
+            "version-integrity",
+        }
+        assert "no-stale-unflagged-read" in kinds
+        snapshot = report.to_dict()
+        assert snapshot["invariants"]["ok"] is False
+        assert snapshot["invariants"]["violations"] == report.violations
+
+    def test_unsafe_mode_needs_two_clients(self):
+        with pytest.raises(ServiceError):
+            run_chaos(
+                MajorityQuorumSystem.of_size(3),
+                config=small_config(clients=1, unsafe_partial_writes=True),
+            )
+
+
+class TestExplicitSchedules:
+    def test_caller_schedule_overrides_randomized_faults(self):
+        # A fault-free schedule: perfect availability, every op succeeds.
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(5),
+            seed=0,
+            config=small_config(crash_rate=0.0),
+            schedule=FaultSchedule(),
+        )
+        assert report.ok
+        assert report.availability["measured"] == 1.0
+        assert report.availability["exact"] == 1.0
+        assert report.operations["reads_failed"] == 0
+        assert report.operations["writes_failed"] == 0
+        assert sum(report.injected.values()) == 0
+
+    def test_permanent_minority_crash_is_survivable(self):
+        # Two of five replicas down for the whole run: a majority quorum
+        # always exists, so safety and liveness both hold.
+        schedule = FaultSchedule([CrashFault(frozenset({0, 1}), Window(0.0))])
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(5),
+            seed=5,
+            config=small_config(),
+            schedule=schedule,
+        )
+        assert report.ok
+        assert report.injected["crash"] > 0
+        assert report.availability["measured"] == 1.0  # {2,3,4} is a quorum
+
+    def test_degraded_reads_surface_in_operation_counts(self):
+        # Partition away a majority for a mid-run window: no quorum can
+        # complete, but the two reachable replicas still answer, so the
+        # opt-in degraded path serves flagged best-effort reads.
+        schedule = FaultSchedule(
+            [PartitionFault(frozenset({0, 1, 2}), Window(30.0, 60.0))]
+        )
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(5),
+            seed=2,
+            config=small_config(timeout=20.0, max_attempts=2),
+            schedule=schedule,
+        )
+        assert report.ok  # degraded reads are flagged, so never violations
+        assert report.operations["reads_degraded"] > 0
+
+
+class TestPlanAndReport:
+    def test_plan_respects_read_fraction_extremes(self):
+        rng = np.random.default_rng(0)
+        config = small_config(read_fraction=0.0)
+        assert all(kind == "write" for _, kind, _ in _plan(rng, config))
+        config = small_config(read_fraction=1.0)
+        assert all(kind == "read" for _, kind, _ in _plan(rng, config))
+
+    def test_plan_round_robins_clients(self):
+        rng = np.random.default_rng(0)
+        plan = _plan(rng, small_config(clients=3, ops=9))
+        assert [client for client, _, _ in plan] == [0, 1, 2] * 3
+
+    def test_report_dict_shape(self):
+        report = run_chaos(
+            MajorityQuorumSystem.of_size(3), seed=1, config=small_config(ops=40)
+        )
+        snapshot = report.to_dict()
+        assert snapshot["system"] == "majority"
+        assert snapshot["n"] == 3
+        assert snapshot["seed"] == 1
+        assert snapshot["config"]["ops"] == 40
+        assert snapshot["schedule"]["rules"] == len(report.schedule)
+        assert snapshot["invariants"]["checked"] == [
+            "acked-write-durable",
+            "no-stale-unflagged-read",
+            "version-integrity",
+            "replica-ts-monotone",
+        ]
+        assert "metrics" in snapshot
+        json.dumps(snapshot)  # fully serialisable
+
+    def test_config_validation(self):
+        with pytest.raises(ServiceError):
+            ChaosConfig(ops=0).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(read_fraction=1.5).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(keys=0).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(crash_rate=-0.1).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(epoch=0).validate()

@@ -39,6 +39,56 @@ class TestKvbench:
             main(["kvbench", "not-a-system:3"])
 
 
+class TestChaos:
+    def test_chaos_reports_and_exits_cleanly(self, capsys):
+        main([
+            "chaos", "--system", "majority:5", "--seed", "3",
+            "--ops", "120", "--keys", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "all held" in out
+        assert "measured=" in out and "exact=" in out
+        assert "fault rules" in out
+
+    def test_chaos_json_is_deterministic(self, capsys):
+        argv = [
+            "chaos", "--system", "majority:5", "--seed", "9",
+            "--ops", "120", "--keys", "4", "--json",
+        ]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        second = capsys.readouterr().out
+        assert first == second
+        snapshot = json.loads(first)
+        assert snapshot["seed"] == 9
+        assert snapshot["invariants"]["ok"] is True
+        assert snapshot["invariants"]["violations"] == []
+        assert 0.0 <= snapshot["availability"]["measured"] <= 1.0
+
+    def test_unsafe_partial_writes_exit_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([
+                "chaos", "--system", "majority:5", "--seed", "7",
+                "--ops", "200", "--unsafe-partial-writes",
+            ])
+        assert info.value.code == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_chaos_hierarchical_acceptance_run(self, capsys):
+        # The issue's acceptance invocation, scaled down in ops.
+        main([
+            "chaos", "--system", "htriang:15", "--seed", "7", "--ops", "120",
+        ])
+        out = capsys.readouterr().out
+        assert "all held" in out
+
+    def test_bad_chaos_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--system", "not-a-system:3"])
+
+
 class TestServe:
     def test_serve_binds_and_exits_after_duration(self, capsys):
         main([

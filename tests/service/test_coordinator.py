@@ -203,6 +203,251 @@ class TestFailureHandling:
         assert coordinator.metrics.success_rate == 1.0
 
 
+class TestFallbackAccounting:
+    def test_failed_op_counts_every_attempt_as_fallback(self):
+        # Regression: the final failed attempt used to skip the fallback
+        # counter, undercounting by one per failed operation.
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(system, max_attempts=3)
+        transport.crash(0, 1, 2)
+
+        with pytest.raises(OperationFailed):
+            asyncio.run(coordinator.read("x"))
+        assert coordinator.metrics.fallbacks == 3
+
+
+class TestSuspicionClearing:
+    def test_total_outage_clears_suspicions_and_service_resumes(self):
+        # Crash everything: a failed op suspects every replica, so every
+        # quorum touches a suspect.  The coordinator must optimistically
+        # forget the suspicions rather than refuse to serve, and the next
+        # op after recovery succeeds on the first attempt.
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=2, suspicion_ttl=100
+        )
+
+        async def scenario():
+            await coordinator.write("x", 1)
+            transport.crash(0, 1, 2)
+            with pytest.raises(OperationFailed):
+                await coordinator.read("x")
+            assert coordinator._suspected  # failed members are suspected
+            transport.recover(0, 1, 2)
+            result = await coordinator.read("x")
+            assert result.value == 1
+            assert result.attempts == 1
+
+        asyncio.run(scenario())
+        # The reset happened inside _pick_quorum, then the successful
+        # quorum cleared its members for good.
+        assert coordinator._suspected == {}
+
+
+class TestDegradedReads:
+    def test_degraded_read_is_flagged_stale(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=2, degraded_reads=True
+        )
+
+        async def scenario():
+            await coordinator.write("x", "v1")
+            transport.crash(0, 1)  # no pair-quorum can complete
+            result = await coordinator.read("x")
+            assert result.stale
+            assert result.value == "v1"
+            assert result.attempts == coordinator.max_attempts + 1
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.degraded_reads == 1
+        assert coordinator.metrics.success_rate == 1.0
+
+    def test_degraded_read_disabled_by_default(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(system, max_attempts=2)
+        transport.crash(0, 1)
+        with pytest.raises(OperationFailed):
+            asyncio.run(coordinator.read("x"))
+
+    def test_total_outage_still_fails_even_when_degraded(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=2, degraded_reads=True
+        )
+        transport.crash(0, 1, 2)
+        with pytest.raises(OperationFailed):
+            asyncio.run(coordinator.read("x"))
+        assert coordinator.metrics.degraded_reads == 0
+        assert coordinator.metrics.ops_failed == 1
+
+
+class TestCircuitBreakers:
+    def test_breaker_opens_and_excludes_the_replica(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system,
+            max_attempts=4,
+            suspicion_ttl=1,  # suspicion alone cannot keep 0 excluded
+            breaker_threshold=2,
+            breaker_cooldown=30,
+        )
+
+        async def scenario():
+            await coordinator.write("x", 1)
+            transport.crash(0)
+            for _ in range(6):
+                await coordinator.read("x")
+            assert coordinator.metrics.breaker_opens >= 1
+            assert 0 in coordinator._open_breakers()
+            # While the breaker is open, replica 0 stops burning deadlines.
+            unavailable_before = coordinator.metrics.unavailable
+            for _ in range(5):
+                await coordinator.read("x")
+            assert coordinator.metrics.unavailable == unavailable_before
+
+        asyncio.run(scenario())
+
+    def test_breaker_closes_after_cooldown_probe_succeeds(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system,
+            max_attempts=4,
+            suspicion_ttl=1,
+            breaker_threshold=2,
+            breaker_cooldown=3,
+        )
+
+        async def scenario():
+            await coordinator.write("x", 1)
+            transport.crash(0)
+            for _ in range(6):
+                await coordinator.read("x")
+            assert coordinator.metrics.breaker_opens >= 1
+            transport.recover(0)
+            served_before = replicas[0].reads_served
+            for _ in range(20):
+                await coordinator.read("x")
+            # Half-open probe succeeded: the breaker closed and replica 0
+            # serves quorum traffic again.
+            assert replicas[0].reads_served > served_before
+            assert 0 not in coordinator._open_breakers()
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.success_rate == 1.0
+
+    def test_breakers_disabled_by_default(self):
+        system = MajorityQuorumSystem.of_size(3)
+        _, transport, coordinator = build_service(system, max_attempts=4)
+        transport.crash(0)
+
+        async def scenario():
+            for _ in range(10):
+                await coordinator.write("x", 1)
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.breaker_opens == 0
+        assert coordinator._open_breakers() == frozenset()
+
+
+class TestHintedHandoff:
+    def test_missed_writes_are_replayed_after_recovery(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=4, suspicion_ttl=2
+        )
+
+        async def scenario():
+            transport.crash(0)
+            for index in range(8):
+                await coordinator.write(f"k{index}", f"v{index}")
+            assert coordinator.metrics.hints_recorded > 0
+            assert replicas[0].get("k0") is None  # missed while down
+            transport.recover(0)
+            for _ in range(8):
+                await coordinator.read("k0")
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.hints_replayed > 0
+        assert coordinator._hints == {}
+        # Replica 0 converged through replayed repair requests (possibly
+        # alongside read-repair for the keys that were read back).
+        assert replicas[0].get("k0").value == "v0"
+
+    def test_hint_keeps_only_the_newest_version_per_key(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=4, suspicion_ttl=2
+        )
+
+        async def scenario():
+            transport.crash(0)
+            for index in range(5):
+                await coordinator.write("k", f"v{index}")
+            transport.recover(0)
+            for _ in range(8):
+                await coordinator.write("other", 1)
+
+        asyncio.run(scenario())
+        # Replay delivered the newest queued version, not an older one.
+        assert replicas[0].get("k").value == "v4"
+
+    def test_handoff_can_be_disabled(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=4, hinted_handoff=False
+        )
+        transport.crash(0)
+
+        async def scenario():
+            for index in range(5):
+                await coordinator.write(f"k{index}", index)
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.hints_recorded == 0
+        assert coordinator._hints == {}
+
+    def test_hint_capacity_is_respected(self):
+        system = MajorityQuorumSystem.of_size(3)
+        replicas, transport, coordinator = build_service(
+            system, max_attempts=4, hint_capacity=2
+        )
+        transport.crash(0)
+
+        async def scenario():
+            for index in range(10):
+                await coordinator.write(f"k{index}", index)
+
+        asyncio.run(scenario())
+        queued = sum(len(per) for per in coordinator._hints.values())
+        assert queued <= 2
+        assert coordinator.metrics.hints_recorded <= 2
+
+
+class TestPartialQuorumMode:
+    def test_any_response_acks_when_full_quorum_not_required(self):
+        # Testing-only mode behind the chaos harness's split-brain demo:
+        # one live member is enough to acknowledge.
+        system = MajorityQuorumSystem.of_size(3)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(replicas, seed=0)
+        strategy = Strategy.single(system, {0, 1})
+        coordinator = Coordinator(
+            system, transport, strategy, seed=0, require_full_quorum=False
+        )
+        transport.crash(1)
+
+        async def scenario():
+            ack = await coordinator.write("x", "v")
+            assert ack.attempts == 1
+            result = await coordinator.read("x")
+            assert result.value == "v"
+
+        asyncio.run(scenario())
+        assert replicas[0].get("x").value == "v"
+        assert replicas[1].get("x") is None  # the member that never saw it
+
+
 class TestValidation:
     def test_foreign_strategy_rejected(self):
         system = MajorityQuorumSystem.of_size(3)

@@ -1,0 +1,301 @@
+"""Tests for repro.service.faults: schedules, windows, FaultyTransport."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.service import (
+    CrashFault,
+    DropFault,
+    DuplicateFault,
+    FaultSchedule,
+    FaultyTransport,
+    FlappingFault,
+    InProcessTransport,
+    LatencyFault,
+    PartitionFault,
+    Replica,
+    ReplicaUnavailable,
+    RequestTimeout,
+    Window,
+    split_brain_schedule,
+)
+
+
+def make_faulty(schedule, n=5, *, seed=0, site=0, transport_seed=0):
+    replicas = [Replica(i) for i in range(n)]
+    inner = InProcessTransport(replicas, seed=transport_seed)
+    return replicas, FaultyTransport(inner, schedule, seed=seed, site=site)
+
+
+class TestWindow:
+    def test_half_open_semantics(self):
+        window = Window(2.0, 5.0)
+        assert not window.contains(1.9)
+        assert window.contains(2.0)
+        assert window.contains(4.999)
+        assert not window.contains(5.0)
+
+    def test_default_end_is_forever(self):
+        window = Window(3.0)
+        assert window.contains(1e12)
+        assert not window.contains(2.9)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ServiceError):
+            Window(5.0, 2.0)
+
+
+class TestScheduleQueries:
+    def test_crash_down_at_tracks_windows(self):
+        schedule = FaultSchedule(
+            [
+                CrashFault(frozenset({0, 1}), Window(0, 10)),
+                CrashFault(frozenset({2}), Window(5, 15)),
+            ]
+        )
+        assert schedule.crash_down_at(0) == {0, 1}
+        assert schedule.crash_down_at(7) == {0, 1, 2}
+        assert schedule.crash_down_at(12) == {2}
+        assert schedule.crash_down_at(20) == frozenset()
+
+    def test_flapping_phase(self):
+        flap = FlappingFault(
+            frozenset({3}), Window(10, 26), period=8.0, down_fraction=0.5
+        )
+        schedule = FaultSchedule([flap])
+        # Down for the first half of each 8-tick period inside the window.
+        assert schedule.crash_down_at(10) == {3}
+        assert schedule.crash_down_at(13.9) == {3}
+        assert schedule.crash_down_at(14) == frozenset()
+        assert schedule.crash_down_at(18) == {3}  # second cycle
+        assert schedule.crash_down_at(26) == frozenset()  # window over
+
+    def test_partition_is_per_site(self):
+        schedule = FaultSchedule(
+            [PartitionFault(frozenset({0, 1}), Window(0, 10), sites=frozenset({1}))]
+        )
+        assert schedule.unreachable_at(5, site=0) == frozenset()
+        assert schedule.unreachable_at(5, site=1) == {0, 1}
+        # Partitions are link faults: the node-failure set stays empty.
+        assert schedule.crash_down_at(5) == frozenset()
+
+    def test_latency_composition(self):
+        schedule = FaultSchedule(
+            [LatencyFault(frozenset({0}), Window(0, 10), extra=7.0, factor=3.0)]
+        )
+        assert schedule.latency_at(5, 0, 2.0) == pytest.approx(13.0)
+        assert schedule.latency_at(5, 1, 2.0) == pytest.approx(2.0)
+        assert schedule.latency_at(12, 0, 2.0) == pytest.approx(2.0)
+
+    def test_drop_probability_takes_worst_per_direction(self):
+        schedule = FaultSchedule(
+            [
+                DropFault(frozenset({0}), Window(0, 10), probability=0.2),
+                DropFault(frozenset({0}), Window(0, 10), probability=0.6),
+                DropFault(
+                    frozenset({0}), Window(0, 10), probability=0.9,
+                    direction="response",
+                ),
+            ]
+        )
+        assert schedule.drop_probability(5, 0, "request") == 0.6
+        assert schedule.drop_probability(5, 0, "response") == 0.9
+        assert schedule.drop_probability(5, 1, "request") == 0.0
+
+    def test_non_fault_rules_rejected(self):
+        with pytest.raises(ServiceError):
+            FaultSchedule(["not a fault"])
+
+    def test_extended_and_summary(self):
+        schedule = FaultSchedule([CrashFault(frozenset({0}), Window(0, 5))])
+        bigger = schedule.extended(
+            [DuplicateFault(frozenset({1}), Window(0, 5), probability=1.0)]
+        )
+        assert len(schedule) == 1 and len(bigger) == 2
+        assert bigger.to_dict() == {
+            "rules": 2,
+            "by_kind": {"crash": 1, "duplicate": 1},
+        }
+
+    def test_random_schedule_is_seed_deterministic(self):
+        def build(seed):
+            rng = np.random.default_rng(seed)
+            return FaultSchedule.random(
+                rng, range(10), 100.0, crash_rate=0.3, partitions=1
+            )
+
+        assert build(5).faults == build(5).faults
+        assert build(5).faults != build(6).faults
+
+
+class TestSplitBrain:
+    def test_sides_are_complementary(self):
+        faults = split_brain_schedule(range(5), Window(0, 10))
+        schedule = FaultSchedule(faults)
+        side_a = schedule.unreachable_at(5, site=0)
+        side_b = schedule.unreachable_at(5, site=1)
+        assert side_a | side_b == frozenset(range(5))
+        assert side_a & side_b == frozenset()
+        assert len(side_b) == (5 + 1) // 2  # site 1 loses the larger half
+
+
+class TestFaultyTransport:
+    def test_crash_fault_burns_deadline(self):
+        schedule = FaultSchedule([CrashFault(frozenset({1}), Window(0, 10))])
+        _, transport = make_faulty(schedule)
+
+        async def scenario():
+            with pytest.raises(ReplicaUnavailable) as info:
+                await transport.call(1, {"op": "ping"}, timeout=40.0)
+            assert info.value.latency == 40.0
+            # Other replicas and later ticks are unaffected.
+            assert (await transport.call(0, {"op": "ping"})).payload["ok"]
+            transport.advance(10.0)
+            assert (await transport.call(1, {"op": "ping"})).payload["ok"]
+
+        asyncio.run(scenario())
+        assert transport.injected["crash"] == 1
+
+    def test_partition_respects_site(self):
+        schedule = FaultSchedule(
+            [PartitionFault(frozenset({0}), Window(0, 10), sites=frozenset({0}))]
+        )
+        replicas = [Replica(i) for i in range(3)]
+        inner = InProcessTransport(replicas, seed=0)
+        near = FaultyTransport(inner, schedule, seed=0, site=0)
+        far = FaultyTransport(inner, schedule, seed=0, site=1)
+
+        async def scenario():
+            with pytest.raises(ReplicaUnavailable):
+                await near.call(0, {"op": "ping"})
+            assert (await far.call(0, {"op": "ping"})).payload["ok"]
+
+        asyncio.run(scenario())
+        assert near.injected["partition"] == 1
+        assert far.injected["partition"] == 0
+
+    def test_request_drop_has_no_side_effect(self):
+        schedule = FaultSchedule(
+            [DropFault(frozenset({0}), Window(0, 10), probability=1.0)]
+        )
+        replicas, transport = make_faulty(schedule)
+        write = {"op": "write", "key": "k", "value": "v", "counter": 1, "writer": 0}
+
+        async def scenario():
+            with pytest.raises(RequestTimeout):
+                await transport.call(0, write)
+
+        asyncio.run(scenario())
+        assert replicas[0].get("k") is None
+        assert transport.injected["drop_request"] == 1
+
+    def test_response_drop_applies_side_effect(self):
+        schedule = FaultSchedule(
+            [
+                DropFault(
+                    frozenset({0}), Window(0, 10), probability=1.0,
+                    direction="response",
+                )
+            ]
+        )
+        replicas, transport = make_faulty(schedule)
+        write = {"op": "write", "key": "k", "value": "v", "counter": 1, "writer": 0}
+
+        async def scenario():
+            with pytest.raises(RequestTimeout):
+                await transport.call(0, write)
+
+        asyncio.run(scenario())
+        # The nasty case: the write applied even though the caller timed out.
+        assert replicas[0].get("k").value == "v"
+        assert transport.injected["drop_response"] == 1
+
+    def test_duplicate_delivery_is_idempotent(self):
+        schedule = FaultSchedule(
+            [DuplicateFault(frozenset({0}), Window(0, 10), probability=1.0)]
+        )
+        replicas, transport = make_faulty(schedule)
+        write = {"op": "write", "key": "k", "value": "v", "counter": 1, "writer": 0}
+
+        async def scenario():
+            reply = await transport.call(0, write)
+            assert reply.payload["applied"]
+
+        asyncio.run(scenario())
+        assert transport.injected["duplicate"] == 1
+        assert replicas[0].writes_applied == 1  # second delivery was a no-op
+        assert replicas[0].get("k").value == "v"
+
+    def test_latency_spike_can_time_out(self):
+        schedule = FaultSchedule(
+            [LatencyFault(frozenset({0}), Window(0, 10), extra=1000.0)]
+        )
+        _, transport = make_faulty(schedule)
+
+        async def scenario():
+            with pytest.raises(RequestTimeout):
+                await transport.call(0, {"op": "ping"}, timeout=50.0)
+            # A generous deadline admits the slow reply with shifted latency.
+            reply = await transport.call(0, {"op": "ping"}, timeout=5000.0)
+            assert reply.latency > 1000.0
+
+        asyncio.run(scenario())
+        assert transport.injected["latency_timeout"] == 1
+
+    def test_coin_stream_is_schedule_independent(self):
+        # Same seed, different schedules: the drop coins land on the same
+        # calls, so editing rules never reshuffles unrelated randomness.
+        def drops(schedule):
+            _, transport = make_faulty(schedule, seed=42)
+
+            async def scenario():
+                outcomes = []
+                for index in range(30):
+                    try:
+                        await transport.call(index % 5, {"op": "ping"})
+                        outcomes.append(True)
+                    except RequestTimeout:
+                        outcomes.append(False)
+                return outcomes
+
+            return asyncio.run(scenario())
+
+        half = FaultSchedule(
+            [DropFault(frozenset(range(5)), Window(0, 100), probability=0.5)]
+        )
+        outcomes_a = drops(half)
+        outcomes_b = drops(half)
+        assert outcomes_a == outcomes_b
+        assert not all(outcomes_a) and any(outcomes_a)
+        # Restricting the rule to one replica keeps the surviving calls'
+        # fates identical on the untouched replicas.
+        narrow = FaultSchedule(
+            [DropFault(frozenset({0}), Window(0, 100), probability=0.5)]
+        )
+        outcomes_c = drops(narrow)
+        for index, (a, c) in enumerate(zip(outcomes_a, outcomes_c)):
+            if index % 5 == 0:
+                continue  # replica 0 calls may differ
+            assert c  # no rule applies: the call must succeed
+
+    def test_empty_schedule_is_transparent(self):
+        replicas, transport = make_faulty(FaultSchedule())
+
+        async def scenario():
+            reply = await transport.call(2, {"op": "ping"})
+            assert reply.payload["ok"]
+            await transport.pause(1.0)
+            await transport.close()
+
+        asyncio.run(scenario())
+        assert transport.injected == {
+            "crash": 0,
+            "partition": 0,
+            "latency_timeout": 0,
+            "drop_request": 0,
+            "drop_response": 0,
+            "duplicate": 0,
+        }

@@ -48,6 +48,19 @@ class TestMetrics:
         json.dumps(snapshot)  # must not raise
         assert snapshot["load_deviation"]["observed_max_load"] == 1.0
 
+    def test_degradation_counters(self):
+        metrics = ServiceMetrics(3)
+        metrics.record_degraded_read()
+        metrics.record_hint()
+        metrics.record_hint()
+        metrics.record_hint_replayed()
+        metrics.record_breaker_open()
+        snapshot = metrics.to_dict()
+        assert snapshot["degraded_reads"] == 1
+        assert snapshot["hints_recorded"] == 2
+        assert snapshot["hints_replayed"] == 1
+        assert snapshot["breaker_opens"] == 1
+
 
 class TestWorkloadShape:
     def test_key_weights_normalised_and_skewed(self):

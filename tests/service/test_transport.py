@@ -133,3 +133,72 @@ class TestTcp:
     def test_empty_address_map_rejected(self):
         with pytest.raises(ServiceError):
             TcpTransport({})
+
+
+class TestTcpReconnect:
+    @staticmethod
+    async def _start_one_shot_server(replica):
+        """A replica server that closes every connection after one reply —
+        the cached persistent connection is dead by the next call."""
+        import json
+
+        async def handle(reader, writer):
+            line = await reader.readline()
+            if line:
+                response = replica.handle(json.loads(line))
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+        return server, server.sockets[0].getsockname()[1]
+
+    def test_dropped_persistent_connection_is_retried_once(self):
+        async def scenario():
+            replica = Replica(0)
+            server, port = await self._start_one_shot_server(replica)
+            transport = TcpTransport({0: ("127.0.0.1", port)})
+            try:
+                for index in range(3):
+                    reply = await transport.call(
+                        0,
+                        {
+                            "op": "write",
+                            "key": f"k{index}",
+                            "value": index,
+                            "counter": index + 1,
+                            "writer": 0,
+                        },
+                        timeout=2000.0,
+                    )
+                    assert reply.payload["ok"] and reply.payload["applied"]
+            finally:
+                await transport.close()
+                server.close()
+                await server.wait_closed()
+            # Calls 2 and 3 found the cached connection closed by the peer
+            # and transparently reconnected instead of failing.
+            assert transport.reconnects == 2
+            assert replica.writes_applied == 3
+
+        asyncio.run(scenario())
+
+    def test_fresh_connection_failure_is_not_retried(self):
+        async def scenario():
+            replica = Replica(0)
+            server, port = await self._start_one_shot_server(replica)
+            transport = TcpTransport({0: ("127.0.0.1", port)})
+            try:
+                await transport.call(0, {"op": "ping"}, timeout=2000.0)
+                server.close()
+                await server.wait_closed()
+                # The cached connection is dead and the reconnect attempt
+                # cannot reach the (gone) server: exactly one retry, then
+                # the failure surfaces.
+                with pytest.raises(ReplicaUnavailable):
+                    await transport.call(0, {"op": "ping"}, timeout=2000.0)
+            finally:
+                await transport.close()
+            assert transport.reconnects <= 1
+
+        asyncio.run(scenario())
