@@ -46,8 +46,27 @@ class MonteCarloEstimate:
         return self.low <= exact <= self.high
 
 
-# Two-sided z-scores for the confidence levels we use in tests.
+# Two-sided z-scores for the common confidence levels (fast path — no
+# scipy import on the default code path).
 _Z_SCORES = {0.9: 1.6449, 0.95: 1.9600, 0.99: 2.5758, 0.999: 3.2905}
+
+
+def _z_for(confidence: float) -> float:
+    """Two-sided z-score for an arbitrary confidence level in (0, 1).
+
+    The common levels come from the precomputed table; anything else is
+    resolved through ``scipy.stats.norm.ppf`` on demand.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(
+            f"confidence must be strictly between 0 and 1, got {confidence}"
+        )
+    z = _Z_SCORES.get(confidence)
+    if z is None:
+        from scipy.stats import norm
+
+        z = float(norm.ppf(0.5 + confidence / 2.0))
+    return z
 
 
 def failure_probability_montecarlo(
@@ -74,14 +93,13 @@ def failure_probability_montecarlo(
     per_element:
         Optional heterogeneous crash probabilities.
     confidence:
-        Confidence level for the reported interval.
+        Confidence level for the reported interval — any value in
+        (0, 1); common levels hit a precomputed z-table, others go
+        through the normal quantile function.
     batch:
         Number of configurations evaluated per vectorised pass.
     """
-    if confidence not in _Z_SCORES:
-        raise AnalysisError(
-            f"unsupported confidence {confidence}; pick from {sorted(_Z_SCORES)}"
-        )
+    z = _z_for(confidence)
     if samples <= 0:
         raise AnalysisError("samples must be positive")
     n = system.n
@@ -109,7 +127,6 @@ def failure_probability_montecarlo(
         failures += int(size - usable.sum())
         remaining -= size
     estimate = failures / samples
-    z = _Z_SCORES[confidence]
     half_width = z * math.sqrt(max(estimate * (1 - estimate), 1e-12) / samples)
     return MonteCarloEstimate(
         value=estimate, half_width=half_width, samples=samples, confidence=confidence

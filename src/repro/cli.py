@@ -239,6 +239,8 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     system = build_system(args.system)
     strategy = optimal_strategy(system)
     transport = None
+    if args.tcp and args.tcp_local:
+        raise SystemExit("--tcp and --tcp-local are mutually exclusive")
     if args.tcp:
         host, colon, base = args.tcp.partition(":")
         if not (host and colon and base.isdigit()):
@@ -257,14 +259,31 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
             crash_rate=args.crash_rate,
             ops_per_epoch=args.ops_per_epoch,
             timeout=args.timeout,
+            hedge_spares=args.hedge_spares,
+            hedge_delay_ms=args.hedge_delay_ms,
         )
         report = run_kv_benchmark(
-            system, seed=args.seed, strategy=strategy, transport=transport, config=config
+            system,
+            seed=args.seed,
+            strategy=strategy,
+            transport=transport,
+            config=config,
+            tcp_local=args.tcp_local,
+            serialized=args.serialized,
         )
     except ServiceError as exc:
         raise SystemExit(f"kvbench failed: {exc}")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(report.perf_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
     if args.json:
+        # --json stays seed-deterministic (no wall-clock section);
+        # --json-out is the perf artifact and includes it.
         print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return
+    if args.json_out:
         return
     snapshot = report.to_dict()
     ops = snapshot["ops"]
@@ -476,8 +495,23 @@ def main(argv: List[str] = None) -> None:
     p_bench.add_argument("--tcp", metavar="HOST:BASEPORT", default=None,
                          help="drive live `quorumtool serve` replicas instead"
                               " of the in-process transport")
+    p_bench.add_argument("--tcp-local", action="store_true",
+                         help="start localhost TCP replicas in-process and"
+                              " benchmark over real sockets")
+    p_bench.add_argument("--serialized", action="store_true",
+                         help="with --tcp-local: use the pre-pipelining"
+                              " lock-per-replica client as baseline")
+    p_bench.add_argument("--hedge-spares", type=int, default=0,
+                         help="spare replicas contacted beyond each quorum"
+                              " (first candidate quorum to fully ack wins)")
+    p_bench.add_argument("--hedge-delay-ms", type=float, default=0.0,
+                         help="defer hedge spares until this delay elapses"
+                              " without a full quorum ack (0 = send upfront)")
     p_bench.add_argument("--json", action="store_true",
                          help="print the full metrics dict as JSON")
+    p_bench.add_argument("--json-out", metavar="PATH", default=None,
+                         help="write the metrics dict (with perf section:"
+                              " ops/s, wire bytes, hedge stats) to PATH")
     p_bench.set_defaults(func=_cmd_kvbench)
 
     p_chaos = sub.add_parser(

@@ -6,6 +6,7 @@ variant, probability :class:`Strategy` objects and the generic
 hierarchical :class:`ComposedQuorumSystem`.
 """
 
+from . import bitpack
 from .composition import ComposedQuorumSystem, compose_universes
 from .errors import (
     AnalysisError,
@@ -31,11 +32,14 @@ from .serialization import (
     system_from_dict,
     system_to_dict,
 )
+from .sampling import AliasTable
 from .strategy import Strategy, balanced_strategy_over
 from .universe import Universe
 
 __all__ = [
+    "AliasTable",
     "AnalysisError",
+    "bitpack",
     "ComposedQuorumSystem",
     "ConstructionError",
     "ExplicitQuorumSystem",

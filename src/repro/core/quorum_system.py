@@ -24,6 +24,8 @@ import itertools
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .errors import ConstructionError, IntersectionViolation
 from .universe import Universe
 
@@ -44,23 +46,19 @@ def reduce_to_coterie(quorums: Iterable[Quorum]) -> Tuple[Quorum, ...]:
     The result is sorted by (size, sorted elements) so it is deterministic
     across runs, which keeps analysis caches and tests stable.
     """
-    import numpy as np
+    import bisect
+
+    from .bitpack import is_subset_of_any, pack_rows
 
     unique = sorted(set(quorums), key=lambda q: (len(q), sorted(q)))
     if len(unique) <= 1:
         return tuple(unique)
-    highest = max(max(q) for q in unique if q)
-    lanes = highest // 64 + 1
-    packed = np.zeros((len(unique), lanes), dtype=np.uint64)
-    for row, quorum in enumerate(unique):
-        for element in quorum:
-            packed[row, element // 64] |= np.uint64(1 << (element % 64))
+    packed = pack_rows(unique)
 
     kept_rows: List[int] = []
-    kept_masks = np.zeros((len(unique), lanes), dtype=np.uint64)
+    kept_masks = np.zeros_like(packed)
     kept_sizes: List[int] = []
     sizes = [len(q) for q in unique]
-    import bisect
 
     for row, candidate in enumerate(packed):
         # Only strictly smaller kept sets can be proper subsets, and the
@@ -68,10 +66,8 @@ def reduce_to_coterie(quorums: Iterable[Quorum]) -> Tuple[Quorum, ...]:
         # Uniform-size families (majorities, h-triang, FPP lines) skip
         # domination checks entirely.
         prefix = bisect.bisect_left(kept_sizes, sizes[row])
-        if prefix:
-            views = kept_masks[:prefix]
-            if bool(((views & candidate) == views).all(axis=1).any()):
-                continue
+        if prefix and is_subset_of_any(candidate, kept_masks[:prefix]):
+            continue
         kept_masks[len(kept_rows)] = candidate
         kept_rows.append(row)
         kept_sizes.append(sizes[row])

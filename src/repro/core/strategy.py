@@ -18,8 +18,10 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import bitpack
 from .errors import StrategyError
 from .quorum_system import Quorum, QuorumSystem
+from .sampling import AliasTable
 
 _PROBABILITY_TOLERANCE = 1e-9
 
@@ -68,6 +70,17 @@ class Strategy:
         self._system = system
         self._quorums: Tuple[Quorum, ...] = tuple(frozen)
         self._weights = weight_array / total
+        # Lazily-built, per-strategy caches for the serving hot path: an
+        # alias table for O(1) sampling, packed membership bitmasks shared
+        # with coterie reduction, per-quorum member tuples, and the ranked
+        # fallback order.  None of these are built until first use, so
+        # strategies that exist only as LP intermediates stay cheap.
+        self._alias: Optional[AliasTable] = None
+        self._alias_builds = 0
+        self._packed: Optional[np.ndarray] = None
+        self._membership: Optional[np.ndarray] = None
+        self._members: Optional[Tuple[Tuple[int, ...], ...]] = None
+        self._ranked_order: Optional[Tuple[int, ...]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -86,19 +99,71 @@ class Strategy:
         return self._weights.copy()
 
     # ------------------------------------------------------------------
+    # Hot-path caches (built once per strategy, on demand)
+    # ------------------------------------------------------------------
+    def _alias_table(self) -> AliasTable:
+        if self._alias is None:
+            self._alias = AliasTable(self._weights)
+            self._alias_builds += 1
+        return self._alias
+
+    @property
+    def sampler_stats(self) -> Dict[str, int]:
+        """Work counters for the O(1) sampler: table builds and draws.
+
+        Coordinators sample a quorum per operation; these counters let
+        tests assert that per-op sampling is alias-table lookups
+        (``alias_builds`` stays 1 no matter how many draws happen).
+        """
+        return {
+            "alias_builds": self._alias_builds,
+            "samples_drawn": 0 if self._alias is None else self._alias.samples_drawn,
+        }
+
+    def packed_quorums(self) -> np.ndarray:
+        """Per-quorum membership bitmasks (``(m, lanes)`` uint64, cached).
+
+        The same packing :func:`repro.core.quorum_system.reduce_to_coterie`
+        uses for domination checks; here it vectorises
+        :meth:`avoiding` / :meth:`least_damaged` over the whole support.
+        """
+        if self._packed is None:
+            self._packed = bitpack.pack_rows(self._quorums, self._system.n)
+        return self._packed
+
+    def quorum_members(self) -> Tuple[Tuple[int, ...], ...]:
+        """Sorted member tuple of every support quorum (cached).
+
+        Serving code resolves the sampled index to replica ids through
+        this table instead of re-sorting a frozenset per operation.
+        """
+        if self._members is None:
+            self._members = tuple(tuple(sorted(q)) for q in self._quorums)
+        return self._members
+
+    # ------------------------------------------------------------------
     # Induced metrics
     # ------------------------------------------------------------------
+    def _blocked_mask(self, blocked: Iterable[int]) -> np.ndarray:
+        """Pack a down-set into one mask row, ignoring out-of-universe ids."""
+        n = self._system.n
+        return bitpack.pack_one([e for e in blocked if 0 <= e < n], n)
+
+    def _membership_matrix(self) -> np.ndarray:
+        if self._membership is None:
+            self._membership = bitpack.membership_matrix(
+                self._quorums, self._system.n
+            )
+        return self._membership
+
     def element_loads(self) -> np.ndarray:
         """Load induced on every element (Def. 3.4): ``l_w(i)``.
 
         Entry ``i`` is the probability that element ``i`` belongs to the
-        picked quorum.
+        picked quorum; one weighted reduction over the cached membership
+        matrix rather than a Python double loop.
         """
-        loads = np.zeros(self._system.n)
-        for quorum, weight in zip(self._quorums, self._weights):
-            for element in quorum:
-                loads[element] += weight
-        return loads
+        return self._weights @ self._membership_matrix()
 
     def induced_load(self) -> float:
         """``L_w(S)``: the load of the busiest element under this strategy."""
@@ -132,10 +197,12 @@ class Strategy:
     def sample_index(self, rng: np.random.Generator) -> int:
         """Draw the index of a support quorum according to the distribution.
 
+        O(1) per draw via a cached alias table (one uniform variate, one
+        lookup) — ``rng.choice`` would redo O(m) CDF work per call.
         Coordinators that keep per-quorum statistics (hit rates, latencies)
         want the index rather than the frozenset; :meth:`sample` wraps this.
         """
-        return int(rng.choice(len(self._quorums), p=self._weights))
+        return self._alias_table().sample(rng)
 
     def sample_many(self, rng: np.random.Generator, count: int) -> List[Quorum]:
         """Draw ``count`` iid quorums in one vectorised pass.
@@ -146,8 +213,21 @@ class Strategy:
         """
         if count < 0:
             raise StrategyError(f"sample count must be >= 0, got {count}")
-        indices = rng.choice(len(self._quorums), size=count, p=self._weights)
+        indices = self._alias_table().sample_many(rng, count)
         return [self._quorums[int(i)] for i in indices]
+
+    def ranked_order(self) -> Tuple[int, ...]:
+        """Support indices sorted by descending weight (ties: small first),
+        computed once and cached."""
+        if self._ranked_order is None:
+            self._ranked_order = tuple(
+                sorted(
+                    range(len(self._quorums)),
+                    key=lambda j: (-self._weights[j], len(self._quorums[j]),
+                                   sorted(self._quorums[j])),
+                )
+            )
+        return self._ranked_order
 
     def ranked_quorums(self) -> List[Quorum]:
         """Support quorums sorted by descending weight (ties: small first).
@@ -156,12 +236,7 @@ class Strategy:
         sampling keeps hitting crashed elements: try the most-preferred
         quorums first.
         """
-        order = sorted(
-            range(len(self._quorums)),
-            key=lambda j: (-self._weights[j], len(self._quorums[j]),
-                           sorted(self._quorums[j])),
-        )
-        return [self._quorums[j] for j in order]
+        return [self._quorums[j] for j in self.ranked_order()]
 
     def least_damaged(self, down: Iterable[int]) -> Quorum:
         """The support quorum with the fewest members in ``down``.
@@ -174,10 +249,13 @@ class Strategy:
         result is deterministic.
         """
         blocked = frozenset(down)
+        damage = bitpack.intersection_sizes(
+            self.packed_quorums(), self._blocked_mask(blocked)
+        )
         best = min(
             range(len(self._quorums)),
             key=lambda j: (
-                len(self._quorums[j] & blocked),
+                int(damage[j]),
                 -self._weights[j],
                 len(self._quorums[j]),
                 sorted(self._quorums[j]),
@@ -195,10 +273,13 @@ class Strategy:
         crash can never resurrect an empty distribution.
         """
         blocked = frozenset(down)
+        touched = bitpack.intersects(
+            self.packed_quorums(), self._blocked_mask(blocked)
+        )
         kept = [
-            (quorum, float(weight))
-            for quorum, weight in zip(self._quorums, self._weights)
-            if not (quorum & blocked)
+            (self._quorums[j], float(self._weights[j]))
+            for j in range(len(self._quorums))
+            if not touched[j]
         ]
         if not kept:
             return None

@@ -56,6 +56,7 @@ from .transport import (
     Reply,
     ReplicaUnavailable,
     RequestTimeout,
+    SerializedTcpTransport,
     TcpTransport,
     Transport,
     start_tcp_replicas,
@@ -83,6 +84,7 @@ __all__ = [
     "ReplicaUnavailable",
     "Reply",
     "RequestTimeout",
+    "SerializedTcpTransport",
     "ServiceMetrics",
     "TcpTransport",
     "Transport",

@@ -70,6 +70,8 @@ class ChaosConfig:
     duplicates: int = 1
     flappers: int = 1
     partitions: int = 1
+    hedge_spares: int = 0  # spare replicas per quorum phase (0 = off)
+    hedge_delay_ms: float = 0.0  # defer spares this long (0 = upfront)
     unsafe_partial_writes: bool = False  # intentionally breaks intersection
 
     def validate(self) -> None:
@@ -85,6 +87,10 @@ class ChaosConfig:
             raise ServiceError("crash rate must be in [0,1]")
         if self.epoch < 1:
             raise ServiceError("epoch must be >= 1 tick")
+        if self.hedge_spares < 0:
+            raise ServiceError("hedge_spares must be >= 0")
+        if self.hedge_delay_ms < 0:
+            raise ServiceError("hedge_delay_ms must be >= 0")
         if self.unsafe_partial_writes and self.clients < 2:
             raise ServiceError(
                 "split-brain demonstration needs at least two clients"
@@ -231,6 +237,8 @@ def run_chaos(
             breaker_cooldown=config.breaker_cooldown,
             degraded_reads=config.degraded_reads,
             hinted_handoff=config.hinted_handoff,
+            hedge_spares=config.hedge_spares,
+            hedge_delay_ms=config.hedge_delay_ms,
             require_full_quorum=not config.unsafe_partial_writes,
             metrics=metrics,
         )
@@ -349,6 +357,11 @@ def run_chaos(
                     else:
                         counts["reads_ok"] += 1
                     check_read(index, client, key, result)
+        # Hedged phases may leave absorbed stragglers in flight; the
+        # post-run invariants must see their effects (journal appends,
+        # suspicion updates) — wait for them all.
+        for coordinator in coordinators:
+            await coordinator.drain()
 
     asyncio.run(_run())
 

@@ -38,6 +38,24 @@ Graceful degradation (added for the fault-injection layer):
   support quorum instead of raising :class:`OperationFailed`.  The
   result carries ``stale=True`` — the caller explicitly trades
   freshness for availability.
+
+Hedged fan-out (``hedge_spares > 0``): each quorum phase contacts the
+sampled quorum *plus* up to ``hedge_spares`` spare replicas drawn from
+the strategy's other ranked quorums.  The phase completes as soon as
+*any* candidate quorum inside the contacted set is fully acknowledged
+(first-quorum-wins), so one straggling member no longer sets the
+phase's latency.  Late replies are absorbed in the background: their
+latency feeds the straggler histogram, failures feed suspicion and
+hinted handoff, and :meth:`Coordinator.drain` awaits them all (call it
+before tearing down the transport).  With ``hedge_spares=0`` (default)
+exactly the sampled quorum is contacted and the phase waits for every
+member — the original semantics.
+
+The quorum-selection hot path is O(1) per operation after warm-up:
+strategy sampling goes through a cached alias table
+(:meth:`~repro.core.strategy.Strategy.sample_index`), sampled indices
+resolve to pre-sorted member tuples, and the avoiding-strategy and
+hedge-plan computations are memoised per blocked-set / per quorum.
 """
 
 from __future__ import annotations
@@ -138,11 +156,26 @@ class Coordinator:
     hinted_handoff:
         Queue writes for unreachable quorum members and replay them after
         recovery (capped at ``hint_capacity`` queued key-hints).
+    hedge_spares:
+        Spare replicas contacted beyond the sampled quorum (0 disables
+        hedging, the default).  Spares come from the strategy's ranked
+        fallback quorums, and the phase completes when the first
+        candidate quorum within the contacted set fully acknowledges.
+    hedge_delay_ms:
+        When positive, spares are *deferred*: the phase contacts only
+        the primary quorum, and issues the spares only if the primary
+        has not fully acknowledged after this many wall-clock
+        milliseconds (or as soon as a primary member fails).  The fast
+        path then costs zero extra requests; spares fire exactly on the
+        tail.  0 (the default) issues spares upfront with the quorum —
+        fully deterministic, used by the in-process tests.
     require_full_quorum:
         **Testing only.**  When False, an operation is acknowledged as
         soon as *any* member responds, which breaks quorum intersection —
         the chaos harness flips this to demonstrate split-brain detection.
     """
+
+    _AVOIDING_CACHE_LIMIT = 128
 
     def __init__(
         self,
@@ -163,6 +196,8 @@ class Coordinator:
         degraded_reads: bool = False,
         hinted_handoff: bool = True,
         hint_capacity: int = 256,
+        hedge_spares: int = 0,
+        hedge_delay_ms: float = 0.0,
         require_full_quorum: bool = True,
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
@@ -180,6 +215,10 @@ class Coordinator:
             )
         if hint_capacity < 0:
             raise ServiceError(f"hint_capacity must be >= 0, got {hint_capacity}")
+        if hedge_spares < 0:
+            raise ServiceError(f"hedge_spares must be >= 0, got {hedge_spares}")
+        if hedge_delay_ms < 0:
+            raise ServiceError(f"hedge_delay_ms must be >= 0, got {hedge_delay_ms}")
         self.system = system
         self.transport = transport
         if strategy is None:
@@ -202,6 +241,8 @@ class Coordinator:
         self.degraded_reads = degraded_reads
         self.hinted_handoff = hinted_handoff
         self.hint_capacity = hint_capacity
+        self.hedge_spares = hedge_spares
+        self.hedge_delay_ms = hedge_delay_ms
         self.require_full_quorum = require_full_quorum
         self.metrics = metrics if metrics is not None else ServiceMetrics(system.n)
         self._clock = 0
@@ -211,6 +252,15 @@ class Coordinator:
         self._breaker_open_until: Dict[int, int] = {}  # replica id -> op index
         # replica id -> {key: (counter, writer, value)} pending handoffs
         self._hints: Dict[int, Dict[str, Tuple[int, int, Any]]] = {}
+        # Hot-path caches: quorum -> sorted member tuple, blocked set ->
+        # restricted strategy (or None), quorum -> hedge plan.
+        self._members_cache: Dict[Quorum, Tuple[int, ...]] = {}
+        self._avoiding_cache: Dict[frozenset, Optional[Strategy]] = {}
+        self._hedge_plans: Dict[
+            Quorum, Tuple[Tuple[int, ...], Tuple[Tuple[Quorum, Tuple[int, ...]], ...]]
+        ] = {}
+        # In-flight absorbed stragglers (hedged phases that already won).
+        self._stragglers: set = set()
 
     @property
     def clock(self) -> int:
@@ -316,19 +366,202 @@ class Coordinator:
             if not already_open:
                 self.metrics.record_breaker_open()
 
+    def _members_for(self, quorum: Quorum) -> Tuple[int, ...]:
+        """Sorted member tuple of a quorum, cached (no per-op sorting)."""
+        members = self._members_cache.get(quorum)
+        if members is None:
+            members = tuple(sorted(quorum))
+            self._members_cache[quorum] = members
+        return members
+
+    def _avoiding_strategy(self, blocked: frozenset) -> Optional[Strategy]:
+        """Memoised ``strategy.avoiding(blocked)`` — renormalising the
+        distribution is O(support), far too slow to redo per operation
+        while the same replicas stay suspected."""
+        if blocked in self._avoiding_cache:
+            return self._avoiding_cache[blocked]
+        if len(self._avoiding_cache) >= self._AVOIDING_CACHE_LIMIT:
+            self._avoiding_cache.clear()
+        restricted = self.strategy.avoiding(blocked)
+        self._avoiding_cache[blocked] = restricted
+        return restricted
+
     def _pick_quorum(self) -> Quorum:
         blocked = self._blocked_replicas()
         if blocked:
-            restricted = self.strategy.avoiding(blocked)
+            restricted = self._avoiding_strategy(blocked)
             if restricted is not None:
-                return restricted.sample(self.rng)
+                return restricted.quorums[restricted.sample_index(self.rng)]
             # Every quorum touches a blocked replica: optimistically forget
             # suspicions and open breakers (replicas recover) rather than
             # refusing to serve.
             self._suspected.clear()
             self._breaker_fails.clear()
             self._breaker_open_until.clear()
-        return self.strategy.sample(self.rng)
+        return self.strategy.quorums[self.strategy.sample_index(self.rng)]
+
+    def _hedge_plan(
+        self, primary: Quorum
+    ) -> Tuple[Tuple[int, ...], Tuple[Tuple[Quorum, Tuple[int, ...]], ...]]:
+        """Spares to contact and candidate quorums for a primary quorum.
+
+        Spares are the first ``hedge_spares`` replicas outside the primary
+        encountered walking the strategy's ranked quorums, so they belong
+        to the most probable alternatives.  Candidates are the primary
+        first, then every other support quorum contained in
+        primary ∪ spares — the sets that can win the phase.
+        """
+        plan = self._hedge_plans.get(primary)
+        if plan is not None:
+            return plan
+        spares: List[int] = []
+        candidates: List[Tuple[Quorum, Tuple[int, ...]]] = [
+            (primary, self._members_for(primary))
+        ]
+        if self.hedge_spares > 0:
+            order = self.strategy.ranked_order()
+            all_members = self.strategy.quorum_members()
+            for index in order:
+                for rid in all_members[index]:
+                    if rid not in primary and rid not in spares:
+                        spares.append(rid)
+                        if len(spares) == self.hedge_spares:
+                            break
+                if len(spares) == self.hedge_spares:
+                    break
+            contacted = primary | frozenset(spares)
+            for index in order:
+                quorum = self.strategy.quorums[index]
+                if quorum != primary and quorum <= contacted:
+                    candidates.append((quorum, all_members[index]))
+        plan = (tuple(spares), tuple(candidates))
+        self._hedge_plans[primary] = plan
+        return plan
+
+    def _absorb_straggler(
+        self, rid: int, task: "asyncio.Task", hint: Optional[Dict[str, Any]]
+    ) -> None:
+        """Track an in-flight call after its phase already won.
+
+        The reply is never discarded silently: latency goes into the
+        straggler histogram, success clears suspicion, failure feeds
+        suspicion and hinted handoff — exactly as if the phase had waited.
+        """
+        self._stragglers.add(task)
+
+        def _finish(done: "asyncio.Task") -> None:
+            self._stragglers.discard(done)
+            if done.cancelled():
+                return
+            exc = done.exception()
+            if exc is None:
+                reply = done.result()
+                self.metrics.record_straggler(reply.latency)
+                if reply.payload.get("ok"):
+                    self._note_success(rid)
+            elif isinstance(exc, (ReplicaUnavailable, RequestTimeout)):
+                self.metrics.record_straggler(exc.latency)
+                self._note_failure(rid)
+                if hint is not None:
+                    self._record_hint(rid, hint)
+            # Anything else was already surfaced by the winning path or is
+            # unraisable from a callback; dropping it here is deliberate.
+
+        task.add_done_callback(_finish)
+
+    async def drain(self) -> None:
+        """Await all absorbed hedge stragglers (call before teardown)."""
+        while self._stragglers:
+            await asyncio.gather(*list(self._stragglers), return_exceptions=True)
+
+    async def _collect(
+        self,
+        tasks: Dict[int, "asyncio.Task"],
+        candidates: Tuple[Tuple[Quorum, Tuple[int, ...]], ...],
+        hint: Optional[Dict[str, Any]],
+        deferred_spares: Tuple[int, ...] = (),
+        request_for: Optional[Callable[[int], Dict[str, Any]]] = None,
+    ) -> Tuple[Dict[int, Dict[str, Any]], List[int], float, Optional[Quorum]]:
+        """Await a fan-out until the first candidate quorum fully acks.
+
+        Returns ``(payloads, failed replica ids, attempt latency, winner)``.
+        ``winner`` is the first candidate whose members all acknowledged
+        (None if no candidate completed); once a winner emerges, still-
+        pending calls are absorbed as background stragglers.  Without a
+        winner the wait drains every call — identical accounting to the
+        old gather-based fan-out.
+
+        ``deferred_spares`` are hedge replicas *not yet contacted*: they
+        are issued (via ``request_for``) as soon as ``hedge_delay_ms``
+        elapses without the fan-out completing, or a contacted member
+        fails — Dean-style hedging that costs nothing on the fast path.
+        """
+        rid_of = {task: rid for rid, task in tasks.items()}
+        pending = set(tasks.values())
+        payloads: Dict[int, Dict[str, Any]] = {}
+        failed: List[int] = []
+        attempt_latency = 0.0
+        winner: Optional[Quorum] = None
+        spares_pending = tuple(deferred_spares)
+
+        def issue_spares() -> None:
+            nonlocal spares_pending
+            assert request_for is not None
+            self.metrics.record_hedges_issued(len(spares_pending))
+            for rid in spares_pending:
+                task = asyncio.ensure_future(
+                    self.transport.call(rid, request_for(rid), self.timeout)
+                )
+                rid_of[task] = rid
+                pending.add(task)
+            spares_pending = ()
+
+        while pending:
+            delay = self.hedge_delay_ms / 1000.0 if spares_pending else None
+            done, pending = await asyncio.wait(
+                pending, timeout=delay, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not done:
+                # Hedge delay elapsed with the fan-out still incomplete.
+                issue_spares()
+                continue
+            # Set iteration order is id()-dependent; process replies in
+            # replica order so seeded runs stay bit-identical.
+            for task in sorted(done, key=lambda item: rid_of[item]):
+                rid = rid_of[task]
+                exc = task.exception()
+                if exc is None:
+                    reply = task.result()
+                    attempt_latency = max(attempt_latency, reply.latency)
+                    if reply.payload.get("ok"):
+                        payloads[rid] = reply.payload
+                    else:
+                        failed.append(rid)
+                elif isinstance(exc, (ReplicaUnavailable, RequestTimeout)):
+                    attempt_latency = max(attempt_latency, exc.latency)
+                    failed.append(rid)
+                    if isinstance(exc, RequestTimeout):
+                        self.metrics.record_timeout()
+                    else:
+                        self.metrics.record_unavailable()
+                else:
+                    for straggler in pending:
+                        straggler.cancel()
+                    raise exc
+            if self.require_full_quorum and winner is None:
+                for candidate, candidate_members in candidates:
+                    if all(rid in payloads for rid in candidate_members):
+                        winner = candidate
+                        break
+                if winner is not None:
+                    break
+            if failed and spares_pending:
+                # A member failed outright: hedge immediately, an
+                # alternate candidate may still complete the phase.
+                issue_spares()
+        for task in pending:
+            self._absorb_straggler(rid_of[task], task, hint)
+        return payloads, failed, attempt_latency, winner
 
     async def _quorum_phase(
         self,
@@ -339,8 +572,10 @@ class Coordinator:
     ) -> Tuple[Dict[int, Dict[str, Any]], float, int, Quorum]:
         """Run one request against a full quorum, retrying with fallbacks.
 
-        Returns ``(payloads by replica id, total latency, attempts, quorum)``.
-        Attempt latency is the slowest member (fan-out is concurrent);
+        Returns ``(payloads by replica id, total latency, attempts, quorum)``
+        where ``quorum`` is the candidate that completed the phase (the
+        sampled primary unless a hedge won).  Attempt latency is the
+        winning candidate's slowest member (fan-out is concurrent);
         operation latency accumulates attempts plus backoffs.  ``hint`` is
         the write request to queue for members that could not be reached
         (hinted handoff).
@@ -348,44 +583,44 @@ class Coordinator:
         total_latency = 0.0
         for attempt in range(1, self.max_attempts + 1):
             quorum = self._pick_quorum()
-            members = sorted(quorum)
-            outcomes = await asyncio.gather(
-                *(
+            spares, candidates = self._hedge_plan(quorum)
+            members = candidates[0][1]
+            if spares:
+                blocked = self._blocked_replicas()
+                live_spares = tuple(rid for rid in spares if rid not in blocked)
+            else:
+                live_spares = ()
+            deferred = self.hedge_delay_ms > 0
+            upfront_spares = () if deferred else live_spares
+            if upfront_spares:
+                self.metrics.record_hedges_issued(len(upfront_spares))
+            tasks: Dict[int, "asyncio.Task"] = {
+                rid: asyncio.ensure_future(
                     self.transport.call(rid, request_for(rid), self.timeout)
-                    for rid in members
-                ),
-                return_exceptions=True,
+                )
+                for rid in members + upfront_spares
+            }
+            payloads, failed, attempt_latency, winner = await self._collect(
+                tasks,
+                candidates,
+                hint,
+                deferred_spares=live_spares if deferred else (),
+                request_for=request_for,
             )
-            attempt_latency = 0.0
-            payloads: Dict[int, Dict[str, Any]] = {}
-            failed: List[int] = []
-            for rid, outcome in zip(members, outcomes):
-                if isinstance(outcome, Reply):
-                    attempt_latency = max(attempt_latency, outcome.latency)
-                    if outcome.payload.get("ok"):
-                        payloads[rid] = outcome.payload
-                    else:
-                        failed.append(rid)
-                elif isinstance(outcome, (ReplicaUnavailable, RequestTimeout)):
-                    attempt_latency = max(attempt_latency, outcome.latency)
-                    failed.append(rid)
-                    if isinstance(outcome, RequestTimeout):
-                        self.metrics.record_timeout()
-                    else:
-                        self.metrics.record_unavailable()
-                elif isinstance(outcome, BaseException):
-                    raise outcome
             total_latency += attempt_latency
-            acknowledged = not failed or (not self.require_full_quorum and payloads)
-            if acknowledged:
+            if winner is None and not self.require_full_quorum and payloads:
+                winner = quorum
+            if winner is not None:
                 for rid in payloads:
                     self._note_success(rid)
                 for rid in failed:
                     self._note_failure(rid)
                     if hint is not None:
                         self._record_hint(rid, hint)
-                self.metrics.record_quorum_access(quorum)
-                return payloads, total_latency, attempt, quorum
+                if winner != quorum:
+                    self.metrics.record_hedge_won()
+                self.metrics.record_quorum_access(winner)
+                return payloads, total_latency, attempt, winner
             for rid in failed:
                 self._note_failure(rid)
                 if hint is not None:

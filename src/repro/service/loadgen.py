@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -29,7 +30,14 @@ from ..core.strategy import Strategy
 from .coordinator import Coordinator, OperationFailed
 from .metrics import ServiceMetrics
 from .replica import Replica
-from .transport import DEFAULT_TIMEOUT_MS, InProcessTransport, Transport
+from .transport import (
+    DEFAULT_TIMEOUT_MS,
+    InProcessTransport,
+    SerializedTcpTransport,
+    TcpTransport,
+    Transport,
+    start_tcp_replicas,
+)
 
 
 @dataclass
@@ -45,6 +53,8 @@ class WorkloadConfig:
     ops_per_epoch: int = 50  # crash-set resample cadence
     timeout: float = DEFAULT_TIMEOUT_MS
     preload: bool = True  # write every key once before the timed run
+    hedge_spares: int = 0  # spare replicas contacted beyond each quorum
+    hedge_delay_ms: float = 0.0  # defer spares until this delay elapses (0=upfront)
 
     def validate(self) -> None:
         if self.ops < 0:
@@ -59,6 +69,10 @@ class WorkloadConfig:
             raise ServiceError("need at least one client")
         if self.ops_per_epoch <= 0:
             raise ServiceError("ops_per_epoch must be positive")
+        if self.hedge_spares < 0:
+            raise ServiceError("hedge_spares must be >= 0")
+        if self.hedge_delay_ms < 0:
+            raise ServiceError("hedge_delay_ms must be >= 0")
 
 
 @dataclass
@@ -73,6 +87,11 @@ class BenchmarkReport:
     predicted_loads: np.ndarray
     lp_load: float
     element_names: List[Any] = field(default_factory=list)
+    # Wall-clock timing and transport counters live outside to_dict():
+    # the determinism tests require to_dict() to be bit-identical for
+    # identical seeds, and elapsed time never is.
+    elapsed_seconds: float = 0.0
+    transport_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def observed_loads(self) -> np.ndarray:
@@ -97,9 +116,29 @@ class BenchmarkReport:
                     "clients": self.config.clients,
                     "crash_rate": self.config.crash_rate,
                     "ops_per_epoch": self.config.ops_per_epoch,
+                    "hedge_spares": self.config.hedge_spares,
+                    "hedge_delay_ms": self.config.hedge_delay_ms,
                 },
             }
         )
+        return snapshot
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.metrics.ops_attempted / self.elapsed_seconds
+
+    def perf_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` plus the non-deterministic perf numbers
+        (wall-clock, throughput, transport counters) for ``--json-out``
+        and the perf-regression harness."""
+        snapshot = self.to_dict()
+        snapshot["perf"] = {
+            "elapsed_seconds": self.elapsed_seconds,
+            "ops_per_second": self.ops_per_second,
+            "transport": dict(self.transport_stats),
+        }
         return snapshot
 
 
@@ -158,6 +197,8 @@ async def run_workload(
             coordinator_id=client,
             seed=int(seeds[client + 1]),
             timeout=config.timeout,
+            hedge_spares=config.hedge_spares,
+            hedge_delay_ms=config.hedge_delay_ms,
             metrics=metrics,
         )
         for client in range(config.clients)
@@ -175,6 +216,7 @@ async def run_workload(
         )
         for index in range(config.keys):
             await warmup.write(f"k{index:04d}", None)
+        await warmup.drain()
 
     can_inject = config.crash_rate > 0 and hasattr(transport, "resample_crashes")
     next_op = itertools.count()
@@ -195,8 +237,19 @@ async def run_workload(
             except OperationFailed:
                 pass  # already counted in metrics
 
+    started = time.perf_counter()
     await asyncio.gather(*(client_loop(c) for c in coordinators))
+    # Hedged phases may leave absorbed stragglers in flight; wait for
+    # them so the transport can be torn down cleanly and the straggler
+    # histogram is complete.
+    await asyncio.gather(*(c.drain() for c in coordinators))
+    # Wall-clock for the measured ops only (dialing and preload excluded);
+    # stored as a plain attribute so to_dict() stays seed-deterministic.
+    metrics.elapsed_seconds = time.perf_counter() - started
     return metrics
+
+
+_TRANSPORT_COUNTERS = ("calls", "flushes", "bytes_sent", "bytes_received", "reconnects")
 
 
 def run_kv_benchmark(
@@ -206,6 +259,8 @@ def run_kv_benchmark(
     strategy: Optional[Strategy] = None,
     transport: Optional[Transport] = None,
     config: Optional[WorkloadConfig] = None,
+    tcp_local: bool = False,
+    serialized: bool = False,
     **overrides: Any,
 ) -> BenchmarkReport:
     """One-call benchmark: build the service, drive it, report loads.
@@ -215,6 +270,13 @@ def run_kv_benchmark(
     transport is given an in-process one is created with the requested
     crash rate; a caller-supplied transport (e.g. TCP against live
     ``quorumtool serve`` replicas) is used as-is.
+
+    ``tcp_local=True`` instead starts one localhost TCP server per
+    replica inside the event loop and benchmarks over real sockets —
+    the perf harness's end-to-end mode.  ``serialized=True`` (with
+    ``tcp_local``) swaps the pipelined client for the lock-per-replica
+    :class:`SerializedTcpTransport` to measure the pre-pipelining
+    baseline.
     """
     if config is None:
         config = WorkloadConfig()
@@ -223,6 +285,10 @@ def run_kv_benchmark(
             raise ServiceError(f"unknown workload option {name!r}")
         setattr(config, name, value)
     config.validate()
+    if tcp_local and transport is not None:
+        raise ServiceError("tcp_local builds its own transport; do not pass one")
+    if serialized and not tcp_local:
+        raise ServiceError("serialized baseline only applies to tcp_local mode")
 
     if strategy is None:
         from ..analysis.load import optimal_strategy
@@ -230,24 +296,47 @@ def run_kv_benchmark(
         strategy = optimal_strategy(system)
 
     owns_transport = transport is None
-    if transport is None:
-        transport = InProcessTransport(
-            make_replicas(system),
-            seed=seed + 1,  # distinct stream from the schedule RNG
-            crash_rate=config.crash_rate,
-        )
 
-    async def _run() -> ServiceMetrics:
-        assert transport is not None
+    async def _run() -> Tuple[ServiceMetrics, Dict[str, Any]]:
+        local = transport
+        servers: List[asyncio.AbstractServer] = []
+        if local is None:
+            if tcp_local:
+                servers, addresses = await start_tcp_replicas(
+                    make_replicas(system), base_port=0
+                )
+                client_cls = SerializedTcpTransport if serialized else TcpTransport
+                local = client_cls(addresses)
+            else:
+                local = InProcessTransport(
+                    make_replicas(system),
+                    seed=seed + 1,  # distinct stream from the schedule RNG
+                    crash_rate=config.crash_rate,
+                )
         try:
-            return await run_workload(
-                system, transport, strategy, config, seed=seed
+            run_metrics = await run_workload(
+                system, local, strategy, config, seed=seed
             )
         finally:
             if owns_transport:
-                await transport.close()
+                await local.close()
+            for server in servers:
+                server.close()
+                await server.wait_closed()
+        stats = {
+            name: getattr(local, name)
+            for name in _TRANSPORT_COUNTERS
+            if hasattr(local, name)
+        }
+        return run_metrics, stats
 
-    metrics = asyncio.run(_run())
+    started = time.perf_counter()
+    metrics, transport_stats = asyncio.run(_run())
+    # Prefer the in-loop measurement (excludes dialing and preload);
+    # fall back to the coarse wrapper time if a custom runner skipped it.
+    elapsed = getattr(metrics, "elapsed_seconds", 0.0) or (
+        time.perf_counter() - started
+    )
     return BenchmarkReport(
         system_name=system.system_name,
         n=system.n,
@@ -257,4 +346,6 @@ def run_kv_benchmark(
         predicted_loads=strategy.element_loads(),
         lp_load=strategy.induced_load(),
         element_names=list(system.universe.names),
+        elapsed_seconds=elapsed,
+        transport_stats=transport_stats,
     )

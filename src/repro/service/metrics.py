@@ -50,7 +50,14 @@ class ServiceMetrics:
         self.hints_recorded = 0
         self.hints_replayed = 0
         self.breaker_opens = 0
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.straggler_latencies: List[float] = []
         self.op_latencies: List[float] = []
+        # Wall-clock of the measured workload section, stamped by the
+        # load generator.  Deliberately NOT in to_dict(): the snapshot
+        # must stay bit-identical for identical seeds.
+        self.elapsed_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Recording
@@ -104,6 +111,18 @@ class ServiceMetrics:
     def record_breaker_open(self) -> None:
         """One per-replica circuit breaker tripped open."""
         self.breaker_opens += 1
+
+    def record_hedges_issued(self, count: int = 1) -> None:
+        """``count`` spare (hedge) requests issued beyond the quorum."""
+        self.hedges_issued += count
+
+    def record_hedge_won(self) -> None:
+        """One quorum phase completed by a non-primary candidate quorum."""
+        self.hedges_won += 1
+
+    def record_straggler(self, latency: float) -> None:
+        """One absorbed straggler reply, with its observed latency (ms)."""
+        self.straggler_latencies.append(float(latency))
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -179,10 +198,28 @@ class ServiceMetrics:
             "hints_recorded": self.hints_recorded,
             "hints_replayed": self.hints_replayed,
             "breaker_opens": self.breaker_opens,
+            "hedging": {
+                "issued": self.hedges_issued,
+                "won": self.hedges_won,
+                "stragglers": len(self.straggler_latencies),
+                "straggler_ms": {
+                    "mean": (
+                        float(np.mean(self.straggler_latencies))
+                        if self.straggler_latencies
+                        else 0.0
+                    ),
+                    "p95": (
+                        float(np.percentile(self.straggler_latencies, 95))
+                        if self.straggler_latencies
+                        else 0.0
+                    ),
+                },
+            },
             "latency_ms": {
                 "count": len(self.op_latencies),
                 "mean": float(np.mean(self.op_latencies)) if self.op_latencies else 0.0,
                 "p50": self.latency_percentile(50),
+                "p95": self.latency_percentile(95),
                 "p99": self.latency_percentile(99),
             },
             "observed_loads": [float(x) for x in self.observed_loads()],

@@ -101,8 +101,34 @@ class TestMonteCarloEngine:
         assert a.value != b.value
 
     def test_bad_confidence_rejected(self, maj5):
-        with pytest.raises(AnalysisError):
-            failure_probability_montecarlo(maj5, 0.2, samples=100, confidence=0.42)
+        for confidence in (0.0, 1.0, 1.5, -0.3):
+            with pytest.raises(AnalysisError):
+                failure_probability_montecarlo(
+                    maj5, 0.2, samples=100, confidence=confidence
+                )
+
+    def test_arbitrary_confidence_via_normal_quantile(self, maj5):
+        # 0.975 is not in the precomputed z-table: resolved through
+        # scipy.stats.norm.ppf.  z(0.975, two-sided) ~= 2.2414.
+        tabled = failure_probability_montecarlo(
+            maj5, 0.2, samples=10_000, seed=5, confidence=0.95
+        )
+        wider = failure_probability_montecarlo(
+            maj5, 0.2, samples=10_000, seed=5, confidence=0.975
+        )
+        assert wider.value == tabled.value  # same samples, same estimate
+        assert wider.half_width == pytest.approx(
+            tabled.half_width * 2.2414 / 1.9600, rel=1e-3
+        )
+
+    def test_tabled_confidence_matches_quantile(self, maj5):
+        # The fast-path table agrees with the scipy quantile it caches.
+        from scipy.stats import norm
+
+        from repro.analysis.montecarlo import _Z_SCORES
+
+        for confidence, z in _Z_SCORES.items():
+            assert z == pytest.approx(norm.ppf(0.5 + confidence / 2), abs=5e-5)
 
     def test_bad_samples_rejected(self, maj5):
         with pytest.raises(AnalysisError):

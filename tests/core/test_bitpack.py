@@ -1,0 +1,98 @@
+"""Tests for repro.core.bitpack: the shared packed-bitmask helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import bitpack
+
+
+def reference_pack(sets, size):
+    """Naive per-element packing (the double loop bitpack replaces)."""
+    lanes = bitpack.lanes_for(size)
+    packed = np.zeros((len(sets), lanes), dtype=np.uint64)
+    for row, members in enumerate(sets):
+        for element in members:
+            packed[row, element // 64] |= np.uint64(1) << np.uint64(element % 64)
+    return packed
+
+
+class TestPacking:
+    def test_lanes_for(self):
+        assert bitpack.lanes_for(0) == 1
+        assert bitpack.lanes_for(1) == 1
+        assert bitpack.lanes_for(64) == 1
+        assert bitpack.lanes_for(65) == 2
+        assert bitpack.lanes_for(128) == 2
+        assert bitpack.lanes_for(129) == 3
+
+    def test_matches_reference_single_lane(self):
+        sets = [{0, 3, 5}, {1}, set(), {0, 1, 2, 3, 4, 5, 6, 7}]
+        got = bitpack.pack_rows(sets, 8)
+        assert got.shape == (4, 1)
+        np.testing.assert_array_equal(got, reference_pack(sets, 8))
+
+    def test_matches_reference_multi_lane(self):
+        rng = np.random.default_rng(17)
+        size = 200  # 4 lanes
+        sets = [
+            set(rng.choice(size, size=rng.integers(0, 40), replace=False).tolist())
+            for _ in range(50)
+        ]
+        got = bitpack.pack_rows(sets, size)
+        assert got.shape == (50, 4)
+        np.testing.assert_array_equal(got, reference_pack(sets, size))
+
+    def test_size_inferred_from_largest_element(self):
+        packed = bitpack.pack_rows([{70}])
+        assert packed.shape == (1, 2)
+        assert packed[0, 1] == np.uint64(1) << np.uint64(6)
+
+    def test_pack_one_is_first_row(self):
+        members = {2, 9, 63}
+        np.testing.assert_array_equal(
+            bitpack.pack_one(members, 64), bitpack.pack_rows([members], 64)[0]
+        )
+
+    def test_empty_family(self):
+        packed = bitpack.pack_rows([], 10)
+        assert packed.shape == (0, 1)
+
+
+class TestQueries:
+    def test_popcounts(self):
+        sets = [{0, 3, 5}, set(), set(range(100))]
+        counts = bitpack.popcounts(bitpack.pack_rows(sets, 100))
+        np.testing.assert_array_equal(counts, [3, 0, 100])
+
+    def test_intersects_and_sizes(self):
+        sets = [{0, 1}, {2, 3}, {1, 2}]
+        packed = bitpack.pack_rows(sets, 4)
+        mask = bitpack.pack_one({1, 3}, 4)
+        np.testing.assert_array_equal(
+            bitpack.intersects(packed, mask), [True, True, True]
+        )
+        np.testing.assert_array_equal(
+            bitpack.intersection_sizes(packed, mask), [1, 1, 1]
+        )
+        empty = bitpack.pack_one(set(), 4)
+        assert not bitpack.intersects(packed, empty).any()
+
+    def test_is_subset_of_any(self):
+        rows = bitpack.pack_rows([{0, 1}, {2, 3}], 4)
+        assert bitpack.is_subset_of_any(bitpack.pack_one({0, 1, 2}, 4), rows)
+        assert not bitpack.is_subset_of_any(bitpack.pack_one({0, 2}, 4), rows)
+        nothing = bitpack.pack_rows([], 4)
+        assert not bitpack.is_subset_of_any(bitpack.pack_one({0}, 4), nothing)
+
+
+class TestMembershipMatrix:
+    def test_matrix_contents(self):
+        sets = [{0, 2}, {1}]
+        matrix = bitpack.membership_matrix(sets, 3)
+        np.testing.assert_array_equal(
+            matrix, [[True, False, True], [False, True, False]]
+        )
+
+    def test_out_of_universe_element_rejected(self):
+        with pytest.raises(ValueError):
+            bitpack.membership_matrix([{5}], 3)

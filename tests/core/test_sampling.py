@@ -1,0 +1,83 @@
+"""Tests for repro.core.sampling: the O(1) alias-method sampler."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StrategyError
+from repro.core.sampling import AliasTable
+
+
+class TestConstruction:
+    def test_unnormalised_weights_accepted(self):
+        table = AliasTable([2.0, 6.0])
+        np.testing.assert_allclose(table.probabilities(), [0.25, 0.75])
+
+    def test_probabilities_roundtrip(self):
+        rng = np.random.default_rng(3)
+        weights = rng.random(97)
+        table = AliasTable(weights)
+        np.testing.assert_allclose(
+            table.probabilities(), weights / weights.sum(), atol=1e-12
+        )
+
+    def test_degenerate_single_outcome(self):
+        table = AliasTable([5.0])
+        rng = np.random.default_rng(0)
+        assert all(table.sample(rng) == 0 for _ in range(10))
+
+    def test_zero_weight_entries_never_drawn(self):
+        table = AliasTable([0.0, 1.0, 0.0])
+        rng = np.random.default_rng(1)
+        draws = table.sample_many(rng, 1000)
+        assert set(draws.tolist()) == {1}
+
+    def test_bad_weights_rejected(self):
+        for bad in ([], [-1.0, 2.0], [0.0, 0.0], [np.inf, 1.0], [np.nan]):
+            with pytest.raises(StrategyError):
+                AliasTable(bad)
+        with pytest.raises(StrategyError):
+            AliasTable(np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_empirical_distribution_matches_weights(self):
+        weights = [0.5, 0.3, 0.15, 0.05]
+        table = AliasTable(weights)
+        rng = np.random.default_rng(42)
+        draws = table.sample_many(rng, 200_000)
+        observed = np.bincount(draws, minlength=4) / draws.size
+        np.testing.assert_allclose(observed, weights, atol=0.01)
+
+    def test_single_draws_match_weights(self):
+        table = AliasTable([0.2, 0.8])
+        rng = np.random.default_rng(7)
+        draws = [table.sample(rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(0.8, abs=0.02)
+
+    def test_deterministic_under_seed(self):
+        table = AliasTable([0.1, 0.2, 0.7])
+        a = [table.sample(np.random.default_rng(5)) for _ in range(1)]
+        first = table.sample_many(np.random.default_rng(9), 50)
+        second = table.sample_many(np.random.default_rng(9), 50)
+        np.testing.assert_array_equal(first, second)
+        assert a == [AliasTable([0.1, 0.2, 0.7]).sample(np.random.default_rng(5))]
+
+    def test_one_uniform_per_draw(self):
+        # The draw stream consumes exactly one rng.random() per sample, so
+        # single draws and a vectorised draw agree under the same seed.
+        table = AliasTable([0.4, 0.35, 0.25])
+        singles = [table.sample(np.random.default_rng(11)) for _ in range(1)]
+        batch = table.sample_many(np.random.default_rng(11), 1)
+        assert singles[0] == int(batch[0])
+
+    def test_samples_drawn_counter(self):
+        table = AliasTable([1.0, 1.0])
+        rng = np.random.default_rng(0)
+        table.sample(rng)
+        table.sample_many(rng, 9)
+        assert table.samples_drawn == 10
+        assert "drawn=10" in repr(table)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(StrategyError):
+            AliasTable([1.0]).sample_many(np.random.default_rng(0), -1)

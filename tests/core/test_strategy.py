@@ -203,3 +203,41 @@ class TestLeastDamaged:
         strategy = Strategy(star, quorums, [0.1, 0.1, 0.8])
         # {0} touches every quorum equally: the heaviest is least damaged.
         assert strategy.least_damaged({0}) == frozenset({0, 3})
+
+
+class TestHotPathCaches:
+    """The serving hot path must not redo O(m) work per operation."""
+
+    def test_alias_table_built_once(self, star):
+        strategy = Strategy.uniform(star)
+        assert strategy.sampler_stats == {"alias_builds": 0, "samples_drawn": 0}
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            strategy.sample_index(rng)
+        stats = strategy.sampler_stats
+        assert stats["alias_builds"] == 1
+        assert stats["samples_drawn"] == 500
+
+    def test_quorum_members_cached_and_sorted(self, star):
+        strategy = Strategy.uniform(star)
+        members = strategy.quorum_members()
+        assert strategy.quorum_members() is members  # no per-call rebuild
+        for quorum, resolved in zip(strategy.quorums, members):
+            assert resolved == tuple(sorted(quorum))
+
+    def test_packed_quorums_cached_and_correct(self, star):
+        from repro.core import bitpack
+
+        strategy = Strategy.uniform(star)
+        packed = strategy.packed_quorums()
+        assert strategy.packed_quorums() is packed
+        np.testing.assert_array_equal(
+            packed, bitpack.pack_rows(strategy.quorums, star.n)
+        )
+
+    def test_ranked_order_cached_and_indexes_ranked_quorums(self, star):
+        quorums = list(star.minimal_quorums())
+        strategy = Strategy(star, quorums, [0.2, 0.7, 0.1])
+        order = strategy.ranked_order()
+        assert strategy.ranked_order() is order
+        assert [strategy.quorums[j] for j in order] == strategy.ranked_quorums()

@@ -1,0 +1,274 @@
+"""Tests for hedged quorum fan-out and the amortized serving hot path.
+
+The deterministic scenarios use a tiny explicit system whose strategy
+puts all its weight on one quorum, so the sampled primary — and with it
+the hedge plan — is fixed:
+
+* universe ``{0, 1, 2}``, quorums ``{0, 1}`` and ``{0, 2}``;
+* strategy weight 1.0 on ``{0, 1}`` → the primary is always ``{0, 1}``,
+  the single spare is replica 2, and the only alternate candidate is
+  ``{0, 2}``.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import ExplicitQuorumSystem, Strategy, Universe
+from repro.service import (
+    Coordinator,
+    InProcessTransport,
+    Replica,
+    ServiceMetrics,
+    make_replicas,
+)
+from repro.service.chaos import ChaosConfig, run_chaos
+from repro.service.faults import (
+    FaultSchedule,
+    FaultyTransport,
+    LatencyFault,
+    Window,
+)
+from repro.service.transport import DEFAULT_TIMEOUT_MS, Reply, Transport
+from repro.systems import MajorityQuorumSystem
+
+
+def pinned_system():
+    """System + strategy whose primary quorum is always ``{0, 1}``."""
+    system = ExplicitQuorumSystem(
+        Universe.of_size(3), [{0, 1}, {0, 2}], name="pinned"
+    )
+    strategy = Strategy(system, list(system.minimal_quorums()), [1.0, 0.0])
+    return system, strategy
+
+
+def build(transport_factory, **coordinator_kwargs):
+    system, strategy = pinned_system()
+    replicas = [Replica(i) for i in range(3)]
+    transport = transport_factory(replicas)
+    coordinator = Coordinator(
+        system, transport, strategy, seed=0, **coordinator_kwargs
+    )
+    return replicas, transport, coordinator
+
+
+class StallTransport(Transport):
+    """In-process transport where one replica stalls real wall-clock time —
+    the minimal way to exercise the ``hedge_delay_ms`` timer path."""
+
+    def __init__(self, replicas, slow_id, delay_s):
+        self.replicas = {r.replica_id: r for r in replicas}
+        self.slow_id = slow_id
+        self.delay_s = delay_s
+
+    async def call(self, replica_id, request, timeout=DEFAULT_TIMEOUT_MS):
+        await asyncio.sleep(self.delay_s if replica_id == self.slow_id else 0)
+        return Reply(self.replicas[replica_id].handle(request), 1.0)
+
+
+class TestUpfrontHedging:
+    def test_hedge_wins_past_a_crashed_primary_member(self):
+        replicas, transport, coordinator = build(
+            lambda r: InProcessTransport(r, seed=0), hedge_spares=1
+        )
+        transport.crash(1)
+
+        async def scenario():
+            ack = await coordinator.write("k", "v")
+            assert ack.attempts == 1  # no fallback attempt needed
+            await coordinator.drain()
+
+        asyncio.run(scenario())
+        metrics = coordinator.metrics
+        assert metrics.hedges_issued == 1
+        assert metrics.hedges_won == 1
+        assert metrics.fallbacks == 0
+        # The alternate candidate {0, 2} carried the write.
+        assert replicas[0].writes_applied == 1
+        assert replicas[2].writes_applied == 1
+
+    def test_without_hedging_the_same_crash_costs_a_fallback(self):
+        replicas, transport, coordinator = build(
+            lambda r: InProcessTransport(r, seed=0)
+        )
+        transport.crash(1)
+
+        async def scenario():
+            ack = await coordinator.write("k", "v")
+            assert ack.attempts == 2  # attempt 1 fails, fallback to {0, 2}
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.fallbacks == 1
+        assert coordinator.metrics.hedges_issued == 0
+
+    def test_hedging_off_by_default_contacts_only_the_quorum(self):
+        replicas, transport, coordinator = build(
+            lambda r: InProcessTransport(r, seed=0)
+        )
+
+        async def scenario():
+            await coordinator.write("k", "v")
+
+        asyncio.run(scenario())
+        assert transport.calls == 2  # exactly the primary's two members
+        assert coordinator.metrics.hedges_issued == 0
+        assert replicas[2].writes_applied == 0
+
+
+class TestDeferredHedging:
+    def test_fast_path_issues_no_spares(self):
+        replicas, transport, coordinator = build(
+            lambda r: InProcessTransport(r, seed=0),
+            hedge_spares=1,
+            hedge_delay_ms=5.0,
+        )
+
+        async def scenario():
+            for index in range(10):
+                await coordinator.write(f"k{index}", index)
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.hedges_issued == 0
+        assert transport.calls == 20  # 10 ops x 2 primary members, no spares
+
+    def test_member_failure_triggers_the_spares_immediately(self):
+        # The delay is far beyond the test budget: only the
+        # failure-triggered hedge path can complete the op this fast.
+        replicas, transport, coordinator = build(
+            lambda r: InProcessTransport(r, seed=0),
+            hedge_spares=1,
+            hedge_delay_ms=60_000.0,
+        )
+        transport.crash(1)
+
+        async def scenario():
+            ack = await coordinator.write("k", "v")
+            assert ack.attempts == 1
+            await coordinator.drain()
+
+        asyncio.run(scenario())
+        assert coordinator.metrics.hedges_issued == 1
+        assert coordinator.metrics.hedges_won == 1
+        assert coordinator.metrics.fallbacks == 0
+
+    def test_delay_timer_hedges_around_a_wall_clock_straggler(self):
+        replicas, transport, coordinator = build(
+            lambda r: StallTransport(r, slow_id=1, delay_s=0.15),
+            hedge_spares=1,
+            hedge_delay_ms=10.0,
+            timeout=10_000.0,
+        )
+
+        async def scenario():
+            ack = await coordinator.write("k", "v")
+            assert ack.attempts == 1
+            # The phase completed via {0, 2} while replica 1 is still in
+            # flight; the straggler was absorbed, not discarded.
+            assert coordinator.metrics.hedges_won == 1
+            assert len(coordinator.metrics.straggler_latencies) == 0
+            await coordinator.drain()
+            assert len(coordinator.metrics.straggler_latencies) == 1
+
+        asyncio.run(scenario())
+        # Durability: the straggler's side effect still landed on replica 1.
+        assert [r.writes_applied for r in replicas] == [1, 1, 1]
+        assert coordinator.metrics.hedges_issued == 1
+
+
+class TestHedgingUnderLatencySpikes:
+    def test_latency_spike_timeout_is_hedged_within_one_attempt(self):
+        system, strategy = pinned_system()
+        replicas = [Replica(i) for i in range(3)]
+        inner = InProcessTransport(replicas, seed=0)
+        schedule = FaultSchedule(
+            [LatencyFault(frozenset({1}), Window(0), extra=10_000.0)]
+        )
+        faulty = FaultyTransport(inner, schedule, seed=1)
+        coordinator = Coordinator(
+            system, faulty, strategy, seed=0, hedge_spares=1
+        )
+
+        async def scenario():
+            ack = await coordinator.write("k", "v")
+            assert ack.attempts == 1
+            result = await coordinator.read("k")
+            assert result.value == "v"
+            assert result.stale is False
+            await coordinator.drain()
+
+        asyncio.run(scenario())
+        metrics = coordinator.metrics
+        assert metrics.timeouts >= 1  # the spiked replica kept missing deadlines
+        assert metrics.hedges_won >= 1
+        assert metrics.fallbacks == 0
+
+    def test_chaos_invariants_hold_with_hedging_enabled(self):
+        # The full chaos harness — crash epochs, latency spikes, drops,
+        # duplicates, partitions — with hedged coordinators: safety must
+        # be unaffected by perf hedging (acked writes durable, no stale
+        # unflagged reads).
+        system = MajorityQuorumSystem.of_size(5)
+        for hedge_delay_ms in (0.0, 2.0):
+            report = run_chaos(
+                system,
+                seed=7,
+                config=ChaosConfig(
+                    ops=150,
+                    latency_spikes=3,
+                    hedge_spares=1,
+                    hedge_delay_ms=hedge_delay_ms,
+                ),
+            )
+            assert report.ok, report.violations
+            assert report.metrics.hedges_issued > 0
+
+    def test_chaos_report_is_seed_deterministic_with_upfront_hedging(self):
+        system = MajorityQuorumSystem.of_size(5)
+        runs = [
+            run_chaos(
+                system,
+                seed=11,
+                config=ChaosConfig(ops=120, hedge_spares=1),
+            ).to_dict()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+
+class TestAmortizedHotPath:
+    def test_sampler_work_is_one_table_build_plus_lookups(self):
+        # Acceptance criterion: per-op strategy sampling must be alias
+        # lookups, not per-op O(m) rebuilds.
+        system = MajorityQuorumSystem.of_size(5)
+        strategy = Strategy.uniform(system)
+        replicas = make_replicas(system)
+        transport = InProcessTransport(replicas, seed=0)
+        coordinator = Coordinator(system, transport, strategy, seed=0)
+
+        async def scenario():
+            for index in range(200):
+                if index % 2:
+                    await coordinator.read("k")
+                else:
+                    await coordinator.write("k", index)
+
+        asyncio.run(scenario())
+        stats = strategy.sampler_stats
+        assert stats["alias_builds"] == 1
+        assert stats["samples_drawn"] == 200  # exactly one draw per op
+
+    def test_member_tuples_and_avoiding_strategies_are_reused(self):
+        system = MajorityQuorumSystem.of_size(5)
+        strategy = Strategy.uniform(system)
+        transport = InProcessTransport(make_replicas(system), seed=0)
+        coordinator = Coordinator(system, transport, strategy, seed=0)
+        quorum = strategy.quorums[0]
+        # Identity, not equality: the hot path returns the cached object.
+        assert coordinator._members_for(quorum) is coordinator._members_for(quorum)
+        blocked = frozenset({1})
+        assert coordinator._avoiding_strategy(blocked) is (
+            coordinator._avoiding_strategy(blocked)
+        )
+        spares_and_candidates = coordinator._hedge_plan(quorum)
+        assert coordinator._hedge_plan(quorum) is spares_and_candidates

@@ -145,7 +145,11 @@ class TestTcpReconnect:
         async def handle(reader, writer):
             line = await reader.readline()
             if line:
-                response = replica.handle(json.loads(line))
+                request = json.loads(line)
+                rpc_id = request.pop("id", None)
+                response = replica.handle(request)
+                if rpc_id is not None:
+                    response = {**response, "id": rpc_id}
                 writer.write(json.dumps(response).encode() + b"\n")
                 await writer.drain()
             writer.close()
@@ -200,5 +204,238 @@ class TestTcpReconnect:
             finally:
                 await transport.close()
             assert transport.reconnects <= 1
+
+        asyncio.run(scenario())
+
+
+class TestPipelining:
+    """The correlation-id multiplexing added by the hot-path overhaul."""
+
+    @staticmethod
+    async def _start_reordering_server(replica, batch):
+        """A replica server that withholds replies until ``batch`` requests
+        arrived, then answers them in *reverse* order — only correlation
+        ids, never arrival order, can match replies to callers."""
+        import json
+
+        async def handle(reader, writer):
+            pending = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                pending.append(json.loads(line))
+                if len(pending) < batch:
+                    continue
+                out = []
+                for request in reversed(pending):
+                    rpc_id = request.pop("id", None)
+                    response = replica.handle(request)
+                    if rpc_id is not None:
+                        response = {**response, "id": rpc_id}
+                    out.append(json.dumps(response).encode())
+                writer.write(b"\n".join(out) + b"\n")
+                await writer.drain()
+                pending = []
+            writer.close()
+
+        server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+        return server, server.sockets[0].getsockname()[1]
+
+    def test_out_of_order_replies_reach_the_right_callers(self):
+        async def scenario():
+            replica = Replica(0)
+            for index in range(3):
+                replica.handle(
+                    {
+                        "op": "write",
+                        "key": f"k{index}",
+                        "value": f"v{index}",
+                        "counter": index + 1,
+                        "writer": 0,
+                    }
+                )
+            server, port = await self._start_reordering_server(replica, batch=3)
+            transport = TcpTransport({0: ("127.0.0.1", port)})
+            try:
+                replies = await asyncio.gather(
+                    *(
+                        transport.call(
+                            0, {"op": "read", "key": f"k{i}"}, timeout=2000.0
+                        )
+                        for i in range(3)
+                    )
+                )
+            finally:
+                await transport.close()
+                server.close()
+                await server.wait_closed()
+            # Despite the server reversing the reply order, every caller
+            # got the value for *its* key over the one shared connection.
+            assert [r.payload["value"] for r in replies] == ["v0", "v1", "v2"]
+            assert transport.reconnects == 0
+
+        asyncio.run(scenario())
+
+    def test_concurrent_calls_share_one_pipelined_connection(self):
+        async def scenario():
+            replicas = [Replica(0)]
+            servers, addresses = await start_tcp_replicas(replicas, base_port=0)
+            transport = TcpTransport(addresses)
+            try:
+                replies = await asyncio.gather(
+                    *(
+                        transport.call(0, {"op": "ping"}, timeout=2000.0)
+                        for _ in range(16)
+                    )
+                )
+                assert all(r.payload["ok"] for r in replies)
+                # One dial served all 16 in-flight calls; batching means
+                # strictly fewer socket flushes than requests.
+                assert transport.reconnects == 0
+                assert transport.calls == 16
+                assert 1 <= transport.flushes < 16
+            finally:
+                await transport.close()
+                for server in servers:
+                    server.close()
+                    await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_channel_death_fails_only_affected_futures(self):
+        async def scenario():
+            # Replica 0: a black hole that reads requests and then slams
+            # the connection shut without answering.  Replica 1: healthy.
+            async def black_hole(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            broken = await asyncio.start_server(
+                black_hole, host="127.0.0.1", port=0
+            )
+            servers, addresses = await start_tcp_replicas(
+                [Replica(1)], base_port=0
+            )
+            addresses[0] = ("127.0.0.1", broken.sockets[0].getsockname()[1])
+            transport = TcpTransport(addresses)
+            try:
+                outcomes = await asyncio.gather(
+                    transport.call(0, {"op": "ping"}, timeout=2000.0),
+                    transport.call(1, {"op": "ping"}, timeout=2000.0),
+                    return_exceptions=True,
+                )
+            finally:
+                await transport.close()
+                broken.close()
+                await broken.wait_closed()
+                for server in servers:
+                    server.close()
+                    await server.wait_closed()
+            # The dead channel failed its own pending call; the call
+            # multiplexed to the healthy replica was untouched.
+            assert isinstance(outcomes[0], ReplicaUnavailable)
+            assert outcomes[1].payload["ok"]
+
+        asyncio.run(scenario())
+
+    def test_timeout_keeps_the_channel_alive(self):
+        async def scenario():
+            import json
+
+            async def slow_then_fast(reader, writer):
+                first = True
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        break
+                    request = json.loads(line)
+                    rpc_id = request.pop("id", None)
+                    if first:
+                        first = False
+                        await asyncio.sleep(0.2)  # past the first deadline
+                    response = {"ok": True, "id": rpc_id}
+                    writer.write(json.dumps(response).encode() + b"\n")
+                    await writer.drain()
+                writer.close()
+
+            server = await asyncio.start_server(
+                slow_then_fast, host="127.0.0.1", port=0
+            )
+            port = server.sockets[0].getsockname()[1]
+            transport = TcpTransport({0: ("127.0.0.1", port)})
+            try:
+                with pytest.raises(RequestTimeout):
+                    await transport.call(0, {"op": "ping"}, timeout=50.0)
+                # The expired request did not tear the connection down: the
+                # next call reuses it, and the late reply for the dead id
+                # is dropped instead of corrupting this one.
+                reply = await transport.call(0, {"op": "ping"}, timeout=2000.0)
+                assert reply.payload["ok"]
+                assert transport.reconnects == 0
+            finally:
+                await transport.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+class TestFaultyOverPipelined:
+    """FaultSchedule rules apply per *logical* call over pipelined TCP."""
+
+    def test_drop_and_duplicate_rules_apply_per_call(self):
+        from repro.service.faults import (
+            DropFault,
+            DuplicateFault,
+            FaultSchedule,
+            FaultyTransport,
+            Window,
+        )
+
+        async def scenario():
+            replicas = [Replica(0)]
+            servers, addresses = await start_tcp_replicas(replicas, base_port=0)
+            inner = TcpTransport(addresses)
+            schedule = FaultSchedule(
+                [
+                    DropFault(
+                        frozenset({0}), Window(0, 1), probability=1.0,
+                        direction="request",
+                    ),
+                    DuplicateFault(
+                        frozenset({0}), Window(1, 2), probability=1.0
+                    ),
+                ]
+            )
+            faulty = FaultyTransport(inner, schedule, seed=3)
+            try:
+                # Tick 0: the drop rule eats the request before the wire —
+                # the replica never sees it, the caller burns the deadline.
+                with pytest.raises(RequestTimeout):
+                    await faulty.call(0, {"op": "ping"}, timeout=500.0)
+                assert inner.calls == 0
+                # Tick 1: the duplicate rule sends the write twice over the
+                # pipelined channel; the timestamped apply is idempotent.
+                faulty.advance()
+                write = {
+                    "op": "write",
+                    "key": "k",
+                    "value": "v",
+                    "counter": 1,
+                    "writer": 0,
+                }
+                reply = await faulty.call(0, write, timeout=2000.0)
+                assert reply.payload["ok"] and reply.payload["applied"]
+                assert inner.calls == 2  # one logical call, two deliveries
+                assert replicas[0].writes_applied == 1
+                assert replicas[0].writes_ignored == 1
+                assert faulty.injected["drop_request"] == 1
+                assert faulty.injected["duplicate"] == 1
+            finally:
+                await faulty.close()
+                for server in servers:
+                    server.close()
+                    await server.wait_closed()
 
         asyncio.run(scenario())
