@@ -12,14 +12,8 @@ the discrete-event simulator and two bridges are measured:
 import numpy as np
 import pytest
 
-from repro.sim import (
-    AvailabilityProbe,
-    IidCrashInjector,
-    LoadMeter,
-    Network,
-    Node,
-    Simulator,
-)
+from repro.sim import LoadMeter
+from repro.sim import measure_availability as _measure_availability
 from repro.systems import HierarchicalTriangle, MajorityQuorumSystem, YQuorumSystem
 
 from _tables import format_table, run_once
@@ -28,21 +22,10 @@ EPOCHS = 40_000
 P = 0.25
 
 
-class _Sink(Node):
-    def on_message(self, src, message):  # pragma: no cover - never used
-        pass
-
-
 def measure_availability(system, seed=0):
-    sim = Simulator(seed=seed)
-    net = Network(sim)
-    for element in system.universe.ids:
-        _Sink(element, net)
-    probe = AvailabilityProbe(system, net)
-    injector = IidCrashInjector(net, p=P, epoch=1.0, on_epoch=probe.observe)
-    injector.start()
-    sim.run(until=float(EPOCHS))
-    return probe
+    # The scenario helper applies the declarative iid crash schedule with
+    # the same draws (and the same results) as the legacy injector here.
+    return _measure_availability(system, P, epochs=EPOCHS, seed=seed)
 
 
 def compute_convergence():

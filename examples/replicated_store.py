@@ -17,12 +17,13 @@ Run with::
 import numpy as np
 
 from repro import HierarchicalGrid
+from repro.runtime import iid_crash_schedule
 from repro.sim import (
-    IidCrashInjector,
     LatencyStats,
     Network,
     ReplicaNode,
     ReplicatedRegisterClient,
+    ScheduleInjector,
     Simulator,
     UniformLatency,
 )
@@ -43,7 +44,13 @@ def main() -> None:
         ReplicaNode(element, net)
     client = ReplicatedRegisterClient(999, net, timeout=8.0)
 
-    injector = IidCrashInjector(net, p=CRASH_P, epoch=50.0)
+    # The paper's iid crash model as a declarative runtime schedule —
+    # the same FaultSchedule object could drive the asyncio service.
+    horizon = OPERATIONS * 25.0 + 100.0
+    schedule = iid_crash_schedule(
+        sim.rng, net.node_ids, CRASH_P, horizon=horizon, epoch=50.0
+    )
+    injector = ScheduleInjector(net, schedule, horizon=horizon)
     injector.start()
 
     rng = np.random.default_rng(7)
@@ -75,8 +82,7 @@ def main() -> None:
 
     for step in range(OPERATIONS):
         sim.schedule(step * 25.0 + 3.0, issue, step)
-    # The crash injector reschedules itself forever: bound the run.
-    sim.run(until=OPERATIONS * 25.0 + 100.0)
+    sim.run(until=horizon)
 
     print(f"simulated {OPERATIONS} operations over {grid.system_name}")
     print(f"virtual time: {sim.now:.0f}, messages: {net.messages_sent}")

@@ -207,7 +207,8 @@ def _cmd_critical(args: argparse.Namespace) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> None:
-    from .sim import AvailabilityProbe, IidCrashInjector, Network, Node, Simulator
+    from .runtime import iid_crash_schedule
+    from .sim import AvailabilityProbe, Network, Node, ScheduleInjector, Simulator
 
     class _Sink(Node):
         def on_message(self, src, message):
@@ -219,9 +220,15 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     for element in system.universe.ids:
         _Sink(element, net)
     probe = AvailabilityProbe(system, net)
-    injector = IidCrashInjector(net, p=args.p, epoch=1.0, on_epoch=probe.observe)
+    horizon = float(args.epochs)
+    schedule = iid_crash_schedule(
+        sim.rng, net.node_ids, args.p, horizon=horizon, epoch=1.0
+    )
+    injector = ScheduleInjector(
+        net, schedule, horizon=horizon, step=1.0, on_step=probe.observe
+    )
     injector.start()
-    sim.run(until=float(args.epochs))
+    sim.run(until=horizon)
     exact = system.failure_probability(args.p)
     print(f"system    : {system.system_name} (n={system.n})")
     print(f"epochs    : {probe.epochs}, crash p = {args.p}")
@@ -322,13 +329,55 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     )
 
 
+def _print_chaos_report(report, config) -> None:
+    availability = report.availability
+    operations = report.operations
+    print(f"system        : {report.system_name} (n={report.n})")
+    print(f"seed          : {report.seed} ({config.ops} ops,"
+          f" {config.clients} clients, {config.keys} keys)")
+    print(f"mode          : {report.mode}"
+          + (f" ({report.elapsed_seconds:.3f}s)" if report.elapsed_seconds else ""))
+    print(f"fault rules   : {report.schedule.to_dict()['by_kind']}")
+    print(f"injected      : {dict(sorted(report.injected.items()))}")
+    print(
+        f"operations    : reads ok={operations['reads_ok']}"
+        f" degraded={operations['reads_degraded']}"
+        f" failed={operations['reads_failed']} |"
+        f" writes ok={operations['writes_ok']}"
+        f" failed={operations['writes_failed']}"
+    )
+    print(
+        f"availability  : measured={availability['measured']:.4f}"
+        f" exact={availability['exact']:.4f}"
+        f" (iid crash p={availability['crash_rate']:g},"
+        f" |delta|={availability['abs_error']:.4f})"
+    )
+    print(f"op success    : {availability['op_success_rate']:.2%}")
+    print(f"trace hash    : {report.hashes['trace']}")
+    print(f"metrics hash  : {report.hashes['metrics']}")
+    if report.ok:
+        print("invariants    : all held (no acked write lost, no stale"
+              " unflagged read, versions intact, timestamps monotone)")
+    else:
+        print(f"invariants    : {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations:
+            detail = {k: v for k, v in violation.items() if k != "invariant"}
+            print(f"   [{violation['invariant']}] {detail}")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> None:
     import json as json_module
+    import time as time_module
 
     from .core.errors import ServiceError
     from .service.chaos import ChaosConfig, run_chaos
 
     system = build_system(args.system)
+    if args.sim and args.wall:
+        raise SystemExit("--sim and --wall are mutually exclusive")
+    mode = "sim" if args.sim else ("wall" if args.wall else "inprocess")
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
     try:
         config = ChaosConfig(
             ops=args.ops,
@@ -342,42 +391,64 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             partitions=args.partitions,
             unsafe_partial_writes=args.unsafe_partial_writes,
         )
-        report = run_chaos(system, seed=args.seed, config=config)
+        config.validate()
     except ServiceError as exc:
         raise SystemExit(f"chaos failed: {exc}")
-    if args.json:
-        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+
+    reports = []
+    started = time_module.perf_counter()
+    try:
+        for seed in range(args.seed, args.seed + args.seeds):
+            reports.append(run_chaos(system, seed=seed, config=config, mode=mode))
+    except ServiceError as exc:
+        raise SystemExit(f"chaos failed: {exc}")
+    elapsed = time_module.perf_counter() - started
+    all_ok = all(report.ok for report in reports)
+
+    if args.seeds == 1:
+        payload = reports[0].to_dict()
     else:
-        availability = report.availability
-        operations = report.operations
-        print(f"system        : {system.system_name} (n={system.n})")
-        print(f"seed          : {report.seed} ({config.ops} ops,"
-              f" {config.clients} clients, {config.keys} keys)")
-        print(f"fault rules   : {report.schedule.to_dict()['by_kind']}")
-        print(f"injected      : {dict(sorted(report.injected.items()))}")
-        print(
-            f"operations    : reads ok={operations['reads_ok']}"
-            f" degraded={operations['reads_degraded']}"
-            f" failed={operations['reads_failed']} |"
-            f" writes ok={operations['writes_ok']}"
-            f" failed={operations['writes_failed']}"
-        )
-        print(
-            f"availability  : measured={availability['measured']:.4f}"
-            f" exact={availability['exact']:.4f}"
-            f" (iid crash p={availability['crash_rate']:g},"
-            f" |delta|={availability['abs_error']:.4f})"
-        )
-        print(f"op success    : {availability['op_success_rate']:.2%}")
-        if report.ok:
-            print("invariants    : all held (no acked write lost, no stale"
-                  " unflagged read, versions intact, timestamps monotone)")
-        else:
-            print(f"invariants    : {len(report.violations)} VIOLATION(S)")
-            for violation in report.violations:
-                detail = {k: v for k, v in violation.items() if k != "invariant"}
-                print(f"   [{violation['invariant']}] {detail}")
-    if not report.ok:
+        payload = {
+            "system": system.system_name,
+            "n": system.n,
+            "mode": mode,
+            "seeds": [report.seed for report in reports],
+            "all_ok": all_ok,
+            "violations_total": sum(len(r.violations) for r in reports),
+            "runs": [report.to_dict() for report in reports],
+        }
+    if args.json_out:
+        # The artifact additionally carries the (non-deterministic)
+        # wall-clock numbers, like kvbench's perf_dict.
+        artifact = dict(payload)
+        artifact["perf"] = {
+            "elapsed_seconds": elapsed,
+            "run_seconds": [report.elapsed_seconds for report in reports],
+            "runs_per_second": len(reports) / elapsed if elapsed > 0 else 0.0,
+        }
+        with open(args.json_out, "w") as handle:
+            json_module.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif args.seeds == 1:
+        _print_chaos_report(reports[0], config)
+    else:
+        print(f"system        : {system.system_name} (n={system.n}), mode {mode}")
+        print(f"sweep         : {args.seeds} seeds [{args.seed}.."
+              f"{args.seed + args.seeds - 1}], {elapsed:.2f}s total")
+        for report in reports:
+            status = "ok" if report.ok else f"{len(report.violations)} VIOLATION(S)"
+            availability = report.availability
+            print(
+                f"   seed {report.seed:>4}: {status};"
+                f" availability measured={availability['measured']:.4f}"
+                f" exact={availability['exact']:.4f};"
+                f" trace {report.hashes['trace'][:12]}"
+            )
+        print(f"invariants    : {'all held' if all_ok else 'VIOLATED'}"
+              f" across {args.seeds} seeds")
+    if not all_ok:
         raise SystemExit(1)
 
 
@@ -544,6 +615,20 @@ def main(argv: List[str] = None) -> None:
                               " must detect the violation and exit 1")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the full chaos report as JSON")
+    p_chaos.add_argument("--sim", action="store_true",
+                         help="run under virtual time (SimTransport on a"
+                              " virtual-time event loop): bit-reproducible,"
+                              " milliseconds per run")
+    p_chaos.add_argument("--wall", action="store_true",
+                         help="run the same SimTransport scenario under real"
+                              " time (the wall-clock baseline for --sim)")
+    p_chaos.add_argument("--seeds", type=int, default=1,
+                         help="sweep this many consecutive seeds starting at"
+                              " --seed (exit 1 if any run violates an"
+                              " invariant)")
+    p_chaos.add_argument("--json-out", metavar="PATH",
+                         help="write the JSON report (plus wall-clock perf"
+                              " numbers) to PATH")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_serve = sub.add_parser(

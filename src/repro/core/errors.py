@@ -59,3 +59,43 @@ class ServiceError(QuorumError):
     failures, per-request timeouts, and operations that exhausted every
     fallback quorum all derive from this.
     """
+
+
+class TransportError(ServiceError):
+    """A single request to a single replica failed at the transport level.
+
+    Carries the target ``replica_id`` and the ``latency`` (ms) the caller
+    observed before giving up — the two facts every retry/suspicion/
+    circuit-breaker decision is based on.  Subclasses distinguish *why*:
+    :class:`ReplicaUnavailable` (the replica is down or unreachable) vs
+    :class:`RequestTimeout` (the replica may be fine but the reply missed
+    the deadline).
+    """
+
+    def __init__(self, replica_id: int, latency: float, message: str) -> None:
+        self.replica_id = replica_id
+        self.latency = latency
+        super().__init__(message)
+
+
+class ReplicaUnavailable(TransportError):
+    """The target replica is crashed or unreachable."""
+
+    def __init__(
+        self, replica_id: int, latency: float = 0.0, reason: str = "down"
+    ) -> None:
+        super().__init__(
+            replica_id, latency, f"replica {replica_id} unavailable ({reason})"
+        )
+        self.reason = reason
+
+
+class RequestTimeout(TransportError):
+    """A request to a replica missed its deadline."""
+
+    def __init__(self, replica_id: int, latency: float) -> None:
+        super().__init__(
+            replica_id,
+            latency,
+            f"request to replica {replica_id} timed out after {latency:g}ms",
+        )

@@ -1,0 +1,201 @@
+"""Clocks and the virtual-time event loop.
+
+The service layer measures time in **milliseconds** (latencies, timeouts,
+backoffs all carry ``_ms`` suffixes); asyncio measures loop time in
+seconds.  The :class:`Clock` protocol adopts the service convention —
+``now()`` returns milliseconds, ``sleep`` takes milliseconds — and
+:class:`VirtualTimeLoop` does the 1000× bridge exactly once, so sim and
+service code agree on units without sprinkling conversions.
+
+Two implementations:
+
+* :class:`WallClock` — real time.  ``now()`` is ``time.monotonic()`` in
+  ms, ``sleep`` awaits a real ``asyncio.sleep``.
+* :class:`VirtualClock` — manually advanced time.  On its own it is a
+  plain counter (the discrete-event :class:`~repro.sim.engine.Simulator`
+  drives one directly); paired with :class:`VirtualTimeLoop` it also
+  makes ordinary asyncio code run under simulated time: whenever the
+  loop would block waiting for a timer, the wrapped selector advances
+  the clock to the timer's deadline instead, so ``await
+  asyncio.sleep(3600)`` completes in microseconds of wall time while
+  ``clock.now()`` moves forward 3 600 000 ms.
+
+:func:`run_virtual` is the ``asyncio.run`` analogue: it runs a coroutine
+to completion on a fresh :class:`VirtualTimeLoop`.  Determinism note —
+the loop never *reorders* ready callbacks, it only fast-forwards idle
+waits, so a program that is deterministic under ``asyncio.run`` with a
+seeded RNG is byte-for-byte deterministic (and enormously faster) under
+:func:`run_virtual`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Coroutine, List, Optional, TypeVar
+
+from ..core.errors import SimulationError
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "VirtualClock",
+    "VirtualTimeLoop",
+    "run_virtual",
+]
+
+_T = TypeVar("_T")
+
+
+class Clock(ABC):
+    """Source of time for transports, fault schedules and metrics.
+
+    ``now()`` returns the current time in milliseconds; ``sleep``
+    suspends the calling coroutine for ``delay_ms`` milliseconds of
+    *this clock's* time (real for :class:`WallClock`, simulated for
+    :class:`VirtualClock` under a :class:`VirtualTimeLoop`).
+    """
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in milliseconds."""
+
+    @abstractmethod
+    async def sleep(self, delay_ms: float) -> None:
+        """Suspend for ``delay_ms`` milliseconds of clock time."""
+
+
+class WallClock(Clock):
+    """Real time: monotonic milliseconds, real asyncio sleeps."""
+
+    def now(self) -> float:
+        return time.monotonic() * 1000.0
+
+    async def sleep(self, delay_ms: float) -> None:
+        await asyncio.sleep(max(0.0, delay_ms) / 1000.0)
+
+
+class VirtualClock(Clock):
+    """Manually advanced simulated time, starting at ``start`` ms.
+
+    ``advance``/``advance_to`` move time forward (never backward).
+    ``sleep`` awaits an ``asyncio.sleep`` and therefore only makes
+    progress when the running loop understands virtual time — i.e.
+    inside :func:`run_virtual`.  Synchronous users (the discrete-event
+    engine) call ``advance_to`` directly and never sleep.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_ms: float) -> float:
+        if delta_ms < 0:
+            raise SimulationError(f"cannot advance time by {delta_ms} ms")
+        self._now += delta_ms
+        return self._now
+
+    def advance_to(self, deadline_ms: float) -> float:
+        if deadline_ms < self._now:
+            raise SimulationError(
+                f"cannot rewind virtual clock from {self._now} to {deadline_ms}"
+            )
+        self._now = float(deadline_ms)
+        return self._now
+
+    async def sleep(self, delay_ms: float) -> None:
+        await asyncio.sleep(max(0.0, delay_ms) / 1000.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now!r})"
+
+
+class _TimeJumpingSelector:
+    """Selector wrapper that advances a :class:`VirtualClock` instead of
+    blocking.
+
+    ``select(timeout)`` first polls real I/O without waiting.  If events
+    are pending they are returned (TCP under virtual time still works,
+    albeit nondeterministically — the deterministic path uses no real
+    I/O).  Otherwise the wait the loop asked for is converted into a
+    clock jump: timers scheduled ``timeout`` seconds out become due
+    immediately.  An indefinite wait with no I/O sources means nothing
+    can ever wake the loop — a simulation deadlock — and raises rather
+    than hanging the process.
+    """
+
+    def __init__(self, wrapped: selectors.BaseSelector, clock: VirtualClock) -> None:
+        self._wrapped = wrapped
+        self._clock = clock
+
+    def select(self, timeout: Optional[float] = None) -> List[Any]:
+        events = self._wrapped.select(0)
+        if events:
+            return events
+        if timeout is None:
+            raise SimulationError(
+                "virtual-time deadlock: event loop is idle with no scheduled "
+                "timers and no ready I/O; some coroutine awaits an event that "
+                "can never arrive"
+            )
+        if timeout > 0:
+            self._clock.advance(timeout * 1000.0)
+        return []
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._wrapped, name)
+
+
+class VirtualTimeLoop(asyncio.SelectorEventLoop):
+    """A selector event loop whose ``time()`` is a :class:`VirtualClock`.
+
+    All asyncio timing — ``asyncio.sleep``, ``asyncio.wait(...,
+    timeout=)``, ``loop.call_later`` — runs against the virtual clock,
+    which jumps forward whenever the loop has nothing ready.  Loop time
+    is the clock's millisecond value divided by 1000, so a coroutine's
+    ``await asyncio.sleep(0.004)`` and a transport's ``await
+    clock.sleep(4)`` mean the same thing.
+    """
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        super().__init__()
+        self.clock = clock if clock is not None else VirtualClock()
+        self._selector = _TimeJumpingSelector(self._selector, self.clock)
+
+    def time(self) -> float:
+        return self.clock.now() / 1000.0
+
+
+def run_virtual(
+    main: Coroutine[Any, Any, _T], *, clock: Optional[VirtualClock] = None
+) -> _T:
+    """Run ``main`` to completion under virtual time; the ``asyncio.run``
+    of the simulation world.
+
+    Creates a fresh :class:`VirtualTimeLoop` (over ``clock`` when given,
+    so callers can share one clock between the loop and their
+    transports), runs the coroutine, then cancels stragglers and closes
+    the loop exactly like ``asyncio.run`` does.
+    """
+    loop = VirtualTimeLoop(clock=clock)
+    try:
+        return loop.run_until_complete(main)
+    finally:
+        try:
+            _cancel_all_tasks(loop)
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+
+def _cancel_all_tasks(loop: asyncio.AbstractEventLoop) -> None:
+    tasks = [task for task in asyncio.all_tasks(loop) if not task.done()]
+    if not tasks:
+        return
+    for task in tasks:
+        task.cancel()
+    loop.run_until_complete(asyncio.gather(*tasks, return_exceptions=True))

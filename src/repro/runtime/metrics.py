@@ -1,0 +1,241 @@
+"""Shared metrics primitives for sim and service.
+
+Three small building blocks — :class:`Counter`, :class:`Gauge`,
+:class:`LatencyHistogram` — that :mod:`repro.sim.metrics` and
+:mod:`repro.service.metrics` are thin views over.  They are deliberately
+exact (the histogram keeps every sample) because the determinism tests
+hash metric snapshots byte-for-byte: a lossy sketch would trade
+reproducibility for memory we don't need at chaos-run scale.
+
+:class:`Counter` and :class:`Gauge` interoperate with plain numbers
+(``counter += 1``, ``counter / total``, ``counter == 3``) so call sites
+read like the bare ints they replace, while still being shareable by
+reference between a component and its observer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing integer count with int ergonomics."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = int(value)
+
+    def inc(self, by: int = 1) -> int:
+        """Increase the count (``by`` must be non-negative)."""
+        if by < 0:
+            raise ValueError(f"counters only go up; inc({by})")
+        self.value += int(by)
+        return self.value
+
+    # Arithmetic / comparison interop with plain numbers -----------------
+    def __iadd__(self, other: Number) -> "Counter":
+        self.inc(int(other))
+        return self
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def _coerce(self, other: Any) -> Any:
+        if isinstance(other, Counter):
+            return other.value
+        if isinstance(other, Gauge):
+            return other.value
+        if isinstance(other, (int, float)):
+            return other
+        return NotImplemented
+
+    def __eq__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value == value
+
+    def __lt__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value < value
+
+    def __le__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value <= value
+
+    def __gt__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value > value
+
+    def __ge__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value >= value
+
+    def __add__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value + value
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value - value
+
+    def __rsub__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else value - self.value
+
+    def __mul__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value * value
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value / value
+
+    def __rtruediv__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else value / self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric value (can move both ways)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def add(self, delta: float) -> float:
+        self.value += float(delta)
+        return self.value
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __bool__(self) -> bool:
+        return self.value != 0.0
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, (Counter, Gauge)):
+            return self.value == other.value
+        if isinstance(other, (int, float)):
+            return self.value == other
+        return NotImplemented
+
+    def _coerce(self, other: Any) -> Any:
+        if isinstance(other, (Counter, Gauge)):
+            return other.value
+        if isinstance(other, (int, float)):
+            return other
+        return NotImplemented
+
+    def __lt__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value < value
+
+    def __le__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value <= value
+
+    def __gt__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value > value
+
+    def __ge__(self, other: Any) -> Any:
+        value = self._coerce(other)
+        return NotImplemented if value is NotImplemented else self.value >= value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class LatencyHistogram:
+    """Exact latency aggregation: every sample kept, percentiles on demand.
+
+    The numerics intentionally match what sim and service metrics
+    computed before unification — ``np.mean`` / ``np.percentile`` over
+    the raw sample list — so snapshots stay bit-identical per seed.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: Union[List[float], None] = None) -> None:
+        self.samples: List[float] = samples if samples is not None else []
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Average sample (0 when empty)."""
+        return float(np.mean(self.samples)) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Sample percentile ``q`` in [0, 100] (0 when empty)."""
+        if not self.samples:
+            return 0.0
+        return float(np.percentile(self.samples, q))
+
+    def summary(self) -> Dict[str, float]:
+        """The standard snapshot block: count, mean, p50/p95/p99."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram's samples into this one."""
+        self.samples.extend(other.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        return f"<LatencyHistogram count={self.count} mean={self.mean:.3f}>"

@@ -50,6 +50,7 @@ from .loadgen import (
 )
 from .metrics import ServiceMetrics
 from .replica import NULL_TIMESTAMP, Replica, Versioned
+from .simtransport import SimTransport
 from .transport import (
     DEFAULT_TIMEOUT_MS,
     InProcessTransport,
@@ -59,6 +60,7 @@ from .transport import (
     SerializedTcpTransport,
     TcpTransport,
     Transport,
+    TransportError,
     start_tcp_replicas,
 )
 
@@ -86,8 +88,10 @@ __all__ = [
     "RequestTimeout",
     "SerializedTcpTransport",
     "ServiceMetrics",
+    "SimTransport",
     "TcpTransport",
     "Transport",
+    "TransportError",
     "Versioned",
     "Window",
     "WorkloadConfig",

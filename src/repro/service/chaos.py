@@ -1,7 +1,7 @@
 """Chaos harness: randomized fault schedules + safety invariants.
 
 Runs a seeded, bit-reproducible workload against the KV service while a
-:class:`~repro.service.faults.FaultSchedule` injects crashes, flapping,
+:class:`~repro.runtime.faults.FaultSchedule` injects crashes, flapping,
 asymmetric partitions, latency spikes, and message drop/duplication —
 then checks safety invariants over the full operation history:
 
@@ -25,11 +25,39 @@ On top, the harness measures availability under the schedule's iid crash
 component and compares it against the *exact* failure probability
 ``F_p`` from :mod:`repro.analysis` — closing the loop between the
 paper's §4.3/§6 numbers and served traffic.
+
+Execution substrates (``mode=``)
+--------------------------------
+``"inprocess"``
+    The zero-latency deterministic transport: sampled latencies are
+    accounting entries, awaits are cooperative yields.  Fast, the
+    historical default.
+``"sim"``
+    The same unmodified coordinator/replica stack over
+    :class:`~repro.service.simtransport.SimTransport` under a
+    :class:`~repro.runtime.clock.VirtualTimeLoop`: latencies, timeouts
+    and backoffs *elapse* in virtual time, the run is bit-reproducible
+    (the report carries trace and metrics hashes to prove it), and a
+    whole run costs milliseconds of wall clock.
+``"wall"``
+    The identical ``SimTransport`` run over a real clock and event loop
+    — every sampled latency is really slept.  Same RNG draws, same
+    outcomes, same hashes as ``"sim"``; exists as the honest wall-clock
+    baseline the ``--sim`` speedup is measured against.
+
+All randomness is drawn from named :class:`~repro.runtime.rng.RngStreams`
+(``chaos.transport``, ``chaos.schedule``, ``chaos.plan``,
+``chaos.faults.<client>``, ``chaos.coordinator.<client>``,
+``chaos.warmup``), so every component owns an independent stream derived
+from the one root seed.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import json
+import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -39,13 +67,18 @@ from ..analysis.availability import availability_comparison
 from ..core.errors import ServiceError
 from ..core.quorum_system import QuorumSystem
 from ..core.strategy import Strategy
+from ..runtime.clock import Clock, VirtualClock, WallClock, run_virtual
+from ..runtime.rng import RngStreams
 from .coordinator import Coordinator, OperationFailed
 from .faults import FaultSchedule, FaultyTransport, Window, split_brain_schedule
 from .metrics import ServiceMetrics
 from .replica import NULL_TIMESTAMP, Replica
+from .simtransport import SimTransport
 from .transport import InProcessTransport
 
 _TS = Tuple[int, int]
+
+_MODES = ("inprocess", "sim", "wall")
 
 
 @dataclass
@@ -111,6 +144,12 @@ class ChaosReport:
     availability: Dict[str, float]
     violations: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Optional[ServiceMetrics] = None
+    mode: str = "inprocess"
+    trace: List[Dict[str, Any]] = field(default_factory=list)
+    hashes: Dict[str, str] = field(default_factory=dict)
+    # Wall-clock duration of the run; NOT in to_dict() — the snapshot
+    # must stay bit-identical for identical seeds.
+    elapsed_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -122,11 +161,13 @@ class ChaosReport:
             "system": self.system_name,
             "n": self.n,
             "seed": self.seed,
+            "mode": self.mode,
             "config": asdict(self.config),
             "schedule": self.schedule.to_dict(),
             "faults_injected": dict(sorted(self.injected.items())),
             "operations": dict(sorted(self.operations.items())),
             "availability": dict(sorted(self.availability.items())),
+            "hashes": dict(sorted(self.hashes.items())),
             "invariants": {
                 "checked": [
                     "acked-write-durable",
@@ -155,6 +196,12 @@ def _plan(
     ]
 
 
+def _digest(payload: Any) -> str:
+    """Canonical-JSON sha256 of a snapshot (the determinism fingerprint)."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
 def run_chaos(
     system: QuorumSystem,
     *,
@@ -162,6 +209,7 @@ def run_chaos(
     config: Optional[ChaosConfig] = None,
     schedule: Optional[FaultSchedule] = None,
     strategy: Optional[Strategy] = None,
+    mode: str = "inprocess",
 ) -> ChaosReport:
     """Run one seeded chaos scenario and check every safety invariant.
 
@@ -170,7 +218,14 @@ def run_chaos(
     additionally appends a forced split-brain partition and disables the
     coordinators' full-quorum acknowledgement check — the intentionally
     intersection-breaking scenario that must be *detected*.
+
+    ``mode`` selects the execution substrate (see module docstring):
+    ``"inprocess"``, ``"sim"`` (virtual time) or ``"wall"`` (real time,
+    same draws as ``"sim"``).  The same seed and config produce the same
+    schedule and plan in every mode.
     """
+    if mode not in _MODES:
+        raise ServiceError(f"unknown chaos mode {mode!r}; pick one of {_MODES}")
     if config is None:
         config = ChaosConfig()
     config.validate()
@@ -179,7 +234,7 @@ def run_chaos(
 
         strategy = optimal_strategy(system)
 
-    states = np.random.SeedSequence(seed).generate_state(3 + 2 * config.clients)
+    streams = RngStreams(seed)
     ids = sorted(system.universe.ids)
     universe = frozenset(ids)
 
@@ -196,11 +251,20 @@ def run_chaos(
         Replica(rid, name=system.universe.name_of(rid), on_apply=journal_for(rid))
         for rid in ids
     ]
-    inner = InProcessTransport(replicas, seed=int(states[0]))
+    clock: Optional[Clock] = None
+    if mode == "inprocess":
+        inner: Any = InProcessTransport(
+            replicas, seed=streams.seed_for("chaos.transport")
+        )
+    else:
+        clock = VirtualClock() if mode == "sim" else WallClock()
+        inner = SimTransport(
+            replicas, clock=clock, rng=streams.stream("chaos.transport")
+        )
 
     if schedule is None:
         schedule = FaultSchedule.random(
-            np.random.default_rng(int(states[1])),
+            streams.stream("chaos.schedule"),
             ids,
             float(config.ops),
             crash_rate=config.crash_rate,
@@ -218,7 +282,10 @@ def run_chaos(
 
     transports = [
         FaultyTransport(
-            inner, schedule, seed=int(states[3 + client]), site=client % 2
+            inner,
+            schedule,
+            seed=streams.seed_for(f"chaos.faults.{client}"),
+            site=client % 2,
         )
         for client in range(config.clients)
     ]
@@ -229,7 +296,7 @@ def run_chaos(
             transports[client],
             strategy,
             coordinator_id=client,
-            seed=int(states[3 + config.clients + client]),
+            seed=streams.seed_for(f"chaos.coordinator.{client}"),
             timeout=config.timeout,
             max_attempts=config.max_attempts,
             suspicion_ttl=config.suspicion_ttl,
@@ -244,12 +311,13 @@ def run_chaos(
         )
         for client in range(config.clients)
     ]
-    plan = _plan(np.random.default_rng(int(states[2])), config)
+    plan = _plan(streams.stream("chaos.plan"), config)
 
     acked_max: Dict[str, _TS] = {}
     acked_values: Dict[Tuple[str, int, int], Any] = {}
     issued_values: Dict[Tuple[str, int, int], Any] = {}
     violations: List[Dict[str, Any]] = []
+    trace: List[Dict[str, Any]] = []
     counts = {
         "reads_ok": 0,
         "reads_degraded": 0,
@@ -308,6 +376,20 @@ def run_chaos(
                 }
             )
 
+    def record_trace(
+        index: int, client: int, kind: str, key: str, outcome: str, ts: Optional[_TS]
+    ) -> None:
+        trace.append(
+            {
+                "op": index,
+                "client": client,
+                "kind": kind,
+                "key": key,
+                "outcome": outcome,
+                "ts": list(ts) if ts is not None else None,
+            }
+        )
+
     async def _run() -> None:
         # Preload every key through the fault-free inner transport so each
         # key has an acknowledged baseline version.
@@ -316,7 +398,7 @@ def run_chaos(
             inner,
             strategy,
             coordinator_id=config.clients,
-            seed=int(states[0]),
+            seed=streams.seed_for("chaos.warmup"),
             timeout=10_000.0,
             max_attempts=6,
             metrics=ServiceMetrics(system.n),
@@ -343,27 +425,48 @@ def run_chaos(
                     ack = await coordinator.write(key, value)
                 except OperationFailed:
                     counts["writes_failed"] += 1
+                    record_trace(index, client, kind, key, "failed", None)
                 else:
                     counts["writes_ok"] += 1
                     record_ack(key, (ack.counter, ack.writer), value)
+                    record_trace(
+                        index, client, kind, key, "ok", (ack.counter, ack.writer)
+                    )
             else:
                 try:
                     result = await coordinator.read(key)
                 except OperationFailed:
                     counts["reads_failed"] += 1
+                    record_trace(index, client, kind, key, "failed", None)
                 else:
                     if result.stale:
                         counts["reads_degraded"] += 1
+                        outcome = "degraded"
                     else:
                         counts["reads_ok"] += 1
+                        outcome = "ok"
                     check_read(index, client, key, result)
+                    record_trace(
+                        index,
+                        client,
+                        kind,
+                        key,
+                        outcome,
+                        (result.counter, result.writer),
+                    )
         # Hedged phases may leave absorbed stragglers in flight; the
         # post-run invariants must see their effects (journal appends,
         # suspicion updates) — wait for them all.
         for coordinator in coordinators:
             await coordinator.drain()
 
-    asyncio.run(_run())
+    started = time.perf_counter()
+    if mode == "sim":
+        assert isinstance(clock, VirtualClock)
+        run_virtual(_run(), clock=clock)
+    else:
+        asyncio.run(_run())
+    elapsed = time.perf_counter() - started
 
     # ------------------------------------------------------------------
     # Post-run invariants
@@ -437,6 +540,12 @@ def run_chaos(
         for fault_kind, count in transport.injected.items():
             injected[fault_kind] = injected.get(fault_kind, 0) + count
 
+    metrics_snapshot = metrics.to_dict()
+    hashes = {
+        "trace": _digest(trace),
+        "metrics": _digest(metrics_snapshot),
+    }
+
     return ChaosReport(
         system_name=system.system_name,
         n=system.n,
@@ -448,4 +557,8 @@ def run_chaos(
         availability=availability,
         violations=violations,
         metrics=metrics,
+        mode=mode,
+        trace=trace,
+        hashes=hashes,
+        elapsed_seconds=elapsed,
     )

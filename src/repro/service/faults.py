@@ -1,54 +1,43 @@
-"""Declarative fault injection for the KV service.
+"""Fault injection for the KV service.
 
-A :class:`FaultSchedule` is a list of fault rules, each active inside a
-half-open window ``[start, end)`` of *ticks* — the virtual time axis of a
-chaos run (the harness advances one tick per scheduled operation).  A
-:class:`FaultyTransport` applies the schedule on top of any inner
-:class:`~repro.service.transport.Transport` (in-process or TCP), so the
-same fault description drives both deterministic chaos runs and real
-sockets.
-
-Fault types
------------
-:class:`CrashFault`
-    Replicas are hard-down: requests burn the full deadline and fail.
-:class:`FlappingFault`
-    Replicas alternate down/up with a fixed period — repeated
-    crash/recover cycles that stress suspicion TTLs and circuit breakers.
-:class:`PartitionFault`
-    Asymmetric network partition: *clients at the given sites* cannot
-    reach the listed replicas (other sites still can).  Split-brain
-    scenarios use one fault per side.
-:class:`LatencyFault`
-    Per-replica latency spikes and tail amplification: message latency
-    becomes ``latency * factor + extra`` and times out if it exceeds the
-    deadline (the request side effect still happens — a slow reply is
-    not a lost request).
-:class:`DropFault`
-    Messages are dropped with a probability; ``direction="request"``
-    drops before the replica sees it, ``direction="response"`` drops the
-    reply *after* the side effect applied (the nastier fault: an applied
-    write the client believes failed).
-:class:`DuplicateFault`
-    Requests are delivered twice with a probability — exercises the
-    idempotence of timestamped writes.
+The declarative fault model — :class:`Window`, the fault rule types and
+:class:`FaultSchedule` — lives in :mod:`repro.runtime.faults` so that a
+single schedule can drive the asyncio service, the discrete-event
+simulator and the analytic availability comparison alike.  This module
+re-exports all of it (the historical import location) and contributes
+the service-side executor: :class:`FaultyTransport`, which applies a
+schedule on top of any inner :class:`~repro.service.transport.Transport`
+(in-process, TCP, or the virtual-time :class:`~repro.service.simtransport.SimTransport`).
 
 Determinism: the drop/duplicate coin flips come from the wrapper's own
 seeded RNG, drawn once per call *unconditionally* (active or not), so a
 fixed seed gives one fixed randomness stream no matter how the schedule
-is edited.
+is edited.  Every injected fault is appended to :attr:`FaultyTransport.
+activation_log` as ``(tick, kind, replica_id)`` — the cross-substrate
+determinism tests assert this log is identical whichever inner transport
+the wrapper runs over.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
-from ..core.errors import ServiceError
-from ..sim.failures import sample_iid_crash_set
+from ..runtime.faults import (
+    CrashFault,
+    DropFault,
+    DuplicateFault,
+    FaultSchedule,
+    FlappingFault,
+    LatencyFault,
+    PartitionFault,
+    Window,
+    _as_window,
+    iid_crash_schedule,
+    sample_iid_crash_set,
+    split_brain_schedule,
+)
 from .transport import (
     DEFAULT_TIMEOUT_MS,
     Reply,
@@ -57,347 +46,20 @@ from .transport import (
     Transport,
 )
 
-
-class Window(Tuple[float, float]):
-    """Half-open activity window ``[start, end)`` in ticks."""
-
-    def __new__(cls, start: float, end: float = math.inf) -> "Window":
-        if end < start:
-            raise ServiceError(f"window end {end} before start {start}")
-        return super().__new__(cls, (float(start), float(end)))
-
-    @property
-    def start(self) -> float:
-        return self[0]
-
-    @property
-    def end(self) -> float:
-        return self[1]
-
-    def contains(self, now: float) -> bool:
-        return self[0] <= now < self[1]
-
-
-def _as_window(window: Any) -> Window:
-    if isinstance(window, Window):
-        return window
-    start, end = window
-    return Window(start, end)
-
-
-@dataclass(frozen=True)
-class CrashFault:
-    """Replicas completely down for the window."""
-
-    replicas: frozenset
-    window: Window
-
-    kind = "crash"
-
-
-@dataclass(frozen=True)
-class FlappingFault:
-    """Replicas cycle down/up: down for the first ``down_fraction`` of
-    every ``period`` ticks inside the window."""
-
-    replicas: frozenset
-    window: Window
-    period: float = 8.0
-    down_fraction: float = 0.5
-
-    kind = "flap"
-
-    def down(self, now: float) -> bool:
-        if not self.window.contains(now):
-            return False
-        phase = (now - self.window.start) % self.period
-        return phase < self.period * self.down_fraction
-
-
-@dataclass(frozen=True)
-class PartitionFault:
-    """Clients at ``sites`` cannot reach ``unreachable`` replicas.
-
-    ``sites=None`` applies to every client site.  Asymmetric partitions
-    (A sees B, B does not see A) and split-brain (two one-sided faults)
-    are both expressible.
-    """
-
-    unreachable: frozenset
-    window: Window
-    sites: Optional[frozenset] = None
-
-    kind = "partition"
-
-    def applies_to(self, site: int) -> bool:
-        return self.sites is None or site in self.sites
-
-
-@dataclass(frozen=True)
-class LatencyFault:
-    """Latency spike: message latency becomes ``latency*factor + extra``."""
-
-    replicas: frozenset
-    window: Window
-    extra: float = 0.0
-    factor: float = 1.0
-
-    kind = "latency"
-
-
-@dataclass(frozen=True)
-class DropFault:
-    """Messages to/from the replicas vanish with ``probability``."""
-
-    replicas: frozenset
-    window: Window
-    probability: float = 0.5
-    direction: str = "request"  # or "response"
-
-    kind = "drop"
-
-
-@dataclass(frozen=True)
-class DuplicateFault:
-    """Requests are delivered twice with ``probability``."""
-
-    replicas: frozenset
-    window: Window
-    probability: float = 0.5
-
-    kind = "duplicate"
-
-
-_FAULT_TYPES = (
-    CrashFault,
-    FlappingFault,
-    PartitionFault,
-    LatencyFault,
-    DropFault,
-    DuplicateFault,
-)
-
-
-class FaultSchedule:
-    """An immutable collection of fault rules queried by tick."""
-
-    def __init__(self, faults: Sequence[Any] = ()) -> None:
-        for fault in faults:
-            if not isinstance(fault, _FAULT_TYPES):
-                raise ServiceError(f"not a fault rule: {fault!r}")
-        self.faults: Tuple[Any, ...] = tuple(faults)
-
-    def __len__(self) -> int:
-        return len(self.faults)
-
-    def __iter__(self):
-        return iter(self.faults)
-
-    # ------------------------------------------------------------------
-    # Queries (all pure functions of the tick)
-    # ------------------------------------------------------------------
-    def crash_down_at(self, now: float) -> frozenset:
-        """Replicas hard-down at ``now`` from crash and flapping faults.
-
-        This is the *node-failure* down-set the availability probe
-        compares against the paper's iid model — partitions and drops are
-        link faults, not node faults.
-        """
-        down: set = set()
-        for fault in self.faults:
-            if isinstance(fault, CrashFault) and fault.window.contains(now):
-                down |= fault.replicas
-            elif isinstance(fault, FlappingFault) and fault.down(now):
-                down |= fault.replicas
-        return frozenset(down)
-
-    def unreachable_at(self, now: float, site: int = 0) -> frozenset:
-        """Replicas a client at ``site`` cannot reach: crashes, flaps and
-        partitions that apply to the site."""
-        down = set(self.crash_down_at(now))
-        for fault in self.faults:
-            if (
-                isinstance(fault, PartitionFault)
-                and fault.window.contains(now)
-                and fault.applies_to(site)
-            ):
-                down |= fault.unreachable
-        return frozenset(down)
-
-    def latency_at(self, now: float, replica_id: int, latency: float) -> float:
-        """Apply every active latency fault to a sampled message latency."""
-        adjusted = latency
-        for fault in self.faults:
-            if (
-                isinstance(fault, LatencyFault)
-                and fault.window.contains(now)
-                and replica_id in fault.replicas
-            ):
-                adjusted = adjusted * fault.factor + fault.extra
-        return adjusted
-
-    def drop_probability(self, now: float, replica_id: int, direction: str) -> float:
-        """Worst active drop probability for the replica and direction."""
-        worst = 0.0
-        for fault in self.faults:
-            if (
-                isinstance(fault, DropFault)
-                and fault.direction == direction
-                and fault.window.contains(now)
-                and replica_id in fault.replicas
-            ):
-                worst = max(worst, fault.probability)
-        return worst
-
-    def duplicate_probability(self, now: float, replica_id: int) -> float:
-        worst = 0.0
-        for fault in self.faults:
-            if (
-                isinstance(fault, DuplicateFault)
-                and fault.window.contains(now)
-                and replica_id in fault.replicas
-            ):
-                worst = max(worst, fault.probability)
-        return worst
-
-    # ------------------------------------------------------------------
-    def extended(self, faults: Iterable[Any]) -> "FaultSchedule":
-        """A new schedule with extra rules appended."""
-        return FaultSchedule(self.faults + tuple(faults))
-
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable summary, deterministic ordering."""
-        counts: Dict[str, int] = {}
-        for fault in self.faults:
-            counts[fault.kind] = counts.get(fault.kind, 0) + 1
-        return {
-            "rules": len(self.faults),
-            "by_kind": dict(sorted(counts.items())),
-        }
-
-    def __repr__(self) -> str:
-        kinds = self.to_dict()["by_kind"]
-        return f"<FaultSchedule rules={len(self.faults)} {kinds}>"
-
-    # ------------------------------------------------------------------
-    @classmethod
-    def random(
-        cls,
-        rng: np.random.Generator,
-        ids: Sequence[int],
-        horizon: float,
-        *,
-        crash_rate: float = 0.15,
-        epoch: float = 25.0,
-        latency_spikes: int = 2,
-        spike_extra: float = 30.0,
-        spike_factor: float = 2.0,
-        drops: int = 2,
-        drop_probability: float = 0.4,
-        duplicates: int = 1,
-        duplicate_probability: float = 0.3,
-        flappers: int = 1,
-        flap_period: float = 8.0,
-        partitions: int = 0,
-        sites: int = 2,
-    ) -> "FaultSchedule":
-        """Seeded randomized schedule over ``[0, horizon)`` ticks.
-
-        The crash component is the paper's iid model resampled every
-        ``epoch`` ticks with probability ``crash_rate`` — exactly the
-        model behind the exact failure probability, so measured
-        availability is comparable to ``1 - F_p``.  The remaining fault
-        families (spikes, drops, duplications, flapping, partitions) are
-        placed in uniformly random windows.
-        """
-        if horizon <= 0:
-            raise ServiceError(f"schedule horizon must be positive, got {horizon}")
-        ids = sorted(ids)
-        faults: List[Any] = []
-        epochs = int(math.ceil(horizon / epoch))
-        for index in range(epochs):
-            down = sample_iid_crash_set(rng, ids, crash_rate)
-            if down:
-                faults.append(
-                    CrashFault(down, Window(index * epoch, (index + 1) * epoch))
-                )
-
-        def random_window(min_len: float, max_len: float) -> Window:
-            length = float(rng.uniform(min_len, max_len))
-            start = float(rng.uniform(0.0, max(horizon - length, 1.0)))
-            return Window(start, start + length)
-
-        def random_replicas(count: int) -> frozenset:
-            count = min(count, len(ids))
-            picked = rng.choice(len(ids), size=count, replace=False)
-            return frozenset(ids[int(i)] for i in picked)
-
-        for _ in range(latency_spikes):
-            faults.append(
-                LatencyFault(
-                    random_replicas(2),
-                    random_window(horizon / 10.0, horizon / 4.0),
-                    extra=float(rng.uniform(0.5, 1.5)) * spike_extra,
-                    factor=spike_factor,
-                )
-            )
-        for index in range(drops):
-            faults.append(
-                DropFault(
-                    random_replicas(2),
-                    random_window(horizon / 10.0, horizon / 4.0),
-                    probability=drop_probability,
-                    direction="request" if index % 2 == 0 else "response",
-                )
-            )
-        for _ in range(duplicates):
-            faults.append(
-                DuplicateFault(
-                    random_replicas(2),
-                    random_window(horizon / 10.0, horizon / 4.0),
-                    probability=duplicate_probability,
-                )
-            )
-        for _ in range(flappers):
-            faults.append(
-                FlappingFault(
-                    random_replicas(1),
-                    random_window(horizon / 5.0, horizon / 2.0),
-                    period=flap_period,
-                )
-            )
-        for _ in range(partitions):
-            order = [ids[int(i)] for i in rng.permutation(len(ids))]
-            cut = len(order) // 2
-            group_a, group_b = frozenset(order[:cut]), frozenset(order[cut:])
-            window = random_window(horizon / 8.0, horizon / 3.0)
-            for site in range(sites):
-                unreachable = group_b if site % 2 == 0 else group_a
-                faults.append(
-                    PartitionFault(unreachable, window, sites=frozenset({site}))
-                )
-        return cls(faults)
-
-
-def split_brain_schedule(
-    ids: Sequence[int], window: Window, *, sites: int = 2
-) -> List[PartitionFault]:
-    """Two one-sided partition faults splitting the universe in half:
-    even sites see only the first half, odd sites only the second.
-
-    With a correct coordinator this only costs availability; with
-    ``require_full_quorum=False`` it manufactures split-brain — the chaos
-    harness's intentionally intersection-breaking scenario.
-    """
-    ordered = sorted(ids)
-    cut = (len(ordered) + 1) // 2
-    group_a, group_b = frozenset(ordered[:cut]), frozenset(ordered[cut:])
-    even = frozenset(site for site in range(sites) if site % 2 == 0)
-    odd = frozenset(site for site in range(sites) if site % 2 == 1)
-    faults = [PartitionFault(group_b, window, sites=even)]
-    if odd:
-        faults.append(PartitionFault(group_a, window, sites=odd))
-    return faults
+__all__ = [
+    "Window",
+    "CrashFault",
+    "FlappingFault",
+    "PartitionFault",
+    "LatencyFault",
+    "DropFault",
+    "DuplicateFault",
+    "FaultSchedule",
+    "split_brain_schedule",
+    "iid_crash_schedule",
+    "sample_iid_crash_set",
+    "FaultyTransport",
+]
 
 
 class FaultyTransport(Transport):
@@ -406,9 +68,10 @@ class FaultyTransport(Transport):
     Parameters
     ----------
     inner:
-        The real channel (in-process or TCP).  All faults are injected in
-        this wrapper; the inner transport is never touched, so a post-run
-        verifier can read the replicas fault-free through it.
+        The real channel (in-process, TCP, or virtual-time sim).  All
+        faults are injected in this wrapper; the inner transport is never
+        touched, so a post-run verifier can read the replicas fault-free
+        through it.
     schedule:
         The fault rules.
     seed:
@@ -441,10 +104,19 @@ class FaultyTransport(Transport):
             "drop_response": 0,
             "duplicate": 0,
         }
+        #: Every injected fault as ``(tick, kind, replica_id)``, in
+        #: injection order.  Pure function of (schedule, seed, call
+        #: sequence) — independent of the inner transport, which the
+        #: cross-substrate determinism tests rely on.
+        self.activation_log: List[Tuple[float, str, int]] = []
 
     def advance(self, ticks: float = 1.0) -> None:
         """Move the fault clock forward (the harness calls this per op)."""
         self.clock += ticks
+
+    def _inject(self, kind: str, replica_id: int) -> None:
+        self.injected[kind] += 1
+        self.activation_log.append((self.clock, kind, replica_id))
 
     async def call(
         self,
@@ -463,21 +135,21 @@ class FaultyTransport(Transport):
         )
         crashed = self.schedule.crash_down_at(now)
         if replica_id in crashed:
-            self.injected["crash"] += 1
+            self._inject("crash", replica_id)
             raise ReplicaUnavailable(replica_id, latency=timeout, reason="fault: crash")
         if replica_id in self.schedule.unreachable_at(now, self.site):
-            self.injected["partition"] += 1
+            self._inject("partition", replica_id)
             raise ReplicaUnavailable(
                 replica_id, latency=timeout, reason="fault: partition"
             )
         if u_request < self.schedule.drop_probability(now, replica_id, "request"):
             # The request never reaches the replica: no side effect, the
             # caller burns the deadline waiting for a reply.
-            self.injected["drop_request"] += 1
+            self._inject("drop_request", replica_id)
             raise RequestTimeout(replica_id, latency=timeout)
         reply = await self.inner.call(replica_id, request, timeout)
         if u_duplicate < self.schedule.duplicate_probability(now, replica_id):
-            self.injected["duplicate"] += 1
+            self._inject("duplicate", replica_id)
             try:
                 await self.inner.call(replica_id, request, timeout)
             except (ReplicaUnavailable, RequestTimeout):
@@ -485,11 +157,11 @@ class FaultyTransport(Transport):
         if u_response < self.schedule.drop_probability(now, replica_id, "response"):
             # Side effect applied, reply lost: an acknowledged-by-nobody
             # write the safety checker must tolerate as "pending".
-            self.injected["drop_response"] += 1
+            self._inject("drop_response", replica_id)
             raise RequestTimeout(replica_id, latency=timeout)
         latency = self.schedule.latency_at(now, replica_id, reply.latency)
         if latency > timeout:
-            self.injected["latency_timeout"] += 1
+            self._inject("latency_timeout", replica_id)
             raise RequestTimeout(replica_id, latency=timeout)
         return Reply(reply.payload, latency)
 

@@ -27,6 +27,7 @@ import numpy as np
 from ..core.errors import ServiceError
 from ..core.quorum_system import QuorumSystem
 from ..core.strategy import Strategy
+from ..runtime.rng import RngStreams
 from .coordinator import Coordinator, OperationFailed
 from .metrics import ServiceMetrics
 from .replica import Replica
@@ -187,15 +188,18 @@ async def run_workload(
     """
     config.validate()
     metrics = metrics if metrics is not None else ServiceMetrics(system.n)
-    seeds = np.random.SeedSequence(seed).generate_state(config.clients + 1)
-    schedule = build_schedule(np.random.default_rng(int(seeds[0])), config)
+    # Named runtime streams: the schedule, every client and the warmup
+    # coordinator each own an independent stream derived from the root
+    # seed — adding a client can never shift another component's draws.
+    streams = RngStreams(seed)
+    schedule = build_schedule(streams.stream("loadgen.schedule"), config)
     coordinators = [
         Coordinator(
             system,
             transport,
             strategy,
             coordinator_id=client,
-            seed=int(seeds[client + 1]),
+            seed=streams.seed_for(f"loadgen.client.{client}"),
             timeout=config.timeout,
             hedge_spares=config.hedge_spares,
             hedge_delay_ms=config.hedge_delay_ms,
@@ -210,7 +214,7 @@ async def run_workload(
             transport,
             strategy,
             coordinator_id=config.clients,
-            seed=int(seeds[0]),
+            seed=streams.seed_for("loadgen.warmup"),
             timeout=config.timeout,
             metrics=ServiceMetrics(system.n),  # warmup not counted
         )
@@ -310,7 +314,8 @@ def run_kv_benchmark(
             else:
                 local = InProcessTransport(
                     make_replicas(system),
-                    seed=seed + 1,  # distinct stream from the schedule RNG
+                    # Named stream: independent of the schedule/client RNGs.
+                    seed=RngStreams(seed).seed_for("loadgen.transport"),
                     crash_rate=config.crash_rate,
                 )
         try:

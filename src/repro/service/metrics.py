@@ -19,6 +19,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..core.errors import ServiceError
+from ..runtime.metrics import LatencyHistogram
 
 
 class ServiceMetrics:
@@ -52,8 +53,10 @@ class ServiceMetrics:
         self.breaker_opens = 0
         self.hedges_issued = 0
         self.hedges_won = 0
-        self.straggler_latencies: List[float] = []
-        self.op_latencies: List[float] = []
+        # Shared runtime histograms (sim metrics use the identical class,
+        # so latency numerics agree across substrates).
+        self.straggler_latency = LatencyHistogram()
+        self.op_latency = LatencyHistogram()
         # Wall-clock of the measured workload section, stamped by the
         # load generator.  Deliberately NOT in to_dict(): the snapshot
         # must stay bit-identical for identical seeds.
@@ -78,7 +81,7 @@ class ServiceMetrics:
             self.ops_failed += 1
         if attempts > 1:
             self.retries += attempts - 1
-        self.op_latencies.append(float(latency))
+        self.op_latency.record(latency)
 
     def record_fallback(self) -> None:
         """A retry that switched to a different (next-best) quorum."""
@@ -122,7 +125,17 @@ class ServiceMetrics:
 
     def record_straggler(self, latency: float) -> None:
         """One absorbed straggler reply, with its observed latency (ms)."""
-        self.straggler_latencies.append(float(latency))
+        self.straggler_latency.record(latency)
+
+    # Historical list-typed access, preserved for callers and tests that
+    # index or len() the raw samples.
+    @property
+    def op_latencies(self) -> List[float]:
+        return self.op_latency.samples
+
+    @property
+    def straggler_latencies(self) -> List[float]:
+        return self.straggler_latency.samples
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -146,9 +159,7 @@ class ServiceMetrics:
 
     def latency_percentile(self, q: float) -> float:
         """Operation latency percentile ``q`` in [0, 100] (ms)."""
-        if not self.op_latencies:
-            return 0.0
-        return float(np.percentile(self.op_latencies, q))
+        return self.op_latency.percentile(q)
 
     def load_deviation(self, predicted: Sequence[float]) -> Dict[str, float]:
         """Observed-vs-predicted load summary against a strategy's loads.
@@ -201,27 +212,13 @@ class ServiceMetrics:
             "hedging": {
                 "issued": self.hedges_issued,
                 "won": self.hedges_won,
-                "stragglers": len(self.straggler_latencies),
+                "stragglers": self.straggler_latency.count,
                 "straggler_ms": {
-                    "mean": (
-                        float(np.mean(self.straggler_latencies))
-                        if self.straggler_latencies
-                        else 0.0
-                    ),
-                    "p95": (
-                        float(np.percentile(self.straggler_latencies, 95))
-                        if self.straggler_latencies
-                        else 0.0
-                    ),
+                    "mean": self.straggler_latency.mean,
+                    "p95": self.straggler_latency.percentile(95),
                 },
             },
-            "latency_ms": {
-                "count": len(self.op_latencies),
-                "mean": float(np.mean(self.op_latencies)) if self.op_latencies else 0.0,
-                "p50": self.latency_percentile(50),
-                "p95": self.latency_percentile(95),
-                "p99": self.latency_percentile(99),
-            },
+            "latency_ms": self.op_latency.summary(),
             "observed_loads": [float(x) for x in self.observed_loads()],
         }
         if predicted is not None:

@@ -1,0 +1,167 @@
+"""A discrete-event transport: the real service stack under virtual time.
+
+:class:`SimTransport` implements the :class:`~repro.service.transport.
+Transport` interface on top of a :class:`~repro.runtime.clock.Clock`.
+Message latencies are drawn from a seeded RNG exactly like the
+in-process transport's, but instead of merely *reporting* the latency it
+**spends** it — ``await clock.sleep(latency)`` — so concurrent requests
+complete in latency order, timeouts elapse, hedging delays fire, and
+backoff pauses cost time, just like against real sockets.
+
+Run it under :func:`~repro.runtime.clock.run_virtual` with a
+:class:`~repro.runtime.clock.VirtualClock` and the whole thing collapses
+to a discrete-event simulation: the unmodified ``Coordinator`` /
+``Replica`` code — hedging, circuit breakers, hinted handoff and all —
+executes bit-reproducibly at thousands of simulated chaos runs per
+second, because every idle wait is a clock jump.  Hand it a
+:class:`~repro.runtime.clock.WallClock` under a normal event loop and
+the *same* run plays out in real time — the wall-clock control the
+``--sim`` speedup is measured against.  The RNG draws, and therefore the
+operation outcomes and metric snapshots, are identical in both modes.
+
+Fault injection composes the usual way: wrap a ``SimTransport`` in a
+:class:`~repro.service.faults.FaultyTransport` and one declarative
+:class:`~repro.runtime.faults.FaultSchedule` drives the virtual-time
+world exactly as it drives the in-process and TCP worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..core.errors import ServiceError
+from ..runtime.clock import Clock, VirtualClock
+from ..runtime.faults import sample_iid_crash_set
+from ..runtime.metrics import Counter
+from .replica import Replica
+from .transport import (
+    DEFAULT_TIMEOUT_MS,
+    Reply,
+    ReplicaUnavailable,
+    RequestTimeout,
+    Transport,
+)
+
+__all__ = ["SimTransport"]
+
+
+class SimTransport(Transport):
+    """Latency-spending transport over a runtime clock.
+
+    Parameters
+    ----------
+    replicas:
+        The replicas, one per universe element (list or {id: replica}).
+    clock:
+        Time source; a fresh :class:`~repro.runtime.clock.VirtualClock`
+        by default.  Share one clock between the transport and the
+        :class:`~repro.runtime.clock.VirtualTimeLoop` running it.
+    seed / rng:
+        Latency randomness — an int seed, or a generator (e.g. a named
+        stream from :class:`~repro.runtime.rng.RngStreams`).
+    base_latency, mean_latency:
+        Message latency (ms) is ``base + Exp(mean)`` per call, the same
+        distribution (and draw order) as the in-process transport.
+    crash_rate:
+        iid crash probability ``p`` for :meth:`resample_crashes`.
+    """
+
+    def __init__(
+        self,
+        replicas: Iterable[Replica],
+        *,
+        clock: Optional[Clock] = None,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        base_latency: float = 1.0,
+        mean_latency: float = 4.0,
+        crash_rate: float = 0.0,
+    ) -> None:
+        if isinstance(replicas, Mapping):
+            self.replicas: Dict[int, Replica] = dict(replicas)
+        else:
+            self.replicas = {r.replica_id: r for r in replicas}
+        if not self.replicas:
+            raise ServiceError("transport needs at least one replica")
+        if not 0.0 <= crash_rate <= 1.0:
+            raise ServiceError(f"crash rate must be in [0,1], got {crash_rate}")
+        if base_latency < 0 or mean_latency < 0:
+            raise ServiceError("latencies must be non-negative")
+        self.clock: Clock = clock if clock is not None else VirtualClock()
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.base_latency = base_latency
+        self.mean_latency = mean_latency
+        self.crash_rate = crash_rate
+        self.down: frozenset = frozenset()
+        self.epochs = 0
+        self.calls = Counter()
+        self.timeouts = Counter()
+        self.unavailable = Counter()
+
+    # ------------------------------------------------------------------
+    # Crash injection (drop-in for InProcessTransport's API)
+    # ------------------------------------------------------------------
+    def crash(self, *replica_ids: int) -> None:
+        """Mark replicas as crashed (targeted injection, e.g. in tests)."""
+        self.down = self.down | frozenset(replica_ids)
+
+    def recover(self, *replica_ids: int) -> None:
+        """Bring replicas back; with no arguments, recover everyone."""
+        if not replica_ids:
+            self.down = frozenset()
+        else:
+            self.down = self.down - frozenset(replica_ids)
+
+    def resample_crashes(self) -> frozenset:
+        """Start a new crash epoch: replica ``i`` down iid w.p. ``crash_rate``."""
+        self.down = sample_iid_crash_set(
+            self.rng, sorted(self.replicas), self.crash_rate
+        )
+        self.epochs += 1
+        return self.down
+
+    # ------------------------------------------------------------------
+    async def call(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> Reply:
+        replica = self.replicas.get(replica_id)
+        if replica is None:
+            raise ServiceError(f"unknown replica id {replica_id}")
+        self.calls += 1
+        # Draw the round-trip latency unconditionally so the RNG stream
+        # does not depend on the current crash set — the identical
+        # discipline (and distribution) as InProcessTransport, which is
+        # what makes sim-mode and wall-mode runs produce the same draws.
+        latency = self.base_latency + float(self.rng.exponential(self.mean_latency))
+        if replica_id in self.down:
+            # A crashed replica never answers: the caller burns the full
+            # deadline — in clock time, not just on paper.
+            self.unavailable += 1
+            await self.clock.sleep(timeout)
+            raise ReplicaUnavailable(replica_id, latency=timeout)
+        if latency > timeout:
+            self.timeouts += 1
+            await self.clock.sleep(timeout)
+            raise RequestTimeout(replica_id, latency=timeout)
+        # The request is in flight for `latency` ms; the side effect
+        # applies at *arrival* time, so concurrent operations interleave
+        # in latency order exactly as they would over a network.
+        await self.clock.sleep(latency)
+        return Reply(replica.handle(request), latency)
+
+    async def pause(self, delay_ms: float) -> None:
+        # Backoff costs clock time here (unlike the in-process
+        # transport, which only accounts it).
+        await self.clock.sleep(delay_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimTransport replicas={len(self.replicas)}"
+            f" t={self.clock.now():.1f}ms calls={int(self.calls)}>"
+        )
+

@@ -33,34 +33,33 @@ from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, Tup
 
 import numpy as np
 
-from ..core.errors import ServiceError
-from ..sim.failures import sample_iid_crash_set
+from ..core.errors import (
+    ReplicaUnavailable,
+    RequestTimeout,
+    ServiceError,
+    TransportError,
+)
+from ..runtime.faults import sample_iid_crash_set
 from .replica import Replica
+
+# The transport error taxonomy lives in :mod:`repro.core.errors`
+# (shared with the rest of the library); re-exported here because this
+# module is where callers have always imported it from.
+__all__ = [
+    "DEFAULT_TIMEOUT_MS",
+    "TransportError",
+    "ReplicaUnavailable",
+    "RequestTimeout",
+    "Reply",
+    "Transport",
+    "InProcessTransport",
+    "TcpTransport",
+    "SerializedTcpTransport",
+    "start_tcp_replicas",
+]
 
 #: Default per-request deadline (milliseconds, virtual or wall-clock).
 DEFAULT_TIMEOUT_MS = 50.0
-
-
-class ReplicaUnavailable(ServiceError):
-    """The target replica is crashed or unreachable.
-
-    ``latency`` is the time (ms) the caller spent learning that, so the
-    coordinator can account failed probes into operation latency.
-    """
-
-    def __init__(self, replica_id: int, latency: float, reason: str = "down") -> None:
-        self.replica_id = replica_id
-        self.latency = latency
-        super().__init__(f"replica {replica_id} unavailable ({reason})")
-
-
-class RequestTimeout(ServiceError):
-    """A request missed its deadline; ``latency`` equals the deadline."""
-
-    def __init__(self, replica_id: int, latency: float) -> None:
-        self.replica_id = replica_id
-        self.latency = latency
-        super().__init__(f"request to replica {replica_id} timed out after {latency:g}ms")
 
 
 class Reply(NamedTuple):
@@ -157,8 +156,8 @@ class InProcessTransport(Transport):
     def resample_crashes(self) -> frozenset:
         """Start a new crash epoch: replica ``i`` down iid w.p. ``crash_rate``.
 
-        The same model (and helper) as the simulator's
-        :class:`~repro.sim.failures.IidCrashInjector`, so measured
+        The same model (and helper) as the runtime fault schedule's
+        :func:`~repro.runtime.faults.iid_crash_schedule`, so measured
         service availability converges to the analytic ``F_p``.
         """
         self.down = sample_iid_crash_set(

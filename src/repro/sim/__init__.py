@@ -11,8 +11,10 @@ from .engine import Simulator
 from .failures import (
     IidCrashInjector,
     PartitionInjector,
+    ScheduleInjector,
     TargetedCrashInjector,
     alive_set,
+    iid_crash_schedule,
     sample_iid_crash_set,
 )
 from .metrics import AvailabilityProbe, LatencyStats, LoadMeter
@@ -67,6 +69,7 @@ __all__ = [
     "ReplicatedCluster",
     "ReplicaNode",
     "ReplicatedRegisterClient",
+    "ScheduleInjector",
     "Simulator",
     "TargetedCrashInjector",
     "Tracer",
@@ -74,6 +77,7 @@ __all__ = [
     "attach_crash_tracing",
     "UniformLatency",
     "alive_set",
+    "iid_crash_schedule",
     "measure_availability",
     "measure_strategy_load",
     "mutex_cluster",

@@ -1,10 +1,15 @@
 """Deterministic discrete-event simulation engine.
 
 The substrate underneath the quorum protocols: a single-threaded event
-loop with a virtual clock.  Events are callbacks scheduled at absolute
-virtual times; ties are broken by a monotonically increasing sequence
-number, so a given seed always produces the exact same execution — a
-property the test suite asserts.
+loop over a :class:`repro.runtime.clock.VirtualClock`.  Events are
+callbacks scheduled at absolute virtual times; ties are broken by a
+monotonically increasing sequence number, so a given seed always
+produces the exact same execution — a property the test suite asserts.
+
+Since the runtime unification the clock is shared infrastructure: pass
+the simulator's :attr:`clock` to other virtual-time components (e.g. a
+fault schedule evaluated at ``sim.now``) and everything observes one
+consistent timeline.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import Any, Callable, List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import SimulationError
+from ..runtime.clock import VirtualClock
 
 
 class Simulator:
@@ -27,12 +33,15 @@ class Simulator:
         Seed for the simulation-wide :class:`numpy.random.Generator`.
         All stochastic components (latencies, crash injection, strategy
         sampling) must draw from :attr:`rng` to keep runs reproducible.
+    clock:
+        Optional :class:`~repro.runtime.clock.VirtualClock` to drive
+        (a fresh one starting at 0 by default).
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, *, clock: Optional[VirtualClock] = None) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
-        self._now = 0.0
+        self.clock = clock if clock is not None else VirtualClock()
         self._stopped = False
         self.rng = np.random.default_rng(seed)
         self.events_processed = 0
@@ -40,7 +49,7 @@ class Simulator:
     @property
     def now(self) -> float:
         """Current virtual time."""
-        return self._now
+        return self.clock.now()
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` units of virtual time."""
@@ -48,12 +57,12 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         heapq.heappush(
             self._queue,
-            (self._now + delay, next(self._sequence), lambda: callback(*args)),
+            (self.now + delay, next(self._sequence), lambda: callback(*args)),
         )
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute virtual time ``time``."""
-        self.schedule(time - self._now, callback, *args)
+        self.schedule(time - self.now, callback, *args)
 
     def stop(self) -> None:
         """Stop the loop after the current event."""
@@ -67,10 +76,11 @@ class Simulator:
         while self._queue and not self._stopped:
             time, _seq, callback = self._queue[0]
             if until is not None and time > until:
-                self._now = until
-                return self._now
+                if until > self.now:
+                    self.clock.advance_to(until)
+                return self.now
             heapq.heappop(self._queue)
-            self._now = time
+            self.clock.advance_to(time)
             callback()
             processed += 1
             self.events_processed += 1
@@ -78,9 +88,9 @@ class Simulator:
                 raise SimulationError(
                     f"exceeded {max_events} events; runaway simulation?"
                 )
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
+        return self.now
 
     @property
     def pending_events(self) -> int:
@@ -88,4 +98,4 @@ class Simulator:
         return len(self._queue)
 
     def __repr__(self) -> str:
-        return f"<Simulator t={self._now:.3f} pending={len(self._queue)}>"
+        return f"<Simulator t={self.now:.3f} pending={len(self._queue)}>"

@@ -7,18 +7,24 @@ Bridges the simulator back to the paper's metrics:
   ``F_p`` (Definition 3.2);
 * :class:`LoadMeter` — per-replica request counts; normalised frequencies
   converge to the strategy's induced element loads (Definition 3.4);
-* :class:`LatencyStats` — simple latency aggregation for the examples.
+* :class:`LatencyStats` — latency aggregation for the examples.
+
+These are thin views over the shared primitives in
+:mod:`repro.runtime.metrics`: the probe's tallies are runtime
+:class:`~repro.runtime.metrics.Counter` objects and
+:class:`LatencyStats` *is* a :class:`~repro.runtime.metrics.LatencyHistogram`
+(service metrics use the same one, so sim and service latency numbers
+are computed by identical code).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..core.quorum_system import QuorumSystem
+from ..runtime.metrics import Counter, LatencyHistogram
 from .failures import alive_set
 from .network import Network
 
@@ -29,11 +35,12 @@ class AvailabilityProbe:
     def __init__(self, system: QuorumSystem, network: Network) -> None:
         self.system = system
         self.network = network
-        self.epochs = 0
-        self.failures = 0
+        self.epochs = Counter()
+        self.failures = Counter()
 
     def observe(self, epoch_index: int) -> None:
-        """Record one epoch (pass as ``on_epoch`` to the crash injector)."""
+        """Record one epoch (pass as ``on_step``/``on_epoch`` to the
+        schedule or crash injector)."""
         self.epochs += 1
         if not self.system.contains_quorum(alive_set(self.network)):
             self.failures += 1
@@ -54,11 +61,15 @@ class AvailabilityProbe:
 
 
 class LoadMeter:
-    """Per-element request counts, comparable to analytic loads."""
+    """Per-element request counts, comparable to analytic loads.
+
+    The per-element tallies stay a numpy array (they are vector-divided
+    into frequencies); the operation count is a runtime counter.
+    """
 
     def __init__(self, n: int) -> None:
         self.counts = np.zeros(n, dtype=np.int64)
-        self.operations = 0
+        self.operations = Counter()
 
     def record_quorum(self, quorum) -> None:
         """Count one access to each member of the used quorum."""
@@ -70,7 +81,7 @@ class LoadMeter:
         """Access frequency of every element (per operation)."""
         if self.operations == 0:
             return np.zeros_like(self.counts, dtype=float)
-        return self.counts / self.operations
+        return self.counts / int(self.operations)
 
     @property
     def max_load(self) -> float:
@@ -78,27 +89,6 @@ class LoadMeter:
         return float(self.empirical_loads().max())
 
 
-@dataclass
-class LatencyStats:
-    """Streaming latency aggregation."""
-
-    samples: List[float] = field(default_factory=list)
-
-    def record(self, latency: float) -> None:
-        """Add one latency sample."""
-        self.samples.append(latency)
-
-    @property
-    def count(self) -> int:
-        return len(self.samples)
-
-    @property
-    def mean(self) -> float:
-        """Average latency (0 when empty)."""
-        return float(np.mean(self.samples)) if self.samples else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Latency percentile ``q`` in [0, 100]."""
-        if not self.samples:
-            return 0.0
-        return float(np.percentile(self.samples, q))
+class LatencyStats(LatencyHistogram):
+    """Streaming latency aggregation (the shared runtime histogram under
+    its historical sim-side name)."""

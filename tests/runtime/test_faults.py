@@ -1,0 +1,86 @@
+"""Tests for runtime fault-model additions (the schedule core is covered
+by ``tests/service/test_faults.py``, which exercises it through the
+service re-export)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SimulationError
+from repro.runtime import (
+    CrashFault,
+    DropFault,
+    FaultSchedule,
+    FlappingFault,
+    Window,
+    iid_crash_schedule,
+    sample_iid_crash_set,
+)
+
+
+class TestIidCrashSchedule:
+    def test_matches_raw_sampling_stream(self):
+        # The schedule consumes one draw per id per epoch in id order —
+        # the exact stream the legacy injector consumed.
+        ids = list(range(5))
+        schedule = iid_crash_schedule(
+            np.random.default_rng(9), ids, 0.5, horizon=3.0, epoch=1.0
+        )
+        reference = np.random.default_rng(9)
+        for index in range(4):  # epochs at t = 0, 1, 2 and 3 (inclusive)
+            expected = sample_iid_crash_set(reference, ids, 0.5)
+            assert schedule.crash_down_at(index + 0.5) == expected
+
+    def test_draw_count_includes_horizon_boundary(self):
+        # run(until=horizon) fires the event at exactly t == horizon, so
+        # the schedule draws floor(horizon/epoch) + 1 crash sets.
+        ids = list(range(20))
+        rng = np.random.default_rng(0)
+        iid_crash_schedule(rng, ids, 0.5, horizon=10.0, epoch=1.0)
+        follow_on = rng.random()
+        reference = np.random.default_rng(0)
+        reference.random(11 * len(ids))
+        assert follow_on == reference.random()
+
+    def test_windows_cover_each_epoch(self):
+        schedule = iid_crash_schedule(
+            np.random.default_rng(1), range(10), 0.9, horizon=2.0, epoch=1.0
+        )
+        for fault in schedule:
+            assert fault.window.end - fault.window.start == pytest.approx(1.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            iid_crash_schedule(rng, [0], 0.5, horizon=1.0, epoch=0.0)
+        with pytest.raises(SimulationError):
+            iid_crash_schedule(rng, [0], 0.5, horizon=-1.0)
+        with pytest.raises(SimulationError):
+            iid_crash_schedule(rng, [0], 1.5, horizon=1.0)
+
+
+class TestChangePoints:
+    def test_crash_window_boundaries(self):
+        schedule = FaultSchedule(
+            [
+                CrashFault(frozenset({0}), Window(2.0, 5.0)),
+                CrashFault(frozenset({1}), Window(4.0, 9.0)),
+            ]
+        )
+        assert schedule.change_points(10.0) == [0.0, 2.0, 4.0, 5.0, 9.0]
+
+    def test_flapping_phase_toggles(self):
+        schedule = FaultSchedule(
+            [FlappingFault(frozenset({0}), Window(0.0, 20.0), period=10.0)]
+        )
+        points = schedule.change_points(20.0)
+        assert points == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_link_faults_ignored(self):
+        schedule = FaultSchedule(
+            [DropFault(frozenset({0}), Window(3.0, 7.0), probability=1.0)]
+        )
+        assert schedule.change_points(10.0) == [0.0]
+
+    def test_clamped_to_horizon(self):
+        schedule = FaultSchedule([CrashFault(frozenset({0}), Window(2.0, 50.0))])
+        assert schedule.change_points(10.0) == [0.0, 2.0]

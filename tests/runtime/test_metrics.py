@@ -1,0 +1,104 @@
+"""Tests for the shared metrics primitives."""
+
+import pytest
+
+from repro.runtime import Counter, Gauge, LatencyHistogram
+from repro.sim import LatencyStats
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter() == 0
+        assert int(Counter()) == 0
+
+    def test_inc_and_iadd(self):
+        counter = Counter()
+        counter.inc()
+        counter += 2
+        assert counter == 3
+
+    def test_rejects_decrements(self):
+        counter = Counter(5)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_numeric_interop(self):
+        counter = Counter(10)
+        assert counter + 5 == 15
+        assert 5 + counter == 15
+        assert counter - 4 == 6
+        assert 14 - counter == 4
+        assert counter * 2 == 20
+        assert counter / 4 == 2.5
+        assert 100 / counter == 10.0
+        assert counter > 9 and counter >= 10 and counter < 11 and counter <= 10
+        assert float(counter) == 10.0
+        assert [0] * 3 == [0, 0, 0][counter - 10 :]  # __index__ works in slices
+
+    def test_compares_with_other_counters(self):
+        assert Counter(3) == Counter(3)
+        assert Counter(2) < Counter(3)
+
+    def test_bool_and_str(self):
+        assert not Counter(0)
+        assert Counter(1)
+        assert str(Counter(7)) == "7"
+        assert f"{Counter(7):>4}" == "   7"
+
+    def test_shared_by_reference(self):
+        # The reason Counter exists: a component and its observer share
+        # one live count.
+        counter = Counter()
+        holder = {"ops": counter}
+        counter.inc(3)
+        assert holder["ops"] == 3
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(1.5)
+        gauge.add(-0.5)
+        assert gauge == 1.0
+        assert float(gauge) == 1.0
+
+    def test_compares_and_formats(self):
+        assert Gauge(2.0) > 1.0 or not Gauge(2.0) < 1.0
+        assert Gauge(2.0) == Counter(2)
+        assert f"{Gauge(2.5):.1f}" == "2.5"
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(99) == 0.0
+        assert histogram.summary()["count"] == 0
+
+    def test_mean_and_percentiles(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.percentile(50) == pytest.approx(50.5)
+        assert histogram.percentile(95) == pytest.approx(95.05)
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram([1.0, 2.0, 3.0])
+        assert set(histogram.summary()) == {"count", "mean", "p50", "p95", "p99"}
+
+    def test_merge(self):
+        a = LatencyHistogram([1.0, 2.0])
+        b = LatencyHistogram([3.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == pytest.approx(2.0)
+
+    def test_latency_stats_is_a_view(self):
+        # sim.LatencyStats is the histogram under its historical name.
+        stats = LatencyStats()
+        assert isinstance(stats, LatencyHistogram)
+        stats.record(4.0)
+        assert stats.count == 1

@@ -1,0 +1,58 @@
+"""Tests for named seeded RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import RngStreams
+
+
+class TestRngStreams:
+    def test_same_name_same_draws(self):
+        a = RngStreams(7).stream("transport").random(8)
+        b = RngStreams(7).stream("transport").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RngStreams(7)
+        a = streams.stream("transport").random(8)
+        b = streams.stream("schedule").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_root_seeds_differ(self):
+        a = RngStreams(0).stream("transport").random(8)
+        b = RngStreams(1).stream("transport").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_independent(self):
+        # The whole point of named streams: creating other streams first
+        # (in any order, any number) never shifts a stream's draws.
+        alone = RngStreams(3).stream("chaos.plan").random(4)
+        crowded = RngStreams(3)
+        for name in ("z", "a", "chaos.transport", "m.n.o"):
+            crowded.stream(name).random(100)
+        assert np.array_equal(crowded.stream("chaos.plan").random(4), alone)
+
+    def test_stream_instance_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_seed_for_is_pure(self):
+        streams = RngStreams(5)
+        first = streams.seed_for("loadgen.client.0")
+        streams.stream("loadgen.client.0").random(50)  # advancing is irrelevant
+        assert streams.seed_for("loadgen.client.0") == first
+        assert RngStreams(5).seed_for("loadgen.client.0") == first
+
+    def test_seed_for_fits_in_63_bits(self):
+        for name in ("a", "b", "chaos.faults.3"):
+            seed = RngStreams(123).seed_for(name)
+            assert 0 <= seed < 2**63
+
+    def test_seed_for_distinct_across_names(self):
+        streams = RngStreams(0)
+        seeds = {streams.seed_for(f"client.{i}") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).stream("")

@@ -8,7 +8,6 @@ from repro.sim import (
     ReplicaNode,
     ReplicatedRegisterClient,
     Simulator,
-    TargetedCrashInjector,
     UniformLatency,
 )
 from repro.systems import HierarchicalGrid
