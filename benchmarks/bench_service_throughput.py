@@ -12,10 +12,16 @@ triangle) and across transports:
 * ``tcp_serialized``     — localhost TCP over the preserved
   lock-per-replica baseline client (the pre-overhaul hot path).
 
+plus the sharding layer: ``shard_scaling`` runs the same seeded zipf
+workload through ``repro.sharding`` at 1 and 8 shards under virtual
+time with finite-capacity replicas, and records the speedup (gated at
+>= 2x — the whole point of partitioning the namespace).
+
 Writes ``BENCH_service.json`` (ops/s, latency percentiles, bytes on the
-wire, hedge statistics, and the pipelined-vs-serialized speedup per
-system) and exits non-zero if any fault-free scenario dropped an
-operation — timings are reported, correctness is gated.
+wire, hedge statistics, the pipelined-vs-serialized speedup per system,
+and the shard-scaling block) and exits non-zero if any fault-free
+scenario dropped an operation — timings are reported, correctness is
+gated.
 
 Run from the repo root::
 
@@ -32,6 +38,7 @@ from typing import Any, Dict
 
 from repro.cli import build_system
 from repro.service import BenchmarkReport, run_kv_benchmark
+from repro.sharding import compare_shard_scaling
 
 SEED = 42
 CLIENTS = 8
@@ -133,6 +140,53 @@ def main() -> int:
             f" hedged {hedged / serialized:.2f}x over serialized baseline"
         )
         results["systems"][spec] = per_system
+
+    # Shard scaling: same seeded zipf workload, 1 vs 8 shards, virtual
+    # time, finite-capacity replicas.  Deterministic per seed.
+    scaling = compare_shard_scaling(
+        build_system,
+        spec="majority:5",
+        shard_counts=(1, 8),
+        seed=args.seed,
+        ops=300 if args.quick else 2000,
+        keys=512,
+        skew=0.9,
+        clients=16,
+    )
+    runs = scaling["runs"]
+    results["shard_scaling"] = {
+        "spec": scaling["spec"],
+        "seed": scaling["seed"],
+        "speedup_8x_vs_1x": round(scaling["speedup"], 2),
+        "runs": {
+            count: {
+                "succeeded": run["succeeded"],
+                "failed": run["failed"],
+                "virtual_ms": round(run["virtual_ms"], 1),
+                "ops_per_virtual_second": round(run["ops_per_virtual_second"], 1),
+                "key_skew": run["key_skew"],
+            }
+            for count, run in runs.items()
+        },
+    }
+    for count in sorted(runs, key=int):
+        run = runs[count]
+        print(
+            f"{'majority:5':>12} shards={count:<13}"
+            f" {run['ops_per_virtual_second']:>9.1f} ops/vs"
+            f"  virtual={run['virtual_ms']:.1f}ms"
+            f"  failed={run['failed']}"
+        )
+        if run["failed"]:
+            failures.append(f"shard_scaling/{count}: {run['failed']} failed ops")
+    print(
+        f"{'majority:5':>12} shard scaling: 8 shards"
+        f" {scaling['speedup']:.2f}x over 1 shard"
+    )
+    if scaling["speedup"] < 2.0:
+        failures.append(
+            f"shard_scaling: speedup {scaling['speedup']:.2f}x < 2x floor"
+        )
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

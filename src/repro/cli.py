@@ -8,11 +8,16 @@ Subcommands
 ``compare``            the Table 2/3-style comparison at a given scale
 ``figures``            re-print the paper's two construction figures
 ``kvbench <system>``   drive the quorum-replicated KV service, compare
-                       observed per-element load with the LP prediction
+                       observed per-element load with the LP prediction;
+                       ``--shards N`` benchmarks the sharded namespace
+                       (N instances of the spec, virtual-time capacity)
 ``serve <system>``     run TCP/JSON-lines replica servers for the system
 ``chaos``              randomized fault schedule against the KV service,
                        safety-invariant checks, measured-vs-exact
                        availability; exits 1 on any violation
+``reshard``            split a hot shard live, mid-workload, under
+                       injected faults; durability/staleness/monotonicity
+                       invariants; exits 1 on any violation
 
 Systems are named like ``h-triang:15``, ``h-t-grid:4x4``, ``majority:15``,
 ``hqs:5x3``, ``cwlog:14``, ``grid:4x4``, ``h-grid:5x5``, ``y:15``,
@@ -236,6 +241,66 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"analytic  : {exact:.6f}")
 
 
+def _cmd_kvbench_sharded(args: argparse.Namespace) -> None:
+    import json as json_module
+
+    from .core.errors import ServiceError
+    from .sharding import run_sharded_benchmark
+
+    try:
+        systems = [build_system(args.system) for _ in range(args.shards)]
+        report = run_sharded_benchmark(
+            systems,
+            specs=[args.system] * args.shards,
+            seed=args.seed,
+            ops=args.ops,
+            keys=args.keys,
+            skew=args.skew,
+            read_fraction=args.read_fraction,
+            clients=args.clients,
+            service_time_ms=args.service_time_ms,
+            timeout=args.timeout,
+        )
+    except ServiceError as exc:
+        raise SystemExit(f"kvbench failed: {exc}")
+    payload = report.to_dict()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_out}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+        return
+    if args.json_out:
+        return
+    skew = report.key_skew
+    print(f"system        : {args.system} x {args.shards} shards (virtual time)")
+    print(
+        f"workload      : {report.ops} ops, clients={args.clients},"
+        f" keys={args.keys}, zipf skew={args.skew:g}, seed={args.seed},"
+        f" service time={args.service_time_ms:g}ms/req"
+    )
+    print(f"outcome       : {report.succeeded} ok, {report.failed} failed")
+    print(
+        f"throughput    : {report.ops_per_virtual_second:.1f} ops/virtual-second"
+        f" ({report.virtual_ms:.1f} virtual ms)"
+    )
+    if skew:
+        top = ", ".join(f"{key}×{count}" for key, count in skew["top_k"][:5])
+        print(
+            f"key skew      : hottest key {skew['hottest_share']:.1%} of"
+            f" accesses, top-10 {skew['top_k_share']:.1%}; top: {top}"
+        )
+    print("per-shard ops :")
+    for shard_id, stats in report.per_shard.items():
+        latency = stats["latency_ms"]
+        print(
+            f"   {shard_id:>6}  ops={stats['ops']:<6}"
+            f" mean={latency['mean']:.2f}ms p99={latency['p99']:.2f}ms"
+        )
+
+
 def _cmd_kvbench(args: argparse.Namespace) -> None:
     import json as json_module
 
@@ -243,6 +308,11 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     from .core.errors import ServiceError
     from .service import TcpTransport, WorkloadConfig, run_kv_benchmark
 
+    if args.shards:
+        if args.tcp or args.tcp_local:
+            raise SystemExit("--shards runs under virtual time; no TCP modes")
+        _cmd_kvbench_sharded(args)
+        return
     system = build_system(args.system)
     strategy = optimal_strategy(system)
     transport = None
@@ -308,6 +378,13 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
         f"latency (ms)  : mean={latency['mean']:.2f}"
         f" p50={latency['p50']:.2f} p99={latency['p99']:.2f}"
     )
+    hot = snapshot.get("hot_keys")
+    if hot and hot.get("total"):
+        top = ", ".join(f"{key}×{count}" for key, count in hot["top_k"][:5])
+        print(
+            f"key skew      : hottest key {hot['hottest_share']:.1%} of"
+            f" accesses, top-10 {hot['top_k_share']:.1%}; top: {top}"
+        )
     print(
         f"recovery      : retries={snapshot['retries']}"
         f" fallbacks={snapshot['fallbacks']} timeouts={snapshot['timeouts']}"
@@ -452,6 +529,140 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _print_reshard_report(report) -> None:
+    config = report.config
+    operations = report.operations
+    print(f"shards        : {config.shards} x {config.spec}")
+    print(f"seed          : {report.seed} ({config.ops} ops,"
+          f" {config.clients} clients, {config.keys} keys,"
+          f" zipf skew={config.skew:g})")
+    print(f"mode          : {report.mode}"
+          + (f" ({report.elapsed_seconds:.3f}s)" if report.elapsed_seconds else ""))
+    print(f"injected      : {dict(sorted(report.injected.items()))}")
+    print(
+        f"operations    : reads ok={operations['reads_ok']}"
+        f" failed={operations['reads_failed']} |"
+        f" writes ok={operations['writes_ok']}"
+        f" failed={operations['writes_failed']}"
+        f" (+{operations['preloads']} preloads)"
+    )
+    if report.reshards:
+        for event in report.reshards:
+            status = "flipped" if event.get("ok") else "ABORTED"
+            print(
+                f"reshard       : {event['kind']} {event['shards']} {status},"
+                f" map v{event['from_version']}→v{event['to_version']},"
+                f" {event['keys_moved']} keys moved"
+                + (f" ({event['detail']})" if event.get("detail") else "")
+            )
+    else:
+        print("reshard       : none fired")
+    print(f"map           : v{report.map_versions[1]}"
+          f" digest {report.map_digest[:12]}")
+    print(f"trace hash    : {report.hashes['trace']}")
+    if report.ok:
+        print("invariants    : all held (acked writes durable across the"
+              " flip, reads fresh, versions intact, timestamps monotone)")
+    else:
+        print(f"invariants    : {len(report.violations)} VIOLATION(S)")
+        for violation in report.violations:
+            detail = {k: v for k, v in violation.items() if k != "invariant"}
+            print(f"   [{violation['invariant']}] {detail}")
+
+
+def _cmd_reshard(args: argparse.Namespace) -> None:
+    import json as json_module
+    import time as time_module
+
+    from .core.errors import ServiceError
+    from .sharding import ReshardChaosConfig, run_reshard_chaos
+
+    if args.sim and args.wall:
+        raise SystemExit("--sim and --wall are mutually exclusive")
+    mode = "wall" if args.wall else "sim"
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    try:
+        config = ReshardChaosConfig(
+            ops=args.ops,
+            read_fraction=args.read_fraction,
+            keys=args.keys,
+            skew=args.skew,
+            clients=args.clients,
+            shards=args.shards,
+            spec=args.spec,
+            reshard=args.kind,
+            reshard_at=args.reshard_at,
+            crash_rate=args.crash_rate,
+            epoch=args.epoch,
+            timeout=args.timeout,
+        )
+        config.validate()
+    except ServiceError as exc:
+        raise SystemExit(f"reshard failed: {exc}")
+
+    reports = []
+    started = time_module.perf_counter()
+    try:
+        for seed in range(args.seed, args.seed + args.seeds):
+            reports.append(run_reshard_chaos(seed=seed, config=config, mode=mode))
+    except ServiceError as exc:
+        raise SystemExit(f"reshard failed: {exc}")
+    elapsed = time_module.perf_counter() - started
+    all_ok = all(report.ok for report in reports)
+
+    if args.seeds == 1:
+        payload = reports[0].to_dict()
+    else:
+        payload = {
+            "spec": args.spec,
+            "shards": args.shards,
+            "mode": mode,
+            "seeds": [report.seed for report in reports],
+            "all_ok": all_ok,
+            "violations_total": sum(len(r.violations) for r in reports),
+            "reshards_completed": sum(1 for r in reports if r.reshard_completed),
+            "runs": [report.to_dict() for report in reports],
+        }
+    if args.json_out:
+        artifact = dict(payload)
+        artifact["perf"] = {
+            "elapsed_seconds": elapsed,
+            "run_seconds": [report.elapsed_seconds for report in reports],
+            "runs_per_second": len(reports) / elapsed if elapsed > 0 else 0.0,
+        }
+        with open(args.json_out, "w") as handle:
+            json_module.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif args.seeds == 1:
+        _print_reshard_report(reports[0])
+    else:
+        print(f"sharded       : {args.shards} x {args.spec}, mode {mode}")
+        print(f"sweep         : {args.seeds} seeds [{args.seed}.."
+              f"{args.seed + args.seeds - 1}], {elapsed:.2f}s total")
+        for report in reports:
+            status = "ok" if report.ok else f"{len(report.violations)} VIOLATION(S)"
+            moved = sum(e.get("keys_moved", 0) for e in report.reshards if e.get("ok"))
+            fate = (
+                f"reshard flipped ({moved} keys)"
+                if report.reshard_completed
+                else ("reshard aborted" if report.reshards else "no reshard")
+            )
+            print(
+                f"   seed {report.seed:>4}: {status}; {fate};"
+                f" map v{report.map_versions[1]};"
+                f" trace {report.hashes['trace'][:12]}"
+            )
+        completed = sum(1 for r in reports if r.reshard_completed)
+        print(f"invariants    : {'all held' if all_ok else 'VIOLATED'}"
+              f" across {args.seeds} seeds"
+              f" ({completed} reshards ran to a flip)")
+    if not all_ok:
+        raise SystemExit(1)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
 
@@ -578,6 +789,13 @@ def main(argv: List[str] = None) -> None:
     p_bench.add_argument("--hedge-delay-ms", type=float, default=0.0,
                          help="defer hedge spares until this delay elapses"
                               " without a full quorum ack (0 = send upfront)")
+    p_bench.add_argument("--shards", type=int, default=0,
+                         help="benchmark a sharded namespace with this many"
+                              " instances of the system spec under virtual"
+                              " time (0 = classic single-system benchmark)")
+    p_bench.add_argument("--service-time-ms", type=float, default=2.0,
+                         help="with --shards: per-request replica service"
+                              " time (finite-capacity FIFO replicas)")
     p_bench.add_argument("--json", action="store_true",
                          help="print the full metrics dict as JSON")
     p_bench.add_argument("--json-out", metavar="PATH", default=None,
@@ -630,6 +848,52 @@ def main(argv: List[str] = None) -> None:
                          help="write the JSON report (plus wall-clock perf"
                               " numbers) to PATH")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_reshard = sub.add_parser(
+        "reshard",
+        help="split/grow a hot shard live under injected faults, with"
+             " durability/staleness/monotonicity checks (exit 1 on"
+             " violation)",
+    )
+    p_reshard.add_argument("--spec", default="majority:5",
+                           help="per-shard system spec, e.g. majority:5")
+    p_reshard.add_argument("--shards", type=int, default=4,
+                           help="initial shard count (equal hash ranges)")
+    p_reshard.add_argument("--kind", choices=("split", "grow", "none"),
+                           default="split",
+                           help="reshard operation fired mid-workload:"
+                                " split the hottest shard, grow it (§5"
+                                " membership growth), or none (baseline)")
+    p_reshard.add_argument("--reshard-at", type=float, default=0.4,
+                           help="fire the reshard after this fraction of ops")
+    p_reshard.add_argument("--seed", type=int, default=0)
+    p_reshard.add_argument("--ops", type=int, default=600)
+    p_reshard.add_argument("--read-fraction", type=float, default=0.6)
+    p_reshard.add_argument("--keys", type=int, default=48)
+    p_reshard.add_argument("--skew", type=float, default=0.9,
+                           help="zipf key skew (drives the hot shard)")
+    p_reshard.add_argument("--clients", type=int, default=4)
+    p_reshard.add_argument("--crash-rate", type=float, default=0.1,
+                           help="iid crash probability per fault epoch")
+    p_reshard.add_argument("--epoch", type=float, default=40.0,
+                           help="ticks per crash epoch")
+    p_reshard.add_argument("--timeout", type=float, default=200.0,
+                           help="per-request deadline in ms")
+    p_reshard.add_argument("--sim", action="store_true",
+                           help="run under virtual time (the default;"
+                                " bit-reproducible, milliseconds per run)")
+    p_reshard.add_argument("--wall", action="store_true",
+                           help="run the same scenario under real time")
+    p_reshard.add_argument("--seeds", type=int, default=1,
+                           help="sweep this many consecutive seeds starting"
+                                " at --seed (exit 1 if any run violates an"
+                                " invariant)")
+    p_reshard.add_argument("--json", action="store_true",
+                           help="print the full reshard report as JSON")
+    p_reshard.add_argument("--json-out", metavar="PATH",
+                           help="write the JSON scorecard (plus wall-clock"
+                                " perf numbers) to PATH")
+    p_reshard.set_defaults(func=_cmd_reshard)
 
     p_serve = sub.add_parser(
         "serve", help="run TCP replica servers for a system"

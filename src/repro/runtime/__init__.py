@@ -38,7 +38,7 @@ from .faults import (
     sample_iid_crash_set,
     split_brain_schedule,
 )
-from .metrics import Counter, Gauge, LatencyHistogram
+from .metrics import Counter, Gauge, KeyCounter, LatencyHistogram
 from .rng import RngStreams
 
 __all__ = [
@@ -65,5 +65,6 @@ __all__ = [
     # metrics
     "Counter",
     "Gauge",
+    "KeyCounter",
     "LatencyHistogram",
 ]

@@ -19,7 +19,7 @@ from typing import Any, Dict, List, Union
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "LatencyHistogram"]
+__all__ = ["Counter", "Gauge", "KeyCounter", "LatencyHistogram"]
 
 Number = Union[int, float]
 
@@ -186,6 +186,72 @@ class Gauge:
 
     def __repr__(self) -> str:
         return f"Gauge({self.value})"
+
+
+class KeyCounter:
+    """Exact per-key hit counts with a deterministic top-K view.
+
+    The heavy-hitter signal behind hot-shard detection and the kvbench
+    key-skew report.  Counts are exact (a lossy sketch would break the
+    byte-for-byte snapshot hashing the determinism tests rely on) and
+    every view orders ties by key, so two runs with identical draws
+    produce identical snapshots.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    def record(self, key: str, by: int = 1) -> None:
+        """Count ``by`` hits of ``key`` (``by`` must be non-negative)."""
+        if by < 0:
+            raise ValueError(f"key counters only go up; record({key!r}, {by})")
+        self.counts[key] = self.counts.get(key, 0) + int(by)
+
+    @property
+    def total(self) -> int:
+        """Hits across all keys."""
+        return sum(self.counts.values())
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct keys seen."""
+        return len(self.counts)
+
+    def top(self, k: int = 10) -> List[Any]:
+        """The ``k`` hottest ``(key, count)`` pairs, hottest first.
+
+        Deterministic: ties are broken by key, so the view is a pure
+        function of the recorded multiset.
+        """
+        ranked = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+        return [(key, count) for key, count in ranked[: max(0, int(k))]]
+
+    def skew_summary(self, k: int = 10) -> Dict[str, Any]:
+        """Key-skew snapshot: total/distinct counts and top-K shares."""
+        total = self.total
+        top = self.top(k)
+        top_share = sum(count for _, count in top) / total if total else 0.0
+        hottest_share = (top[0][1] / total) if top and total else 0.0
+        return {
+            "total": total,
+            "distinct": self.distinct,
+            "top_k": [[key, count] for key, count in top],
+            "top_k_share": top_share,
+            "hottest_share": hottest_share,
+        }
+
+    def merge(self, other: "KeyCounter") -> None:
+        """Fold another counter's hits into this one."""
+        for key, count in other.counts.items():
+            self.counts[key] = self.counts.get(key, 0) + count
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __repr__(self) -> str:
+        return f"<KeyCounter distinct={self.distinct} total={self.total}>"
 
 
 class LatencyHistogram:

@@ -252,6 +252,7 @@ class Coordinator:
         self._breaker_open_until: Dict[int, int] = {}  # replica id -> op index
         # replica id -> {key: (counter, writer, value)} pending handoffs
         self._hints: Dict[int, Dict[str, Tuple[int, int, Any]]] = {}
+        self._replaying = False  # reentrancy guard for _replay_hints
         # Hot-path caches: quorum -> sorted member tuple, blocked set ->
         # restricted strategy (or None), quorum -> hedge plan.
         self._members_cache: Dict[Quorum, Tuple[int, ...]] = {}
@@ -278,6 +279,7 @@ class Coordinator:
         quorum and, if anyone answers, served with ``stale=True``.
         """
         self._ops_issued += 1
+        self.metrics.record_key_access(key)
         try:
             payloads, latency, attempts, quorum = await self._quorum_phase(
                 lambda rid: {"op": "read", "key": key}, kind="read", key=key
@@ -302,6 +304,7 @@ class Coordinator:
     async def write(self, key: str, value: Any) -> WriteResult:
         """Quorum write stamped by this coordinator's logical clock."""
         self._ops_issued += 1
+        self.metrics.record_key_access(key)
         self._clock += 1
         counter, writer = self._clock, self.coordinator_id
         request = {
@@ -325,6 +328,36 @@ class Coordinator:
         self.metrics.record_op("write", latency, ok=True, attempts=attempts)
         await self._replay_hints()
         return WriteResult(counter, writer, latency, attempts)
+
+    async def transfer(self, key: str, value: Any, counter: int, writer: int) -> WriteResult:
+        """Quorum write of an *existing* version, timestamp preserved.
+
+        The resharding handoff uses this to copy versioned state into a
+        destination shard: unlike :meth:`write` it does not mint a new
+        timestamp, so a transferred version never wins over a client
+        write that superseded it mid-migration.  The request goes out as
+        an idempotent ``repair``, making replays harmless.
+        """
+        self._ops_issued += 1
+        request = {
+            "op": "repair",
+            "key": key,
+            "value": value,
+            "counter": counter,
+            "writer": writer,
+        }
+        try:
+            payloads, latency, attempts, _ = await self._quorum_phase(
+                lambda rid: request, kind="transfer", key=key
+            )
+        except OperationFailed as exc:
+            self.metrics.record_op(
+                "transfer", exc.latency, ok=False, attempts=exc.attempts
+            )
+            raise
+        self._clock = max(self._clock, int(counter))
+        self.metrics.record_op("transfer", latency, ok=True, attempts=attempts)
+        return WriteResult(int(counter), int(writer), latency, attempts)
 
     # ------------------------------------------------------------------
     # Quorum machinery
@@ -715,33 +748,40 @@ class Coordinator:
 
         Runs after successful operations, best-effort.  A replica that
         fails its replay is re-suspected and keeps its remaining hints
-        for the next round.
+        for the next round.  Reentrancy-safe: a sharded service funnels
+        concurrent clients through one coordinator, so two replays can
+        overlap — only one proceeds, and deletions go through ``pop``.
         """
-        if not self._hints:
+        if not self._hints or self._replaying:
             return
-        blocked = self._blocked_replicas()
-        for rid in sorted(self._hints):
-            if rid in blocked:
-                continue
-            pending = self._hints[rid]
-            for key, (counter, writer, value) in sorted(pending.items()):
-                request = {
-                    "op": "repair",
-                    "key": key,
-                    "value": value,
-                    "counter": counter,
-                    "writer": writer,
-                }
-                try:
-                    reply = await self.transport.call(rid, request, self.timeout)
-                except (ReplicaUnavailable, RequestTimeout):
-                    self._note_failure(rid)
-                    break
-                if reply.payload.get("ok"):
-                    del pending[key]
-                    self.metrics.record_hint_replayed()
-            if not pending:
-                del self._hints[rid]
+        self._replaying = True
+        try:
+            blocked = self._blocked_replicas()
+            for rid in sorted(self._hints):
+                if rid in blocked:
+                    continue
+                pending = self._hints.get(rid)
+                if pending is None:
+                    continue
+                for key, (counter, writer, value) in sorted(pending.items()):
+                    request = {
+                        "op": "repair",
+                        "key": key,
+                        "value": value,
+                        "counter": counter,
+                        "writer": writer,
+                    }
+                    try:
+                        reply = await self.transport.call(rid, request, self.timeout)
+                    except (ReplicaUnavailable, RequestTimeout):
+                        self._note_failure(rid)
+                        break
+                    if reply.payload.get("ok") and pending.pop(key, None) is not None:
+                        self.metrics.record_hint_replayed()
+                if not pending:
+                    self._hints.pop(rid, None)
+        finally:
+            self._replaying = False
 
     async def _repair_stale(
         self,

@@ -19,7 +19,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..core.errors import ServiceError
-from ..runtime.metrics import LatencyHistogram
+from ..runtime.metrics import KeyCounter, LatencyHistogram
 
 
 class ServiceMetrics:
@@ -57,6 +57,9 @@ class ServiceMetrics:
         # so latency numerics agree across substrates).
         self.straggler_latency = LatencyHistogram()
         self.op_latency = LatencyHistogram()
+        # Per-key access counts: the hot-key signal behind kvbench's
+        # key-skew report and the sharding layer's hot-shard detection.
+        self.keys = KeyCounter()
         # Wall-clock of the measured workload section, stamped by the
         # load generator.  Deliberately NOT in to_dict(): the snapshot
         # must stay bit-identical for identical seeds.
@@ -82,6 +85,10 @@ class ServiceMetrics:
         if attempts > 1:
             self.retries += attempts - 1
         self.op_latency.record(latency)
+
+    def record_key_access(self, key: str) -> None:
+        """Count one client operation against ``key`` (read or write)."""
+        self.keys.record(key)
 
     def record_fallback(self) -> None:
         """A retry that switched to a different (next-best) quorum."""
@@ -219,6 +226,7 @@ class ServiceMetrics:
                 },
             },
             "latency_ms": self.op_latency.summary(),
+            "hot_keys": self.keys.skew_summary(10),
             "observed_loads": [float(x) for x in self.observed_loads()],
         }
         if predicted is not None:

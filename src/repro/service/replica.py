@@ -95,9 +95,11 @@ class Replica:
         """Serve one request dict; always returns a response dict.
 
         Operations: ``read``, ``write``, ``repair`` (a write issued by
-        read-repair, tracked separately) and ``ping``.  Malformed
-        requests yield ``{"ok": False, "error": ...}`` rather than an
-        exception so a broken client cannot kill a TCP replica server.
+        read-repair, tracked separately), ``keys`` (the key census the
+        resharding handoff enumerates migrating state with) and
+        ``ping``.  Malformed requests yield ``{"ok": False, "error":
+        ...}`` rather than an exception so a broken client cannot kill a
+        TCP replica server.
         """
         try:
             op = request.get("op")
@@ -105,6 +107,12 @@ class Replica:
                 return self._handle_read(request)
             if op in ("write", "repair"):
                 return self._handle_write(request, repair=op == "repair")
+            if op == "keys":
+                return {
+                    "ok": True,
+                    "replica": self.replica_id,
+                    "keys": sorted(self.store),
+                }
             if op == "ping":
                 return {"ok": True, "replica": self.replica_id}
             raise ServiceError(f"unknown operation {op!r}")

@@ -66,6 +66,15 @@ class SimTransport(Transport):
         distribution (and draw order) as the in-process transport.
     crash_rate:
         iid crash probability ``p`` for :meth:`resample_crashes`.
+    service_time_ms:
+        Per-request processing time at the replica (0, the default,
+        preserves the historical pure-latency model bit-for-bit).  When
+        positive, each replica is a FIFO server: concurrent requests to
+        the same replica queue behind each other, so a replica has
+        finite *capacity* and overload shows up as queueing delay.
+        This is the knob that makes sharding measurable — spreading
+        keys over more replicas buys aggregate service capacity, which
+        the virtual-time throughput of the sharded benchmark reports.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class SimTransport(Transport):
         base_latency: float = 1.0,
         mean_latency: float = 4.0,
         crash_rate: float = 0.0,
+        service_time_ms: float = 0.0,
     ) -> None:
         if isinstance(replicas, Mapping):
             self.replicas: Dict[int, Replica] = dict(replicas)
@@ -89,16 +99,21 @@ class SimTransport(Transport):
             raise ServiceError(f"crash rate must be in [0,1], got {crash_rate}")
         if base_latency < 0 or mean_latency < 0:
             raise ServiceError("latencies must be non-negative")
+        if service_time_ms < 0:
+            raise ServiceError("service time must be non-negative")
         self.clock: Clock = clock if clock is not None else VirtualClock()
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.base_latency = base_latency
         self.mean_latency = mean_latency
         self.crash_rate = crash_rate
+        self.service_time_ms = service_time_ms
         self.down: frozenset = frozenset()
         self.epochs = 0
         self.calls = Counter()
         self.timeouts = Counter()
         self.unavailable = Counter()
+        # replica id -> virtual time its FIFO queue drains (capacity model)
+        self._busy_until: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Crash injection (drop-in for InProcessTransport's API)
@@ -144,7 +159,22 @@ class SimTransport(Transport):
             self.unavailable += 1
             await self.clock.sleep(timeout)
             raise ReplicaUnavailable(replica_id, latency=timeout)
-        if latency > timeout:
+        if self.service_time_ms > 0:
+            # FIFO capacity model: the request waits for the replica's
+            # queue to drain, then occupies it for one service time.
+            now = self.clock.now()
+            start = max(now, self._busy_until.get(replica_id, now))
+            finish = start + self.service_time_ms
+            latency += finish - now
+            if latency > timeout:
+                # Overload: the client gives up before being served; the
+                # slot is NOT reserved (the server never saw the work),
+                # so a saturated replica's queue is bounded by timeouts.
+                self.timeouts += 1
+                await self.clock.sleep(timeout)
+                raise RequestTimeout(replica_id, latency=timeout)
+            self._busy_until[replica_id] = finish
+        elif latency > timeout:
             self.timeouts += 1
             await self.clock.sleep(timeout)
             raise RequestTimeout(replica_id, latency=timeout)

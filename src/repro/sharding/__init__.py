@@ -1,0 +1,49 @@
+"""Multi-partition namespace over heterogeneous quorum systems.
+
+The serving layer (:mod:`repro.service`) runs one quorum system over one
+flat key space; this package scales it out.  A :class:`ShardMap`
+partitions the hash ring into contiguous shards, each backed by its own
+— possibly heterogeneous — quorum system (h-triang for hot shards,
+majority for small ones).  A :class:`ShardedCoordinator` consults the
+map per key and fans out through the ordinary per-shard
+:class:`~repro.service.coordinator.Coordinator` machinery, so every
+serving feature (hedging, breakers, hinted handoff, degraded reads)
+composes unchanged.
+
+Resharding is *live*: per-shard load tracking
+(:class:`ShardLoadTracker`) detects hot shards, and
+:meth:`ShardedCoordinator.split_shard` /
+:meth:`~ShardedCoordinator.merge_shards` /
+:meth:`~ShardedCoordinator.grow_shard` migrate state with the
+drain → copy → flip handoff modelled by
+:mod:`repro.sim.protocols.reconfiguration`: writes to a migrating shard
+are queued, versioned state is copied timestamp-preservingly, reads
+dual-fetch from both epochs, and the map version flips atomically — no
+acknowledged write is lost across a reshard.
+"""
+
+from .shardmap import SLOT_SPACE, Shard, ShardMap, key_slot
+from .tracker import ShardLoadTracker
+from .coordinator import ReshardEvent, ShardBackend, ShardedCoordinator
+from .service import SimShardFleet, build_sim_backend_factory
+from .bench import ShardBenchReport, compare_shard_scaling, run_sharded_benchmark
+from .chaos import ReshardChaosConfig, ReshardReport, run_reshard_chaos
+
+__all__ = [
+    "SLOT_SPACE",
+    "Shard",
+    "ShardMap",
+    "key_slot",
+    "ShardLoadTracker",
+    "ReshardEvent",
+    "ShardBackend",
+    "ShardedCoordinator",
+    "SimShardFleet",
+    "build_sim_backend_factory",
+    "ShardBenchReport",
+    "compare_shard_scaling",
+    "run_sharded_benchmark",
+    "ReshardChaosConfig",
+    "ReshardReport",
+    "run_reshard_chaos",
+]

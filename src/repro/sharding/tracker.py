@@ -1,0 +1,90 @@
+"""Per-shard load tracking and hot-shard detection.
+
+The live half of resharding needs a signal: which shard is taking a
+disproportionate share of the traffic?  :class:`ShardLoadTracker` keeps
+one op counter and one latency histogram per shard — the same
+:mod:`repro.runtime.metrics` primitives the rest of the stack uses, so
+snapshots stay exact and deterministic — and flags shards whose op count
+exceeds ``factor ×`` the mean as hot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..runtime.metrics import Counter, LatencyHistogram
+
+__all__ = ["ShardLoadTracker"]
+
+
+class ShardLoadTracker:
+    """Exact per-shard op counts and latencies for hot-shard detection."""
+
+    def __init__(self) -> None:
+        self.ops: Dict[str, Counter] = {}
+        self.latency: Dict[str, LatencyHistogram] = {}
+
+    def record_op(self, shard_id: str, kind: str, latency_ms: float) -> None:
+        """Count one operation routed to ``shard_id``."""
+        counter = self.ops.get(shard_id)
+        if counter is None:
+            counter = self.ops[shard_id] = Counter()
+            self.latency[shard_id] = LatencyHistogram()
+        counter += 1
+        self.latency[shard_id].record(latency_ms)
+
+    def ops_for(self, shard_id: str) -> int:
+        counter = self.ops.get(shard_id)
+        return int(counter) if counter is not None else 0
+
+    @property
+    def total_ops(self) -> int:
+        return sum(int(c) for c in self.ops.values())
+
+    def hot_shards(
+        self,
+        shard_ids: Sequence[str],
+        *,
+        factor: float = 2.0,
+        min_ops: int = 50,
+    ) -> List[str]:
+        """Shards carrying more than ``factor ×`` the mean load.
+
+        Only shards in ``shard_ids`` (the *current* map — stale counters
+        for already-split shards must not retrigger) are considered, and
+        a shard needs at least ``min_ops`` recorded operations so a cold
+        map with two lukewarm keys is not declared on fire.  Hottest
+        first, ties broken by id — deterministic.
+        """
+        if not shard_ids:
+            return []
+        counts = {sid: self.ops_for(sid) for sid in shard_ids}
+        mean = sum(counts.values()) / len(shard_ids)
+        if mean <= 0:
+            return []
+        hot = [
+            sid
+            for sid, count in counts.items()
+            if count >= min_ops and count > factor * mean
+        ]
+        return sorted(hot, key=lambda sid: (-counts[sid], sid))
+
+    def hottest(self, shard_ids: Sequence[str]) -> Optional[str]:
+        """The single busiest current shard (None when nothing recorded)."""
+        counts = {sid: self.ops_for(sid) for sid in shard_ids}
+        if not counts or all(count == 0 for count in counts.values()):
+            return None
+        return min(counts, key=lambda sid: (-counts[sid], sid))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic per-shard summary (sorted by shard id)."""
+        return {
+            sid: {
+                "ops": int(self.ops[sid]),
+                "latency_ms": self.latency[sid].summary(),
+            }
+            for sid in sorted(self.ops)
+        }
+
+    def __repr__(self) -> str:
+        return f"<ShardLoadTracker shards={len(self.ops)} ops={self.total_ops}>"

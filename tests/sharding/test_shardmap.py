@@ -1,0 +1,160 @@
+"""ShardMap: hashing, tiling, reshape ops, deterministic serialization."""
+
+import json
+
+import pytest
+
+from repro.cli import build_system
+from repro.core.errors import ServiceError
+from repro.core.serialization import system_from_dict
+from repro.sharding import SLOT_SPACE, Shard, ShardMap, key_slot
+
+
+def uniform_map(count, spec="majority:3"):
+    systems = [build_system(spec) for _ in range(count)]
+    return ShardMap.uniform(systems, specs=[spec] * count)
+
+
+class TestKeySlot:
+    def test_stable_across_processes(self):
+        # sha256-derived, so these values are part of the wire format:
+        # a change here invalidates every serialized map.
+        assert key_slot("k000") == 1520188425
+        assert key_slot("alpha") == 1750832542
+        assert key_slot("") == 2566659092
+
+    def test_range(self):
+        for key in ("a", "b", "k1234", "🔑"):
+            assert 0 <= key_slot(key) < SLOT_SPACE
+
+
+class TestTiling:
+    def test_uniform_covers_slot_space(self):
+        shard_map = uniform_map(4)
+        assert shard_map.shards[0].lo == 0
+        assert shard_map.shards[-1].hi == SLOT_SPACE
+        for left, right in zip(shard_map.shards, shard_map.shards[1:]):
+            assert left.hi == right.lo
+
+    def test_every_key_routes_to_exactly_one_shard(self):
+        shard_map = uniform_map(5)
+        for index in range(200):
+            key = f"k{index:03d}"
+            shard = shard_map.shard_for_key(key)
+            assert shard.lo <= key_slot(key) < shard.hi
+
+    def test_gap_rejected(self):
+        system = build_system("majority:3")
+        with pytest.raises(ServiceError):
+            ShardMap(
+                [
+                    Shard("a", 0, 10, system),
+                    Shard("b", 11, SLOT_SPACE, system),
+                ]
+            )
+
+    def test_overlap_rejected(self):
+        system = build_system("majority:3")
+        with pytest.raises(ServiceError):
+            ShardMap(
+                [
+                    Shard("a", 0, 10, system),
+                    Shard("b", 9, SLOT_SPACE, system),
+                ]
+            )
+
+    def test_duplicate_ids_rejected(self):
+        system = build_system("majority:3")
+        half = SLOT_SPACE // 2
+        with pytest.raises(ServiceError):
+            ShardMap(
+                [
+                    Shard("a", 0, half, system),
+                    Shard("a", half, SLOT_SPACE, system),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ServiceError):
+            ShardMap([])
+
+
+class TestReshapeOps:
+    def test_split_halves_range_and_bumps_version(self):
+        shard_map = uniform_map(2)
+        system = build_system("majority:3")
+        child_spec = "majority:3"
+        new_map = shard_map.split(
+            "s0", system, system, left_spec=child_spec, right_spec=child_spec
+        )
+        assert new_map.version == shard_map.version + 1
+        assert "s0" not in new_map
+        left, right = new_map.shard("s0.0"), new_map.shard("s0.1")
+        parent = shard_map.shard("s0")
+        assert (left.lo, right.hi) == (parent.lo, parent.hi)
+        assert left.hi == right.lo
+        # The original map is untouched (maps are immutable values).
+        assert "s0" in shard_map
+
+    def test_merge_is_adjacent_only(self):
+        shard_map = uniform_map(3)
+        system = build_system("majority:3")
+        merged = shard_map.merge("s0", "s1", system)
+        assert merged.shard("s0+s1").lo == 0
+        with pytest.raises(ServiceError):
+            shard_map.merge("s0", "s2", system)
+
+    def test_replace_keeps_range_for_growth(self):
+        shard_map = uniform_map(2, spec="htriang:6")
+        grown = shard_map.shard("s0").system.grown("t1")
+        new_map = shard_map.replace("s0", grown)
+        assert new_map.version == shard_map.version + 1
+        replaced = new_map.shard("s0")
+        original = shard_map.shard("s0")
+        assert (replaced.lo, replaced.hi) == (original.lo, original.hi)
+        assert replaced.system.n > original.system.n
+
+
+class TestSerialization:
+    def test_round_trip_preserves_digest(self):
+        shard_map = uniform_map(4, spec="majority:5")
+        recovered = ShardMap.loads(shard_map.dumps())
+        assert recovered.digest() == shard_map.digest()
+        assert recovered.version == shard_map.version
+        assert [s.shard_id for s in recovered.shards] == [
+            s.shard_id for s in shard_map.shards
+        ]
+
+    def test_dumps_is_canonical(self):
+        # Same logical map -> byte-identical JSON -> stable digest.
+        assert uniform_map(3).dumps() == uniform_map(3).dumps()
+
+    def test_round_trip_after_split(self):
+        shard_map = uniform_map(2)
+        system = build_system("majority:3")
+        split = shard_map.split(
+            "s1", system, system, left_spec="majority:3", right_spec="majority:3"
+        )
+        recovered = ShardMap.loads(split.dumps())
+        assert recovered.digest() == split.digest()
+        assert recovered.version == split.version
+
+    def test_embedded_systems_use_core_serialization(self):
+        # Each shard embeds the full repro-quorum-system/1 document, so a
+        # map is self-describing even without its spec strings.
+        shard_map = uniform_map(2, spec="htriang:6")
+        document = json.loads(shard_map.dumps())
+        for entry in document["shards"]:
+            system = system_from_dict(entry["system"])
+            assert system.contains_quorum(frozenset(system.universe.ids))
+
+    def test_heterogeneous_map_round_trips(self):
+        systems = [build_system("majority:3"), build_system("htriang:6")]
+        shard_map = ShardMap.uniform(systems, specs=["majority:3", "htriang:6"])
+        recovered = ShardMap.loads(shard_map.dumps())
+        assert recovered.digest() == shard_map.digest()
+        assert recovered.shard("s1").system.n == 6
+
+    def test_loads_rejects_foreign_format(self):
+        with pytest.raises(ServiceError):
+            ShardMap.loads(json.dumps({"format": "not-a-shard-map", "shards": []}))

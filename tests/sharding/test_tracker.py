@@ -1,0 +1,60 @@
+"""ShardLoadTracker: hot-shard detection semantics."""
+
+from repro.sharding import ShardLoadTracker
+
+
+def warmed(tracker, shard_id, ops, latency=1.0):
+    for _ in range(ops):
+        tracker.record_op(shard_id, "read", latency)
+
+
+class TestHotShards:
+    def test_cold_fleet_has_no_hot_shards(self):
+        tracker = ShardLoadTracker()
+        for sid in ("a", "b", "c"):
+            warmed(tracker, sid, 10)
+        assert tracker.hot_shards(["a", "b", "c"]) == []
+
+    def test_min_ops_gate(self):
+        tracker = ShardLoadTracker()
+        warmed(tracker, "a", 40)  # overloaded relative to b/c, but < min_ops
+        warmed(tracker, "b", 1)
+        warmed(tracker, "c", 1)
+        assert tracker.hot_shards(["a", "b", "c"], min_ops=50) == []
+        assert tracker.hot_shards(["a", "b", "c"], min_ops=10) == ["a"]
+
+    def test_factor_threshold_over_fleet_mean(self):
+        tracker = ShardLoadTracker()
+        warmed(tracker, "a", 300)
+        warmed(tracker, "b", 100)
+        warmed(tracker, "c", 100)
+        # mean ~166: a (300) < 2x mean, so nothing is hot at factor 2...
+        assert tracker.hot_shards(["a", "b", "c"], factor=2.0) == []
+        # ...but it is at a gentler factor.
+        assert tracker.hot_shards(["a", "b", "c"], factor=1.5) == ["a"]
+
+    def test_hottest_first(self):
+        tracker = ShardLoadTracker()
+        warmed(tracker, "a", 500)
+        warmed(tracker, "b", 900)
+        warmed(tracker, "c", 10)
+        hot = tracker.hot_shards(["a", "b", "c"], factor=1.0, min_ops=50)
+        assert hot == ["b", "a"]
+        assert tracker.hottest(["a", "b", "c"]) == "b"
+
+    def test_scoped_to_given_shard_ids(self):
+        # Retired shards keep their counters; detection only considers
+        # the ids of the *current* map.
+        tracker = ShardLoadTracker()
+        warmed(tracker, "retired", 10_000)
+        warmed(tracker, "a", 60)
+        warmed(tracker, "b", 10)
+        assert tracker.hottest(["a", "b"]) == "a"
+        assert "retired" not in tracker.hot_shards(["a", "b"], factor=1.0)
+
+    def test_snapshot_shape(self):
+        tracker = ShardLoadTracker()
+        warmed(tracker, "a", 3, latency=2.0)
+        snap = tracker.snapshot()
+        assert snap["a"]["ops"] == 3
+        assert snap["a"]["latency_ms"]["mean"] == 2.0

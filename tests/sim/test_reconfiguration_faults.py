@@ -1,0 +1,182 @@
+"""Reconfiguration under injected faults (satellite of the sharding PR).
+
+The drain/seal -> transfer -> flip handoff of
+:mod:`repro.sim.protocols.reconfiguration` must abort cleanly — old
+epoch intact, value readable, retry possible — when replicas crash or
+the network partitions mid-handoff.  ``majority:3 -> majority:5`` makes
+the abort points easy to force deterministically: any two old replicas
+seal, but a new-epoch transfer needs three of five.
+"""
+
+import pytest
+
+from repro.cli import build_system
+from repro.core import ProtocolError
+from repro.sim import (
+    Network,
+    ReconfigurableRegister,
+    ReplicaNode,
+    ReplicatedRegisterClient,
+    Simulator,
+)
+
+CLIENT_ID = 500
+
+
+def make_setup(old_system, new_system, seed=0):
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    for element in range(max(old_system.n, new_system.n)):
+        ReplicaNode(element, net)
+    client = ReplicatedRegisterClient(CLIENT_ID, net)
+    # Plenty of candidate quorums per attempt: with faults active only
+    # one specific quorum may be alive, and candidates are sampled at
+    # random — the tests must fail on protocol bugs, not on sampling.
+    register = ReconfigurableRegister(client, old_system, candidate_quorums=12)
+    return sim, net, register
+
+
+@pytest.fixture()
+def majority_pair():
+    return build_system("majority:3"), build_system("majority:5")
+
+
+class TestCrashMidHandoff:
+    def test_transfer_crash_aborts_then_retry_succeeds(self, majority_pair):
+        old, new = majority_pair
+        sim, net, register = make_setup(old, new)
+        done = []
+        register.write(lambda v: "survivor", done.append)
+        sim.run()
+        assert done[0].ok
+
+        # Crash between the epochs: {0,1} still seals the old system
+        # (2-of-3) but no new-epoch quorum (3-of-5) is alive, so the
+        # handoff fails after the seal, at the transfer.
+        for element in (2, 3, 4):
+            net.node(element).crash()
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False]
+        assert register.epoch == 0
+        assert register.system is old
+        # The seal read succeeded, the transfer write failed.
+        assert register.migrations[-2].ok
+        assert not register.migrations[-1].ok
+
+        # The old epoch keeps serving the committed value.
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok and done[-1].value == "survivor"
+
+        # Recovery: the same migration, retried, commits.
+        for element in (2, 3, 4):
+            net.node(element).recover()
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False, True]
+        assert register.epoch == 1
+        assert register.system is new
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok and done[-1].value == "survivor"
+
+    def test_seal_crash_aborts_before_any_transfer(self, majority_pair):
+        old, new = majority_pair
+        sim, net, register = make_setup(old, new)
+        done = []
+        register.write(lambda v: 11, done.append)
+        sim.run()
+
+        # Only replica 0 of the old epoch survives: the seal itself
+        # cannot reach a quorum, so the migration aborts at step one.
+        for element in (1, 2):
+            net.node(element).crash()
+        migrations_before = len(register.migrations)
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False]
+        assert register.epoch == 0
+        # Exactly one (failed) seal attempt, no transfer was issued.
+        assert len(register.migrations) == migrations_before + 1
+        assert not register.migrations[-1].ok
+
+    def test_operations_still_blocked_while_faulty_migration_runs(
+        self, majority_pair
+    ):
+        old, new = majority_pair
+        sim, net, register = make_setup(old, new)
+        for element in (2, 3, 4):
+            net.node(element).crash()
+        register.reconfigure(new, lambda ok: None)
+        with pytest.raises(ProtocolError):
+            register.write(lambda v: "rejected", lambda r: None)
+        sim.run()  # the abort unblocks the register
+        done = []
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok
+
+
+class TestPartitionDuringCopy:
+    def test_partition_fails_transfer_heal_retries(self, majority_pair):
+        old, new = majority_pair
+        sim, net, register = make_setup(old, new)
+        done = []
+        register.write(lambda v: "quoted", done.append)
+        sim.run()
+
+        # The client's side of the partition holds an old-epoch quorum
+        # ({0,1} is 2-of-3) but not a new-epoch one (needs 3-of-5): the
+        # seal succeeds, the copy into the new epoch cannot.
+        net.set_partition([[CLIENT_ID, 0, 1], [2, 3, 4]])
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False]
+        assert register.epoch == 0
+        assert register.system is old
+        assert register.migrations[-2].ok  # seal crossed
+        assert not register.migrations[-1].ok  # copy partitioned away
+
+        # Still serving from the old epoch inside the majority side.
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok and done[-1].value == "quoted"
+
+        net.heal_partition()
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [False, True]
+        assert register.epoch == 1
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok and done[-1].value == "quoted"
+
+    def test_value_never_regresses_across_faulty_migrations(self, majority_pair):
+        old, new = majority_pair
+        sim, net, register = make_setup(old, new)
+        done = []
+        register.write(lambda v: 1, done.append)
+        sim.run()
+
+        net.set_partition([[CLIENT_ID, 0, 1], [2, 3, 4]])
+        register.reconfigure(new, lambda ok: None)
+        sim.run()  # aborts
+
+        # Write again in the old epoch, then migrate for real: the
+        # *newest* old-epoch value must be what crosses.
+        register.write(lambda v: v + 1, done.append)
+        sim.run()
+        assert done[-1].value == 2
+
+        net.heal_partition()
+        flips = []
+        register.reconfigure(new, flips.append)
+        sim.run()
+        assert flips == [True]
+        register.read(done.append)
+        sim.run()
+        assert done[-1].ok and done[-1].value == 2
