@@ -120,6 +120,28 @@ def boost(system: QuorumSystem, b: int) -> ComposedQuorumSystem:
     return ComposedQuorumSystem(system, [_replica_group(group)] * system.n)
 
 
+def validate_masking(system: QuorumSystem, b: int) -> int:
+    """Check a system is b-masking; the serving path's startup gate.
+
+    Returns the system's masking threshold when it is at least ``b``.
+    Raises :class:`AnalysisError` otherwise, naming the actual bound and
+    the :func:`boost` call that would reach the requested one — the
+    coordinator surfaces that message verbatim so a misconfigured
+    deployment learns the fix, not just the failure.
+    """
+    if b < 0:
+        raise AnalysisError(f"b must be >= 0, got {b}")
+    threshold = masking_threshold(system)
+    if threshold < b:
+        raise AnalysisError(
+            f"{system.system_name} is only {threshold}-masking (min pairwise "
+            f"intersection {min_pairwise_intersection(system)} < {2 * b + 1}); "
+            f"b={b} needs a thicker system — e.g. "
+            f"analysis.byzantine.boost(system, {b})"
+        )
+    return threshold
+
+
 def masking_majority(n: int, b: int) -> ExplicitQuorumSystem:
     """The Malkhi–Reiter masking-majority baseline.
 

@@ -21,7 +21,8 @@ Subcommands
 
 Systems are named like ``h-triang:15``, ``h-t-grid:4x4``, ``majority:15``,
 ``hqs:5x3``, ``cwlog:14``, ``grid:4x4``, ``h-grid:5x5``, ``y:15``,
-``paths:13``, ``fpp:7``, ``tree:h2``, ``tgrid:4x4``, ``triangle:5``.
+``paths:13``, ``fpp:7``, ``tree:h2``, ``tgrid:4x4``, ``triangle:5``,
+``masking:5x1`` (the b-masking majority over n elements, MRW §3).
 """
 
 from __future__ import annotations
@@ -89,6 +90,11 @@ def build_system(spec: str) -> QuorumSystem:
         if name == "tree":
             height = int(params.lstrip("h"))
             return TreeQuorumSystem(height)
+        if name == "masking":
+            from .analysis.byzantine import masking_majority
+
+            size, _, b = params.partition("x")
+            return masking_majority(int(size), int(b))
     except (ValueError, QuorumError) as exc:
         raise SystemExit(f"bad system spec {spec!r}: {exc}")
     raise SystemExit(f"unknown system {name!r}; see --help for the catalogue")
@@ -430,6 +436,25 @@ def _print_chaos_report(report, config) -> None:
         f" |delta|={availability['abs_error']:.4f})"
     )
     print(f"op success    : {availability['op_success_rate']:.2%}")
+    if report.byzantine_replicas:
+        byz = report.metrics.to_dict()["byzantine"] if report.metrics else {}
+        leases = report.metrics.to_dict()["leases"] if report.metrics else {}
+        margin = byz.get("vote_margin_min")
+        print(
+            f"byzantine     : liars={report.byzantine_replicas}"
+            f" (mode={config.byzantine_mode}, voting b={config.byzantine_b}),"
+            f" lies detected={byz.get('lies_detected', 0)},"
+            f" vote rounds={byz.get('vote_rounds', 0)}"
+            f" (failures={byz.get('vote_failures', 0)},"
+            f" min margin={margin if margin is not None else '-'})"
+        )
+        if config.lease_ttl:
+            print(
+                f"leases        : ttl={config.lease_ttl} ops,"
+                f" renewals={leases.get('renewals', 0)},"
+                f" expiries={leases.get('expiries', 0)},"
+                f" failed rejoins={leases.get('rejoins_failed', 0)}"
+            )
     print(f"trace hash    : {report.hashes['trace']}")
     print(f"metrics hash  : {report.hashes['metrics']}")
     if report.ok:
@@ -450,6 +475,15 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     from .service.chaos import ChaosConfig, run_chaos
 
     system = build_system(args.system)
+    if args.boost:
+        from .analysis.byzantine import boost, masking_threshold
+
+        if args.byzantine < 1:
+            raise SystemExit("--boost needs --byzantine B with B >= 1")
+        if masking_threshold(system) < args.byzantine:
+            system = boost(system, args.byzantine)
+            print(f"boosted       : {system.system_name}"
+                  f" (n={system.n}, groups of {2 * args.byzantine + 1})")
     if args.sim and args.wall:
         raise SystemExit("--sim and --wall are mutually exclusive")
     mode = "sim" if args.sim else ("wall" if args.wall else "inprocess")
@@ -467,6 +501,10 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             degraded_reads=not args.no_degraded_reads,
             partitions=args.partitions,
             unsafe_partial_writes=args.unsafe_partial_writes,
+            byzantine_b=args.byzantine,
+            byzantine_liars=args.liars,
+            byzantine_mode=args.byzantine_mode,
+            lease_ttl=args.lease_ttl,
         )
         config.validate()
     except ServiceError as exc:
@@ -485,6 +523,10 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
     if args.seeds == 1:
         payload = reports[0].to_dict()
     else:
+        by_invariant: dict = {}
+        for report in reports:
+            for name, count in report.violation_counts.items():
+                by_invariant[name] = by_invariant.get(name, 0) + count
         payload = {
             "system": system.system_name,
             "n": system.n,
@@ -492,6 +534,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             "seeds": [report.seed for report in reports],
             "all_ok": all_ok,
             "violations_total": sum(len(r.violations) for r in reports),
+            "violations_by_invariant": dict(sorted(by_invariant.items())),
             "runs": [report.to_dict() for report in reports],
         }
     if args.json_out:
@@ -596,6 +639,7 @@ def _cmd_reshard(args: argparse.Namespace) -> None:
             crash_rate=args.crash_rate,
             epoch=args.epoch,
             timeout=args.timeout,
+            lease_ttl=args.lease_ttl,
         )
         config.validate()
     except ServiceError as exc:
@@ -831,6 +875,30 @@ def main(argv: List[str] = None) -> None:
                          help="TESTING ONLY: ack partial quorums under a"
                               " forced split-brain partition; the harness"
                               " must detect the violation and exit 1")
+    p_chaos.add_argument("--byzantine", type=int, default=0, metavar="B",
+                         help="run masking reads voting b+1 matching replies"
+                              " deep (requires a b-masking system; see"
+                              " --boost)")
+    p_chaos.add_argument("--liars", type=int, default=0, metavar="L",
+                         help="turn L replicas into lying (Byzantine)"
+                              " replicas for the whole run; with L <= B the"
+                              " run must stay clean, with L = B+1 the"
+                              " harness must detect fabricated reads and"
+                              " exit 1")
+    p_chaos.add_argument("--byzantine-mode", default="wrong_value",
+                         choices=("wrong_value", "stale_timestamp",
+                                  "equivocate"),
+                         help="lie flavour: fabricate values + fake-ack"
+                              " writes, deny writes ever happened, or tell"
+                              " each client site a different lie")
+    p_chaos.add_argument("--lease-ttl", type=int, default=0, metavar="OPS",
+                         help="quorum leases: every sampled quorum must"
+                              " re-join (Timed-Quorum handshake) after this"
+                              " many coordinator ops (0 = off)")
+    p_chaos.add_argument("--boost", action="store_true",
+                         help="if the system is thinner than --byzantine"
+                              " requires, replace each element with a group"
+                              " of 2B+1 replicas (analysis.byzantine.boost)")
     p_chaos.add_argument("--json", action="store_true",
                          help="print the full chaos report as JSON")
     p_chaos.add_argument("--sim", action="store_true",
@@ -879,6 +947,11 @@ def main(argv: List[str] = None) -> None:
                            help="ticks per crash epoch")
     p_reshard.add_argument("--timeout", type=float, default=200.0,
                            help="per-request deadline in ms")
+    p_reshard.add_argument("--lease-ttl", type=int, default=0, metavar="OPS",
+                           help="per-shard quorum leases: sampled quorums"
+                                " re-join after this many ops, so the"
+                                " drain→copy→flip handoff runs under"
+                                " membership churn (0 = off)")
     p_reshard.add_argument("--sim", action="store_true",
                            help="run under virtual time (the default;"
                                 " bit-reproducible, milliseconds per run)")

@@ -26,6 +26,7 @@ numpy — never on ``sim`` or ``service``.
 
 from .clock import Clock, VirtualClock, VirtualTimeLoop, WallClock, run_virtual
 from .faults import (
+    ByzantineFault,
     CrashFault,
     DropFault,
     DuplicateFault,
@@ -58,6 +59,7 @@ __all__ = [
     "LatencyFault",
     "DropFault",
     "DuplicateFault",
+    "ByzantineFault",
     "FaultSchedule",
     "split_brain_schedule",
     "sample_iid_crash_set",

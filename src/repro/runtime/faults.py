@@ -38,6 +38,13 @@ Fault types
 :class:`DuplicateFault`
     Requests are delivered twice with a probability — exercises the
     idempotence of timestamped writes.
+:class:`ByzantineFault`
+    Replicas *lie* instead of failing: reads return fabricated values
+    (``wrong_value``), rolled-back null state (``stale_timestamp``), or
+    per-caller-site divergent fabrications (``equivocate``), and in
+    ``wrong_value`` mode writes are fake-acked without applying.  Only a
+    masking-mode coordinator (b+1 matching votes per accepted read) can
+    survive these.
 
 :func:`iid_crash_schedule` expresses the paper's iid transient-crash
 model (each process down independently with probability ``p``, resampled
@@ -64,6 +71,8 @@ __all__ = [
     "LatencyFault",
     "DropFault",
     "DuplicateFault",
+    "ByzantineFault",
+    "BYZANTINE_MODES",
     "FaultSchedule",
     "split_brain_schedule",
     "sample_iid_crash_set",
@@ -194,6 +203,50 @@ class DuplicateFault:
     kind = "duplicate"
 
 
+#: Recognised lying styles for :class:`ByzantineFault`.
+BYZANTINE_MODES = ("wrong_value", "stale_timestamp", "equivocate")
+
+
+@dataclass(frozen=True)
+class ByzantineFault:
+    """Replicas return *wrong answers* instead of no answer.
+
+    Unlike every other rule, a Byzantine replica looks perfectly healthy
+    to the transport layer — replies arrive on time and well-formed —
+    so crash-tolerant quorum intersection alone cannot mask it.  Modes:
+
+    ``wrong_value``
+        Reads return a fabricated value at the true timestamp (a
+        colluding lie: every liar fabricates the same bytes for a given
+        key/version, the adversary's best strategy against voting) and
+        writes are acknowledged without being applied.
+    ``stale_timestamp``
+        Reads deny the data exists — value ``None`` at the null
+        timestamp — a rollback attack that can at worst cost
+        availability against a voting reader.
+    ``equivocate``
+        Like ``wrong_value`` on reads, but the fabrication differs per
+        caller *site*, so two coordinators comparing notes disagree.
+
+    The lie content is a pure function of (mode, replica, request,
+    caller site): no RNG is consumed, so inserting or removing a
+    Byzantine rule never shifts the seeded drop/duplicate coin streams.
+    """
+
+    replicas: frozenset
+    window: Window
+    mode: str = "wrong_value"
+
+    kind = "byzantine"
+
+    def __post_init__(self) -> None:
+        if self.mode not in BYZANTINE_MODES:
+            raise ServiceError(
+                f"unknown byzantine mode {self.mode!r}; "
+                f"expected one of {BYZANTINE_MODES}"
+            )
+
+
 _FAULT_TYPES = (
     CrashFault,
     FlappingFault,
@@ -201,6 +254,7 @@ _FAULT_TYPES = (
     LatencyFault,
     DropFault,
     DuplicateFault,
+    ByzantineFault,
 )
 
 
@@ -285,6 +339,30 @@ class FaultSchedule:
             ):
                 worst = max(worst, fault.probability)
         return worst
+
+    def byzantine_mode_at(self, now: float, replica_id: int) -> Optional[str]:
+        """Lying mode of ``replica_id`` at ``now``, or None if honest.
+
+        First active rule wins — a replica under two overlapping
+        Byzantine rules lies in one consistent style per tick, which
+        keeps the fabricated replies deterministic.
+        """
+        for fault in self.faults:
+            if (
+                isinstance(fault, ByzantineFault)
+                and fault.window.contains(now)
+                and replica_id in fault.replicas
+            ):
+                return fault.mode
+        return None
+
+    def byzantine_replicas(self) -> frozenset:
+        """Every replica named by any Byzantine rule, active or not."""
+        liars: set = set()
+        for fault in self.faults:
+            if isinstance(fault, ByzantineFault):
+                liars |= fault.replicas
+        return frozenset(liars)
 
     # ------------------------------------------------------------------
     def change_points(self, horizon: float) -> List[float]:

@@ -28,6 +28,8 @@ into a running service:
 from .chaos import ChaosConfig, ChaosReport, run_chaos
 from .coordinator import Coordinator, OperationFailed, ReadResult, WriteResult
 from .faults import (
+    ActivationLog,
+    ByzantineFault,
     CrashFault,
     DropFault,
     DuplicateFault,
@@ -69,6 +71,8 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "Coordinator",
+    "ActivationLog",
+    "ByzantineFault",
     "CrashFault",
     "DEFAULT_TIMEOUT_MS",
     "DropFault",

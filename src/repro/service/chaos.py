@@ -21,6 +21,19 @@ then checks safety invariants over the full operation history:
 4. **Per-replica timestamp monotonicity** — replica journals only ever
    move forward (write idempotence under duplication and handoff replay).
 
+With ``byzantine_liars > 0`` the schedule additionally turns replicas
+into lying (Byzantine) faults and three more invariants apply:
+
+5. **No fabricated read** — no successful read (degraded included) ever
+   returns a value a liar fabricated.  Holds whenever the coordinators
+   run masking reads (``byzantine_b``) with at most ``byzantine_b``
+   liars on a b-masking system; the over-budget ``liars = b+1`` run is
+   the expected-failure demonstration.
+6. **Lie detection is sound** — within the masking budget, every
+   replica a coordinator marks as a liar really is one.
+7. **Lies feed suspicion** — every caught liar entered the suspicion/
+   breaker machinery, so lying replicas are steered away from.
+
 On top, the harness measures availability under the schedule's iid crash
 component and compares it against the *exact* failure probability
 ``F_p`` from :mod:`repro.analysis` — closing the loop between the
@@ -48,8 +61,8 @@ Execution substrates (``mode=``)
 All randomness is drawn from named :class:`~repro.runtime.rng.RngStreams`
 (``chaos.transport``, ``chaos.schedule``, ``chaos.plan``,
 ``chaos.faults.<client>``, ``chaos.coordinator.<client>``,
-``chaos.warmup``), so every component owns an independent stream derived
-from the one root seed.
+``chaos.warmup``, ``chaos.byzantine``), so every component owns an
+independent stream derived from the one root seed.
 """
 
 from __future__ import annotations
@@ -70,7 +83,14 @@ from ..core.strategy import Strategy
 from ..runtime.clock import Clock, VirtualClock, WallClock, run_virtual
 from ..runtime.rng import RngStreams
 from .coordinator import Coordinator, OperationFailed
-from .faults import FaultSchedule, FaultyTransport, Window, split_brain_schedule
+from .faults import (
+    BYZANTINE_MODES,
+    ByzantineFault,
+    FaultSchedule,
+    FaultyTransport,
+    Window,
+    split_brain_schedule,
+)
 from .metrics import ServiceMetrics
 from .replica import NULL_TIMESTAMP, Replica
 from .simtransport import SimTransport
@@ -106,6 +126,10 @@ class ChaosConfig:
     hedge_spares: int = 0  # spare replicas per quorum phase (0 = off)
     hedge_delay_ms: float = 0.0  # defer spares this long (0 = upfront)
     unsafe_partial_writes: bool = False  # intentionally breaks intersection
+    byzantine_b: int = 0  # masking parameter b: coordinators vote b+1 deep
+    byzantine_liars: int = 0  # replicas turned into lying (Byzantine) faults
+    byzantine_mode: str = "wrong_value"  # lie flavour, see BYZANTINE_MODES
+    lease_ttl: int = 0  # quorum-lease lifetime in ops (0 = leases off)
 
     def validate(self) -> None:
         if self.ops < 1:
@@ -128,6 +152,17 @@ class ChaosConfig:
             raise ServiceError(
                 "split-brain demonstration needs at least two clients"
             )
+        if self.byzantine_b < 0:
+            raise ServiceError("byzantine_b must be >= 0")
+        if self.byzantine_liars < 0:
+            raise ServiceError("byzantine_liars must be >= 0")
+        if self.byzantine_mode not in BYZANTINE_MODES:
+            raise ServiceError(
+                f"unknown byzantine mode {self.byzantine_mode!r};"
+                f" pick one of {BYZANTINE_MODES}"
+            )
+        if self.lease_ttl < 0:
+            raise ServiceError("lease_ttl must be >= 0")
 
 
 @dataclass
@@ -147,6 +182,7 @@ class ChaosReport:
     mode: str = "inprocess"
     trace: List[Dict[str, Any]] = field(default_factory=list)
     hashes: Dict[str, str] = field(default_factory=dict)
+    byzantine_replicas: List[int] = field(default_factory=list)
     # Wall-clock duration of the run; NOT in to_dict() — the snapshot
     # must stay bit-identical for identical seeds.
     elapsed_seconds: float = 0.0
@@ -156,7 +192,28 @@ class ChaosReport:
         """True when every safety invariant held."""
         return not self.violations
 
+    @property
+    def violation_counts(self) -> Dict[str, int]:
+        """Violations grouped per invariant (the scorecard histogram)."""
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            name = violation.get("invariant", "unknown")
+            counts[name] = counts.get(name, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_dict(self) -> Dict[str, Any]:
+        checked = [
+            "acked-write-durable",
+            "no-stale-unflagged-read",
+            "version-integrity",
+            "replica-ts-monotone",
+        ]
+        if self.byzantine_replicas:
+            checked += [
+                "byzantine-fabricated-read",
+                "lie-detection-sound",
+                "lie-suspicion-reflected",
+            ]
         snapshot: Dict[str, Any] = {
             "system": self.system_name,
             "n": self.n,
@@ -164,19 +221,16 @@ class ChaosReport:
             "mode": self.mode,
             "config": asdict(self.config),
             "schedule": self.schedule.to_dict(),
+            "byzantine_replicas": list(self.byzantine_replicas),
             "faults_injected": dict(sorted(self.injected.items())),
             "operations": dict(sorted(self.operations.items())),
             "availability": dict(sorted(self.availability.items())),
             "hashes": dict(sorted(self.hashes.items())),
             "invariants": {
-                "checked": [
-                    "acked-write-durable",
-                    "no-stale-unflagged-read",
-                    "version-integrity",
-                    "replica-ts-monotone",
-                ],
+                "checked": checked,
                 "ok": self.ok,
                 "violations": self.violations,
+                "violation_counts": self.violation_counts,
             },
         }
         if self.metrics is not None:
@@ -280,12 +334,42 @@ def run_chaos(
         window = Window(config.ops * 0.25, config.ops * 0.75)
         schedule = schedule.extended(split_brain_schedule(ids, window))
 
+    # Byzantine liars: drawn from their own named stream (so turning them
+    # on never shifts the crash/partition schedule), lying for the whole
+    # run.  Which replies actually lie is then a pure function of the
+    # schedule — FaultyTransport burns no extra coins on it.
+    byz_replicas: List[int] = []
+    if config.byzantine_liars > 0:
+        if config.byzantine_liars > len(ids):
+            raise ServiceError(
+                f"cannot pick {config.byzantine_liars} liars from"
+                f" {len(ids)} replicas"
+            )
+        byz_rng = streams.stream("chaos.byzantine")
+        byz_replicas = sorted(
+            int(rid)
+            for rid in byz_rng.choice(ids, size=config.byzantine_liars, replace=False)
+        )
+        schedule = schedule.extended(
+            [
+                ByzantineFault(
+                    frozenset(byz_replicas),
+                    Window(0.0),
+                    mode=config.byzantine_mode,
+                )
+            ]
+        )
+
+    # One registry shared by every client's wrapper: the fabricated-read
+    # invariant must recognise a lie no matter which liar told it to whom.
+    fabricated: set = set()
     transports = [
         FaultyTransport(
             inner,
             schedule,
             seed=streams.seed_for(f"chaos.faults.{client}"),
             site=client % 2,
+            fabricated_registry=fabricated,
         )
         for client in range(config.clients)
     ]
@@ -307,6 +391,8 @@ def run_chaos(
             hedge_spares=config.hedge_spares,
             hedge_delay_ms=config.hedge_delay_ms,
             require_full_quorum=not config.unsafe_partial_writes,
+            byzantine_b=config.byzantine_b,
+            lease_ttl=config.lease_ttl,
             metrics=metrics,
         )
         for client in range(config.clients)
@@ -334,6 +420,21 @@ def run_chaos(
 
     def check_read(index: int, client: int, key: str, result) -> None:
         timestamp = (result.counter, result.writer)
+        # Checked before the stale early-return on purpose: a fabricated
+        # value is a safety violation even when served flagged-stale.
+        if result.value in fabricated:
+            violations.append(
+                {
+                    "invariant": "byzantine-fabricated-read",
+                    "op": index,
+                    "client": client,
+                    "key": key,
+                    "detail": (
+                        f"read returned fabricated value {result.value!r}"
+                        f" at {timestamp}"
+                    ),
+                }
+            )
         if timestamp != NULL_TIMESTAMP:
             issued = issued_values.get((key, result.counter, result.writer))
             if (key, result.counter, result.writer) not in issued_values:
@@ -521,6 +622,43 @@ def run_chaos(
                         }
                     )
 
+    if byz_replicas:
+        byz_set = set(byz_replicas)
+        accused = set()
+        for coordinator in coordinators:
+            accused |= coordinator.lied_replicas
+        # Soundness is only guaranteed inside the masking budget: with
+        # more than b liars, colluding votes can out-number the truth and
+        # frame honest replicas — that regime is the expected-failure
+        # case, already flagged by byzantine-fabricated-read.
+        if config.byzantine_liars <= config.byzantine_b:
+            framed = sorted(accused - byz_set)
+            if framed:
+                violations.append(
+                    {
+                        "invariant": "lie-detection-sound",
+                        "detail": (
+                            f"honest replicas {framed} marked as liars"
+                            f" (actual liars: {byz_replicas})"
+                        ),
+                    }
+                )
+        for coordinator in coordinators:
+            unreflected = sorted(
+                coordinator.lied_replicas - coordinator.suspicion_history
+            )
+            if unreflected:
+                violations.append(
+                    {
+                        "invariant": "lie-suspicion-reflected",
+                        "client": coordinator.coordinator_id,
+                        "detail": (
+                            f"caught liars {unreflected} never entered"
+                            " the suspicion set"
+                        ),
+                    }
+                )
+
     # ------------------------------------------------------------------
     # Availability: measured under the schedule's iid crash component vs
     # the exact failure probability of the same model.
@@ -560,5 +698,6 @@ def run_chaos(
         mode=mode,
         trace=trace,
         hashes=hashes,
+        byzantine_replicas=byz_replicas,
         elapsed_seconds=elapsed,
     )

@@ -51,6 +51,25 @@ before tearing down the transport).  With ``hedge_spares=0`` (default)
 exactly the sampled quorum is contacted and the phase waits for every
 member — the original semantics.
 
+Masking-mode reads (``byzantine_b > 0``): replicas may *lie*, not just
+crash, so a read accepts a ``(value, timestamp)`` only when at least
+``b+1`` members of the quorum returned it byte-identically — the
+Malkhi–Reiter–Wool masking-quorum read.  Startup validates the system
+against :func:`repro.analysis.byzantine.masking_threshold` and points a
+misconfigured deployment at :func:`repro.analysis.byzantine.boost`.
+Replicas that vote against the accepted version at its own timestamp
+are *caught lying*: they feed the same suspicion/circuit-breaker
+machinery as crashes (see :attr:`Coordinator.lied_replicas`), and the
+metrics count detected lies and vote margins.  Degraded reads vote too
+— a fabricated value must never be served, not even flagged stale.
+
+Quorum leases (``lease_ttl > 0``): each sampled quorum carries a
+Timed-Quorum-style lease measured in operations.  Using a quorum whose
+lease is missing or expired first runs a re-join handshake (``join`` to
+every member); a handshake that cannot reach every member invalidates
+the quorum for this attempt and falls back — membership is re-validated
+continuously instead of assumed static.
+
 The quorum-selection hot path is O(1) per operation after warm-up:
 strategy sampling goes through a cached alias table
 (:meth:`~repro.core.strategy.Strategy.sample_index`), sampled indices
@@ -61,11 +80,12 @@ hedge-plan computations are memoised per blocked-set / per quorum.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
+import json
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
-from ..core.errors import ServiceError
+from ..core.errors import AnalysisError, ServiceError
 from ..core.quorum_system import Quorum, QuorumSystem
 from ..core.strategy import Strategy
 from .metrics import ServiceMetrics
@@ -77,6 +97,15 @@ from .transport import (
     RequestTimeout,
     Transport,
 )
+
+
+def _value_key(value: Any) -> str:
+    """Canonical byte representation of a stored value for vote matching.
+
+    Two replies vote together only when their values serialise
+    identically — structural equality, stable across dict ordering.
+    """
+    return json.dumps(value, sort_keys=True, default=str)
 
 
 class OperationFailed(ServiceError):
@@ -173,6 +202,20 @@ class Coordinator:
         **Testing only.**  When False, an operation is acknowledged as
         soon as *any* member responds, which breaks quorum intersection —
         the chaos harness flips this to demonstrate split-brain detection.
+    byzantine_b:
+        Number of lying replicas to mask (0 disables voting, the
+        default).  When positive, the system must be ``b``-masking —
+        validated at startup against
+        :func:`repro.analysis.byzantine.masking_threshold`, with
+        :func:`repro.analysis.byzantine.boost` suggested otherwise —
+        and every read accepts only a version at least ``b+1`` members
+        agree on byte-for-byte.
+    lease_ttl:
+        Operations a quorum lease stays valid (0 disables leases, the
+        default).  Every sampled quorum must hold a live lease before
+        serving; expired or missing leases trigger a ``join`` handshake
+        with every member, and a failed handshake abandons the quorum
+        for that attempt.
     """
 
     _AVOIDING_CACHE_LIMIT = 128
@@ -199,10 +242,16 @@ class Coordinator:
         hedge_spares: int = 0,
         hedge_delay_ms: float = 0.0,
         require_full_quorum: bool = True,
+        byzantine_b: int = 0,
+        lease_ttl: int = 0,
         metrics: Optional[ServiceMetrics] = None,
     ) -> None:
         if max_attempts < 1:
             raise ServiceError(f"max_attempts must be >= 1, got {max_attempts}")
+        if byzantine_b < 0:
+            raise ServiceError(f"byzantine_b must be >= 0, got {byzantine_b}")
+        if lease_ttl < 0:
+            raise ServiceError(f"lease_ttl must be >= 0, got {lease_ttl}")
         if timeout <= 0:
             raise ServiceError(f"timeout must be positive, got {timeout}")
         if breaker_threshold < 0:
@@ -244,6 +293,15 @@ class Coordinator:
         self.hedge_spares = hedge_spares
         self.hedge_delay_ms = hedge_delay_ms
         self.require_full_quorum = require_full_quorum
+        self.byzantine_b = byzantine_b
+        self.lease_ttl = lease_ttl
+        if byzantine_b > 0:
+            from ..analysis.byzantine import validate_masking
+
+            try:
+                validate_masking(system, byzantine_b)
+            except AnalysisError as exc:
+                raise ServiceError(str(exc)) from None
         self.metrics = metrics if metrics is not None else ServiceMetrics(system.n)
         self._clock = 0
         self._ops_issued = 0
@@ -262,6 +320,21 @@ class Coordinator:
         ] = {}
         # In-flight absorbed stragglers (hedged phases that already won).
         self._stragglers: set = set()
+        #: Replicas caught returning a divergent value for an accepted
+        #: timestamp during a masking read — definite liars, not mere
+        #: timeouts.  Never forgotten (unlike suspicion, which decays).
+        self.lied_replicas: Set[int] = set()
+        #: Every replica ever suspected, including decayed suspicions —
+        #: the chaos harness checks detected liars ended up in here.
+        self.suspicion_history: Set[int] = set()
+        # quorum -> op index its lease expires at (lease_ttl > 0 only).
+        self._quorum_leases: Dict[Quorum, int] = {}
+        # key -> {replica id -> newest (counter, writer) that replica
+        # acknowledged for the key} (masking mode only).  An honest
+        # replica's store is monotone, so a read reply *older* than its
+        # own ack floor is proof of lying — the channel that catches a
+        # fake-acking liar whose fabrications hide at stale timestamps.
+        self._ack_floor: Dict[str, Dict[int, Tuple[int, int]]] = {}
 
     @property
     def clock(self) -> int:
@@ -281,9 +354,7 @@ class Coordinator:
         self._ops_issued += 1
         self.metrics.record_key_access(key)
         try:
-            payloads, latency, attempts, quorum = await self._quorum_phase(
-                lambda rid: {"op": "read", "key": key}, kind="read", key=key
-            )
+            best, payloads, latency, attempts = await self._read_phase(key)
         except OperationFailed as exc:
             if self.degraded_reads:
                 degraded = await self._degraded_read(key, exc)
@@ -291,7 +362,6 @@ class Coordinator:
                     return degraded
             self.metrics.record_op("read", exc.latency, ok=False, attempts=exc.attempts)
             raise
-        best = self._best_payload(payloads)
         self._clock = max(self._clock, int(best["counter"]))
         self.metrics.record_op("read", latency, ok=True, attempts=attempts)
         if self.read_repair and best["counter"] > NULL_TIMESTAMP[0]:
@@ -325,6 +395,8 @@ class Coordinator:
         # so the next write of this coordinator is not stale too.
         newest = max(int(p["counter"]) for p in payloads.values())
         self._clock = max(self._clock, newest)
+        for rid in payloads:
+            self._note_ack(key, rid, counter, writer)
         self.metrics.record_op("write", latency, ok=True, attempts=attempts)
         await self._replay_hints()
         return WriteResult(counter, writer, latency, attempts)
@@ -356,6 +428,8 @@ class Coordinator:
             )
             raise
         self._clock = max(self._clock, int(counter))
+        for rid in payloads:
+            self._note_ack(key, rid, counter, writer)
         self.metrics.record_op("transfer", latency, ok=True, attempts=attempts)
         return WriteResult(int(counter), int(writer), latency, attempts)
 
@@ -389,6 +463,7 @@ class Coordinator:
 
     def _note_failure(self, rid: int) -> None:
         self._suspected[rid] = self._ops_issued
+        self.suspicion_history.add(rid)
         if self.breaker_threshold <= 0:
             return
         fails = self._breaker_fails.get(rid, 0) + 1
@@ -398,6 +473,24 @@ class Coordinator:
             self._breaker_open_until[rid] = self._ops_issued + self.breaker_cooldown
             if not already_open:
                 self.metrics.record_breaker_open()
+
+    def _note_ack(self, key: str, rid: int, counter: int, writer: int) -> None:
+        """Record that ``rid`` acknowledged ``key`` at this timestamp.
+
+        Masking mode only: the floor is the lie detector's ground truth,
+        so it must never be polluted by unacked sends.
+        """
+        if self.byzantine_b <= 0:
+            return
+        floors = self._ack_floor.setdefault(key, {})
+        timestamp = (int(counter), int(writer))
+        if timestamp > floors.get(rid, NULL_TIMESTAMP):
+            floors[rid] = timestamp
+
+    def _mark_liar(self, rid: int) -> None:
+        self.metrics.record_lie()
+        self.lied_replicas.add(rid)
+        self._note_failure(rid)
 
     def _members_for(self, quorum: Quorum) -> Tuple[int, ...]:
         """Sorted member tuple of a quorum, cached (no per-op sorting)."""
@@ -616,6 +709,20 @@ class Coordinator:
         total_latency = 0.0
         for attempt in range(1, self.max_attempts + 1):
             quorum = self._pick_quorum()
+            if self.lease_ttl > 0:
+                joined, join_latency = await self._ensure_lease(quorum)
+                total_latency += join_latency
+                if not joined:
+                    # Could not re-validate membership: abandon this
+                    # quorum exactly like a failed fan-out attempt.
+                    self.metrics.record_fallback()
+                    if attempt < self.max_attempts:
+                        backoff = min(
+                            self.backoff_cap, self.backoff_base * 2 ** (attempt - 1)
+                        )
+                        total_latency += backoff
+                        await self.transport.pause(backoff)
+                    continue
             spares, candidates = self._hedge_plan(quorum)
             members = candidates[0][1]
             if spares:
@@ -675,6 +782,176 @@ class Coordinator:
         )
         return payloads[best_rid]
 
+    async def _read_phase(
+        self, key: str
+    ) -> Tuple[Dict[str, Any], Dict[int, Dict[str, Any]], float, int]:
+        """One read through the quorum machinery, voted when masking.
+
+        Crash mode (``byzantine_b == 0``): one quorum phase, newest
+        version wins — the original semantics.  Masking mode: replies
+        must *vote*; a quorum whose replies contain no ``b+1``-supported
+        version (partial writes, or more liars than the budget) is
+        abandoned and the read retries on a fresh quorum, up to
+        ``max_attempts`` vote rounds.  Returns ``(accepted payload, all
+        payloads, latency, attempts)`` — read-repair then repairs toward
+        the *accepted* version, never toward an unquorate one.
+        """
+        request_for: Callable[[int], Dict[str, Any]] = lambda rid: {
+            "op": "read",
+            "key": key,
+        }
+        if self.byzantine_b <= 0:
+            payloads, latency, attempts, _ = await self._quorum_phase(
+                request_for, kind="read", key=key
+            )
+            return self._best_payload(payloads), payloads, latency, attempts
+        total_latency = 0.0
+        total_attempts = 0
+        for _ in range(self.max_attempts):
+            try:
+                payloads, latency, attempts, _ = await self._quorum_phase(
+                    request_for, kind="read", key=key
+                )
+            except OperationFailed as exc:
+                raise OperationFailed(
+                    "read",
+                    key,
+                    total_attempts + exc.attempts,
+                    total_latency + exc.latency,
+                ) from None
+            total_latency += latency
+            total_attempts += attempts
+            accepted = self._voted_payload(payloads, key)
+            if accepted is not None:
+                return accepted, payloads, total_latency, total_attempts
+        raise OperationFailed("read", key, total_attempts, total_latency)
+
+    def _voted_payload(
+        self, payloads: Dict[int, Dict[str, Any]], key: str
+    ) -> Optional[Dict[str, Any]]:
+        """Masking-quorum vote over one quorum's read replies.
+
+        Accepts the candidate with the newest timestamp among those at
+        least ``b+1`` members returned byte-identically; with at most
+        ``b`` liars in the quorum, any quorate candidate is vouched for
+        by a correct member.  Ties at one timestamp break by vote count
+        and then by serialised value — *descending*, which is the
+        adversarial direction for the fabricated-value chaos invariant:
+        the deterministic tie-break never charitably prefers the honest
+        value, so ``b+1`` colluding liars are caught by the harness, not
+        masked by luck.  Returns ``None`` when no candidate is quorate
+        (the caller retries on a fresh quorum).
+
+        Two lie detectors feed :attr:`lied_replicas` and the
+        suspicion/breaker machinery:
+
+        * a reply that contradicts *any* quorate candidate at that
+          candidate's own timestamp (the b+1 matching copies include a
+          correct one, so the divergent bytes are fabricated);
+        * a reply older than the replica's own ack floor — an honest
+          store is monotone, so a replica that acknowledged version T of
+          this key and now serves < T has rolled back or fake-acked.
+        """
+        threshold = self.byzantine_b + 1
+        votes: Dict[Tuple[int, int, str], List[int]] = {}
+        for rid in sorted(payloads):
+            payload = payloads[rid]
+            candidate = (
+                int(payload["counter"]),
+                int(payload["writer"]),
+                _value_key(payload.get("value")),
+            )
+            votes.setdefault(candidate, []).append(rid)
+        floors = self._ack_floor.get(key)
+        if floors:
+            for candidate, rids in votes.items():
+                for rid in rids:
+                    floor = floors.get(rid)
+                    if floor is not None and candidate[:2] < floor:
+                        self._mark_liar(rid)
+        quorate = {
+            candidate: rids
+            for candidate, rids in votes.items()
+            if len(rids) >= threshold
+        }
+        if not quorate:
+            self.metrics.record_vote_failure()
+            return None
+        for accepted_candidate, accepted_rids in quorate.items():
+            for candidate, rids in votes.items():
+                if (
+                    candidate[:2] == accepted_candidate[:2]
+                    and candidate[2] != accepted_candidate[2]
+                ):
+                    # Same timestamp, different bytes: someone fabricated.
+                    for rid in rids:
+                        self._mark_liar(rid)
+        accepted = max(
+            quorate, key=lambda cand: (cand[0], cand[1], len(quorate[cand]), cand[2])
+        )
+        self.metrics.record_vote(len(quorate[accepted]) - threshold)
+        return payloads[quorate[accepted][0]]
+
+    # ------------------------------------------------------------------
+    # Quorum leases (Timed-Quorum membership)
+    # ------------------------------------------------------------------
+    def _lease_live(self, quorum: Quorum) -> bool:
+        expiry = self._quorum_leases.get(quorum)
+        return expiry is not None and self._ops_issued < expiry
+
+    async def _ensure_lease(self, quorum: Quorum) -> Tuple[bool, float]:
+        """Hold a live lease on ``quorum``, re-joining if needed.
+
+        Returns ``(lease held, handshake latency)``.  A fresh grant and
+        a renewal look the same on the wire: a concurrent ``join`` to
+        every member, all of which must acknowledge.  Reachability is
+        the membership test — a member that cannot answer its join has
+        effectively left, and the quorum is invalid until it rejoins.
+        Spares contacted by hedging are deliberately *not* leased: they
+        only ever complete a candidate quorum whose own members all
+        answered this very phase.
+        """
+        if self._lease_live(quorum):
+            return True, 0.0
+        if quorum in self._quorum_leases:
+            self.metrics.record_lease_expired()
+        members = self._members_for(quorum)
+        request = {
+            "op": "join",
+            "coordinator": self.coordinator_id,
+            "ttl": self.lease_ttl,
+        }
+        outcomes = await asyncio.gather(
+            *(self.transport.call(rid, request, self.timeout) for rid in members),
+            return_exceptions=True,
+        )
+        latency = 0.0
+        joined = True
+        for rid, outcome in zip(members, outcomes):
+            if isinstance(outcome, Reply):
+                latency = max(latency, outcome.latency)
+                if outcome.payload.get("ok") and outcome.payload.get("granted"):
+                    continue
+                joined = False
+                self._note_failure(rid)
+            elif isinstance(outcome, (ReplicaUnavailable, RequestTimeout)):
+                latency = max(latency, outcome.latency)
+                if isinstance(outcome, RequestTimeout):
+                    self.metrics.record_timeout()
+                else:
+                    self.metrics.record_unavailable()
+                joined = False
+                self._note_failure(rid)
+            elif isinstance(outcome, BaseException):
+                raise outcome
+        if joined:
+            self._quorum_leases[quorum] = self._ops_issued + self.lease_ttl
+            self.metrics.record_lease_renewed()
+        else:
+            self._quorum_leases.pop(quorum, None)
+            self.metrics.record_rejoin_failed()
+        return joined, latency
+
     # ------------------------------------------------------------------
     # Graceful degradation
     # ------------------------------------------------------------------
@@ -711,7 +988,16 @@ class Coordinator:
                 raise outcome
         if not payloads:
             return None
-        best = self._best_payload(payloads)
+        if self.byzantine_b > 0:
+            # Even a stale-flagged answer must never be fabricated: the
+            # degraded probe votes with the same b+1 bar as quorum reads
+            # and gives up (raising the original failure) when the
+            # respondents cannot outvote the lie budget.
+            best = self._voted_payload(payloads, key)
+            if best is None:
+                return None
+        else:
+            best = self._best_payload(payloads)
         self._clock = max(self._clock, int(best["counter"]))
         latency = failure.latency + attempt_latency
         attempts = failure.attempts + 1
@@ -778,6 +1064,7 @@ class Coordinator:
                         break
                     if reply.payload.get("ok") and pending.pop(key, None) is not None:
                         self.metrics.record_hint_replayed()
+                        self._note_ack(key, rid, counter, writer)
                 if not pending:
                     self._hints.pop(rid, None)
         finally:
@@ -807,13 +1094,15 @@ class Coordinator:
             "counter": best_ts[0],
             "writer": best_ts[1],
         }
+        targets = sorted(stale)
         outcomes = await asyncio.gather(
-            *(self.transport.call(rid, request, self.timeout) for rid in sorted(stale)),
+            *(self.transport.call(rid, request, self.timeout) for rid in targets),
             return_exceptions=True,
         )
-        for outcome in outcomes:
+        for rid, outcome in zip(targets, outcomes):
             if isinstance(outcome, Reply) and outcome.payload.get("ok"):
                 self.metrics.record_read_repair()
+                self._note_ack(key, rid, best_ts[0], best_ts[1])
             elif isinstance(outcome, BaseException) and not isinstance(
                 outcome, (ReplicaUnavailable, RequestTimeout)
             ):

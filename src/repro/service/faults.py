@@ -20,11 +20,14 @@ the wrapper runs over.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from collections import deque
+from typing import Any, Dict, Iterator, Optional, Set, Tuple
 
 import numpy as np
 
 from ..runtime.faults import (
+    BYZANTINE_MODES,
+    ByzantineFault,
     CrashFault,
     DropFault,
     DuplicateFault,
@@ -38,6 +41,7 @@ from ..runtime.faults import (
     sample_iid_crash_set,
     split_brain_schedule,
 )
+from .replica import NULL_TIMESTAMP
 from .transport import (
     DEFAULT_TIMEOUT_MS,
     Reply,
@@ -54,12 +58,67 @@ __all__ = [
     "LatencyFault",
     "DropFault",
     "DuplicateFault",
+    "ByzantineFault",
+    "BYZANTINE_MODES",
     "FaultSchedule",
     "split_brain_schedule",
     "iid_crash_schedule",
     "sample_iid_crash_set",
+    "ActivationLog",
+    "DEFAULT_ACTIVATION_LOG_CAP",
     "FaultyTransport",
 ]
+
+#: Default bound on :attr:`FaultyTransport.activation_log`.  Large enough
+#: that every single-run test sees the complete history, small enough
+#: that a multi-seed sweep cannot grow memory without bound.
+DEFAULT_ACTIVATION_LOG_CAP = 65536
+
+
+class ActivationLog:
+    """Bounded injection history: a ring buffer of ``(tick, kind, id)``.
+
+    Behaves like the list it replaced — iteration, indexing, ``len`` and
+    equality against plain lists/tuples all work — but keeps only the
+    most recent ``cap`` entries and counts the rest in :attr:`dropped`,
+    so week-long sweeps cannot grow memory without bound.
+    """
+
+    def __init__(self, cap: int = DEFAULT_ACTIVATION_LOG_CAP) -> None:
+        if cap <= 0:
+            raise ValueError(f"activation log cap must be positive, got {cap}")
+        self.cap = int(cap)
+        self.dropped = 0
+        self._entries: deque = deque(maxlen=self.cap)
+
+    def append(self, entry: Tuple[float, str, int]) -> None:
+        if len(self._entries) == self.cap:
+            self.dropped += 1
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[float, str, int]]:
+        return iter(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ActivationLog):
+            return list(self._entries) == list(other._entries)
+        if isinstance(other, (list, tuple)):
+            return list(self._entries) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"<ActivationLog {len(self._entries)}/{self.cap}"
+            f" dropped={self.dropped}>"
+        )
 
 
 class FaultyTransport(Transport):
@@ -78,8 +137,18 @@ class FaultyTransport(Transport):
         Seed for the drop/duplicate coin flips.
     site:
         Which client site this transport represents for partition faults
-        (coordinators on different sides of a partition hold different
-        ``FaultyTransport`` instances over one shared inner transport).
+        and equivocation (coordinators on different sides of a partition
+        hold different ``FaultyTransport`` instances over one shared
+        inner transport; an equivocating replica tells each site a
+        different lie).
+    log_cap:
+        Ring-buffer bound for :attr:`activation_log`; older entries are
+        evicted and counted in :attr:`activations_dropped`.
+    fabricated_registry:
+        Optional shared set collecting every fabricated value this
+        wrapper hands out.  The chaos harness passes one set to every
+        client's wrapper so its safety invariant can recognise a
+        Byzantine fabrication no matter which liar produced it.
     """
 
     def __init__(
@@ -89,6 +158,8 @@ class FaultyTransport(Transport):
         *,
         seed: int = 0,
         site: int = 0,
+        log_cap: int = DEFAULT_ACTIVATION_LOG_CAP,
+        fabricated_registry: Optional[Set[str]] = None,
     ) -> None:
         self.inner = inner
         self.schedule = schedule
@@ -103,12 +174,27 @@ class FaultyTransport(Transport):
             "drop_request": 0,
             "drop_response": 0,
             "duplicate": 0,
+            "byz_wrong_value": 0,
+            "byz_stale_timestamp": 0,
+            "byz_equivocate": 0,
+            "byz_write_fakeack": 0,
         }
         #: Every injected fault as ``(tick, kind, replica_id)``, in
         #: injection order.  Pure function of (schedule, seed, call
         #: sequence) — independent of the inner transport, which the
-        #: cross-substrate determinism tests rely on.
-        self.activation_log: List[Tuple[float, str, int]] = []
+        #: cross-substrate determinism tests rely on.  Bounded: only the
+        #: most recent ``log_cap`` entries are kept.
+        self.activation_log = ActivationLog(log_cap)
+        #: Every fabricated value handed to a caller (shared when a
+        #: ``fabricated_registry`` was passed in).
+        self.fabricated_values: Set[str] = (
+            fabricated_registry if fabricated_registry is not None else set()
+        )
+
+    @property
+    def activations_dropped(self) -> int:
+        """Entries evicted from the bounded :attr:`activation_log`."""
+        return self.activation_log.dropped
 
     def advance(self, ticks: float = 1.0) -> None:
         """Move the fault clock forward (the harness calls this per op)."""
@@ -147,11 +233,19 @@ class FaultyTransport(Transport):
             # caller burns the deadline waiting for a reply.
             self._inject("drop_request", replica_id)
             raise RequestTimeout(replica_id, latency=timeout)
-        reply = await self.inner.call(replica_id, request, timeout)
+        byz_mode = self.schedule.byzantine_mode_at(now, replica_id)
+        op = request.get("op")
+        fake_ack = byz_mode == "wrong_value" and op in ("write", "repair")
+        # A fake-acked write must not touch the replica's store, but the
+        # liar still answers on time: send a side-effect-free ping down
+        # the inner transport so the latency/service-time draws (and the
+        # FIFO queue occupancy) are identical to an honest write.
+        wire_request = {"op": "ping"} if fake_ack else request
+        reply = await self.inner.call(replica_id, wire_request, timeout)
         if u_duplicate < self.schedule.duplicate_probability(now, replica_id):
             self._inject("duplicate", replica_id)
             try:
-                await self.inner.call(replica_id, request, timeout)
+                await self.inner.call(replica_id, wire_request, timeout)
             except (ReplicaUnavailable, RequestTimeout):
                 pass  # the duplicate is fire-and-forget
         if u_response < self.schedule.drop_probability(now, replica_id, "response"):
@@ -163,7 +257,63 @@ class FaultyTransport(Transport):
         if latency > timeout:
             self._inject("latency_timeout", replica_id)
             raise RequestTimeout(replica_id, latency=timeout)
-        return Reply(reply.payload, latency)
+        payload = reply.payload
+        if fake_ack:
+            self._inject("byz_write_fakeack", replica_id)
+            payload = {
+                "ok": True,
+                "replica": replica_id,
+                "applied": True,
+                "counter": int(request.get("counter", 0)),
+                "writer": int(request.get("writer", -1)),
+            }
+        elif byz_mode is not None and op == "read" and payload.get("ok"):
+            payload = self._fabricate(byz_mode, replica_id, request, payload)
+        return Reply(payload, latency)
+
+    def _fabricate(
+        self,
+        mode: str,
+        replica_id: int,
+        request: Dict[str, Any],
+        payload: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Build the lying read reply for an active Byzantine rule.
+
+        Deterministic by construction (no RNG): ``wrong_value`` liars
+        collude — every liar fabricates the same bytes for a given
+        (key, version) — because identical lies maximise vote counts,
+        the adversary's best play against a b+1-vote reader.  The
+        ``zzz-byz:`` prefix sorts above every honest value so the voted
+        read's deterministic tie-break is adversarial, not charitable.
+        """
+        key = request.get("key")
+        if mode == "stale_timestamp":
+            # Rollback attack: deny the key was ever written.
+            self._inject("byz_stale_timestamp", replica_id)
+            return {
+                "ok": True,
+                "replica": replica_id,
+                "value": None,
+                "counter": NULL_TIMESTAMP[0],
+                "writer": NULL_TIMESTAMP[1],
+            }
+        counter = int(payload.get("counter", 0))
+        writer = int(payload.get("writer", -1))
+        value = f"zzz-byz:{key}:{counter}:{writer}"
+        if mode == "equivocate":
+            value = f"{value}:s{self.site}"
+            self._inject("byz_equivocate", replica_id)
+        else:
+            self._inject("byz_wrong_value", replica_id)
+        self.fabricated_values.add(value)
+        return {
+            "ok": True,
+            "replica": replica_id,
+            "value": value,
+            "counter": counter,
+            "writer": writer,
+        }
 
     async def pause(self, delay_ms: float) -> None:
         await self.inner.pause(delay_ms)

@@ -53,6 +53,16 @@ class ServiceMetrics:
         self.breaker_opens = 0
         self.hedges_issued = 0
         self.hedges_won = 0
+        # Masking-read (Byzantine) accounting.
+        self.lies_detected = 0
+        self.vote_rounds = 0
+        self.vote_failures = 0
+        self.vote_margin_sum = 0
+        self.vote_margin_min: Optional[int] = None
+        # Quorum-lease accounting.
+        self.lease_renewals = 0
+        self.lease_expiries = 0
+        self.rejoins_failed = 0
         # Shared runtime histograms (sim metrics use the identical class,
         # so latency numerics agree across substrates).
         self.straggler_latency = LatencyHistogram()
@@ -133,6 +143,36 @@ class ServiceMetrics:
     def record_straggler(self, latency: float) -> None:
         """One absorbed straggler reply, with its observed latency (ms)."""
         self.straggler_latency.record(latency)
+
+    def record_lie(self) -> None:
+        """One replica caught returning a divergent value for the
+        accepted timestamp during a masking read."""
+        self.lies_detected += 1
+
+    def record_vote(self, margin: int) -> None:
+        """One masking read accepted; ``margin`` is votes beyond the
+        required ``b+1`` (0 = bare quorum, the adversary's best case)."""
+        self.vote_rounds += 1
+        self.vote_margin_sum += int(margin)
+        if self.vote_margin_min is None or margin < self.vote_margin_min:
+            self.vote_margin_min = int(margin)
+
+    def record_vote_failure(self) -> None:
+        """One quorum of replies with no ``b+1``-supported candidate."""
+        self.vote_rounds += 1
+        self.vote_failures += 1
+
+    def record_lease_renewed(self) -> None:
+        """One quorum lease granted or renewed via a join handshake."""
+        self.lease_renewals += 1
+
+    def record_lease_expired(self) -> None:
+        """One sampled quorum found with its lease expired."""
+        self.lease_expiries += 1
+
+    def record_rejoin_failed(self) -> None:
+        """One re-join handshake that could not reach every member."""
+        self.rejoins_failed += 1
 
     # Historical list-typed access, preserved for callers and tests that
     # index or len() the raw samples.
@@ -224,6 +264,22 @@ class ServiceMetrics:
                     "mean": self.straggler_latency.mean,
                     "p95": self.straggler_latency.percentile(95),
                 },
+            },
+            "byzantine": {
+                "lies_detected": self.lies_detected,
+                "vote_rounds": self.vote_rounds,
+                "vote_failures": self.vote_failures,
+                "vote_margin_min": self.vote_margin_min,
+                "vote_margin_mean": (
+                    self.vote_margin_sum / (self.vote_rounds - self.vote_failures)
+                    if self.vote_rounds > self.vote_failures
+                    else None
+                ),
+            },
+            "leases": {
+                "renewals": self.lease_renewals,
+                "expiries": self.lease_expiries,
+                "rejoins_failed": self.rejoins_failed,
             },
             "latency_ms": self.op_latency.summary(),
             "hot_keys": self.keys.skew_summary(10),

@@ -66,6 +66,10 @@ class Replica:
         self.writes_applied = 0
         self.writes_ignored = 0
         self.repairs_applied = 0
+        self.joins_served = 0
+        # coordinator id -> last granted lease TTL (ops); the replica's
+        # view of who currently holds a quorum lease through it.
+        self.lessees: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Versioned]:
@@ -115,6 +119,8 @@ class Replica:
                 }
             if op == "ping":
                 return {"ok": True, "replica": self.replica_id}
+            if op == "join":
+                return self._handle_join(request)
             raise ServiceError(f"unknown operation {op!r}")
         except ServiceError as exc:
             return {"ok": False, "replica": self.replica_id, "error": str(exc)}
@@ -138,6 +144,31 @@ class Replica:
             "value": version.value,
             "counter": version.counter,
             "writer": version.writer,
+        }
+
+    def _handle_join(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Grant a quorum lease to a coordinator (Timed-Quorum re-join).
+
+        The replica side of the handshake is deliberately thin: record
+        the lessee and acknowledge.  Reachability *is* the validation —
+        a coordinator whose join cannot reach every member must fall
+        back to a different quorum, which is what turns static
+        membership into a dynamic one.
+        """
+        try:
+            coordinator = int(request["coordinator"])
+            ttl = int(request.get("ttl", 0))
+        except (KeyError, TypeError, ValueError):
+            raise ServiceError("join needs an integer 'coordinator'")
+        if ttl < 0:
+            raise ServiceError(f"join ttl must be >= 0, got {ttl}")
+        self.joins_served += 1
+        self.lessees[coordinator] = ttl
+        return {
+            "ok": True,
+            "replica": self.replica_id,
+            "granted": True,
+            "ttl": ttl,
         }
 
     def _handle_write(self, request: Dict[str, Any], repair: bool) -> Dict[str, Any]:

@@ -76,6 +76,10 @@ class ReshardChaosConfig:
     base_latency: float = 0.5
     mean_latency: float = 2.0
     service_time_ms: float = 0.0
+    # Quorum leases (0 = off): per-shard coordinators re-join every
+    # sampled quorum each lease_ttl operations, so the drain→copy→flip
+    # handoff runs under continuous membership churn.
+    lease_ttl: int = 0
 
     def validate(self) -> None:
         if self.ops < 1:
@@ -90,6 +94,8 @@ class ReshardChaosConfig:
             raise ServiceError("reshard_at must be in (0,1)")
         if not 0.0 <= self.crash_rate <= 1.0:
             raise ServiceError("crash rate must be in [0,1]")
+        if self.lease_ttl < 0:
+            raise ServiceError("lease_ttl must be >= 0")
 
 
 @dataclass
@@ -200,6 +206,7 @@ def run_reshard_chaos(
         service_time_ms=config.service_time_ms,
         timeout=config.timeout,
         max_attempts=config.max_attempts,
+        lease_ttl=config.lease_ttl,
         schedule_for=schedule_for,
         on_apply_for=on_apply_for,
         fleet=fleet,

@@ -79,6 +79,7 @@ def build_sim_backend_factory(
     timeout: float = DEFAULT_TIMEOUT_MS,
     max_attempts: int = 5,
     hedge_spares: int = 0,
+    lease_ttl: int = 0,
     schedule_for: Optional[Callable[[Shard], Optional[FaultSchedule]]] = None,
     on_apply_for: Optional[Callable[[Shard, Replica], None]] = None,
     fleet: Optional[SimShardFleet] = None,
@@ -97,6 +98,13 @@ def build_sim_backend_factory(
         shard-scaling measurable.
     timeout, max_attempts, hedge_spares:
         Per-shard coordinator knobs.
+    lease_ttl:
+        When positive, every per-shard coordinator runs quorum leases:
+        each sampled quorum must re-join (Timed-Quorum style) every
+        ``lease_ttl`` operations.  Freshly built backends start with no
+        leases at all, so a reshard's drain→copy→flip handoff happens
+        under membership churn — exactly the dynamic-environment case
+        the lease machinery exists for.
     schedule_for:
         Optional ``shard -> FaultSchedule`` hook; a non-None schedule
         wraps that shard's transport in a :class:`FaultyTransport`
@@ -148,6 +156,7 @@ def build_sim_backend_factory(
             timeout=timeout,
             max_attempts=max_attempts,
             hedge_spares=hedge_spares,
+            lease_ttl=lease_ttl,
         )
         return ShardBackend(shard, replicas, outer, coordinator)
 

@@ -6,7 +6,9 @@ import numpy as np
 import pytest
 
 from repro.core import SimulationError
+from repro.core.errors import ServiceError
 from repro.runtime import (
+    ByzantineFault,
     CrashFault,
     DropFault,
     FaultSchedule,
@@ -84,3 +86,58 @@ class TestChangePoints:
     def test_clamped_to_horizon(self):
         schedule = FaultSchedule([CrashFault(frozenset({0}), Window(2.0, 50.0))])
         assert schedule.change_points(10.0) == [0.0, 2.0]
+
+
+class TestByzantineFault:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServiceError):
+            ByzantineFault(frozenset({0}), Window(0.0), mode="gaslight")
+
+    def test_default_mode_is_wrong_value(self):
+        fault = ByzantineFault(frozenset({0}), Window(0.0))
+        assert fault.mode == "wrong_value"
+        assert fault.kind == "byzantine"
+
+    def test_mode_query_respects_window_and_membership(self):
+        schedule = FaultSchedule(
+            [ByzantineFault(frozenset({1, 3}), Window(5.0, 10.0), mode="equivocate")]
+        )
+        assert schedule.byzantine_mode_at(7.0, 1) == "equivocate"
+        assert schedule.byzantine_mode_at(7.0, 3) == "equivocate"
+        assert schedule.byzantine_mode_at(7.0, 2) is None
+        assert schedule.byzantine_mode_at(4.9, 1) is None
+        assert schedule.byzantine_mode_at(10.0, 1) is None  # half-open
+
+    def test_first_active_rule_wins(self):
+        schedule = FaultSchedule(
+            [
+                ByzantineFault(frozenset({0}), Window(0.0), mode="stale_timestamp"),
+                ByzantineFault(frozenset({0}), Window(0.0), mode="wrong_value"),
+            ]
+        )
+        assert schedule.byzantine_mode_at(1.0, 0) == "stale_timestamp"
+
+    def test_byzantine_replicas_unions_all_rules(self):
+        schedule = FaultSchedule(
+            [
+                ByzantineFault(frozenset({0}), Window(0.0, 5.0)),
+                ByzantineFault(frozenset({2, 4}), Window(50.0), mode="equivocate"),
+                CrashFault(frozenset({1}), Window(0.0)),
+            ]
+        )
+        assert schedule.byzantine_replicas() == frozenset({0, 2, 4})
+
+    def test_byzantine_does_not_join_crash_down_set(self):
+        # Liars look healthy: reachability queries must not exclude them.
+        schedule = FaultSchedule([ByzantineFault(frozenset({0}), Window(0.0))])
+        assert schedule.crash_down_at(1.0) == frozenset()
+        assert schedule.change_points(10.0) == [0.0]
+
+    def test_to_dict_counts_byzantine_rules(self):
+        schedule = FaultSchedule(
+            [
+                ByzantineFault(frozenset({0}), Window(0.0)),
+                CrashFault(frozenset({1}), Window(0.0, 5.0)),
+            ]
+        )
+        assert schedule.to_dict()["by_kind"] == {"byzantine": 1, "crash": 1}

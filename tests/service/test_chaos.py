@@ -190,3 +190,120 @@ class TestPlanAndReport:
             ChaosConfig(crash_rate=-0.1).validate()
         with pytest.raises(ServiceError):
             ChaosConfig(epoch=0).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(byzantine_b=-1).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(byzantine_liars=-1).validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(byzantine_mode="gaslight").validate()
+        with pytest.raises(ServiceError):
+            ChaosConfig(lease_ttl=-1).validate()
+
+
+class TestByzantineChaos:
+    def masking_system(self):
+        from repro.analysis.byzantine import masking_majority
+
+        return masking_majority(5, 1)
+
+    def byz_config(self, **overrides):
+        base = dict(byzantine_b=1, byzantine_liars=1, crash_rate=0.05)
+        base.update(overrides)
+        return small_config(**base)
+
+    def test_within_budget_stays_clean_and_detects_lies(self):
+        for seed in (0, 1):
+            report = run_chaos(
+                self.masking_system(), seed=seed, config=self.byz_config(),
+                mode="sim",
+            )
+            assert report.ok, report.violations
+            assert len(report.byzantine_replicas) == 1
+            assert report.metrics.lies_detected > 0
+            lied = set(report.byzantine_replicas)
+            # Every caught liar fed the suspicion machinery (invariant 7).
+            assert report.injected["byz_wrong_value"] > 0
+
+    def test_each_mode_stays_clean_within_budget(self):
+        for mode in ("wrong_value", "stale_timestamp", "equivocate"):
+            report = run_chaos(
+                self.masking_system(),
+                seed=2,
+                config=self.byz_config(byzantine_mode=mode),
+                mode="sim",
+            )
+            assert report.ok, (mode, report.violations)
+
+    def test_sim_and_wall_agree_bit_for_bit(self):
+        sim = run_chaos(
+            self.masking_system(), seed=0, config=self.byz_config(), mode="sim"
+        )
+        wall = run_chaos(
+            self.masking_system(), seed=0, config=self.byz_config(), mode="wall"
+        )
+        assert sim.hashes == wall.hashes
+        assert sim.byzantine_replicas == wall.byzantine_replicas
+
+    def test_over_budget_liars_are_detected_as_violations(self):
+        report = run_chaos(
+            self.masking_system(),
+            seed=0,
+            config=self.byz_config(byzantine_liars=2),
+            mode="sim",
+        )
+        assert not report.ok
+        assert "byzantine-fabricated-read" in report.violation_counts
+        assert report.violation_counts["byzantine-fabricated-read"] > 0
+
+    def test_report_carries_byzantine_invariants_and_counts(self):
+        report = run_chaos(
+            self.masking_system(), seed=1, config=self.byz_config(), mode="sim"
+        )
+        snapshot = report.to_dict()
+        checked = snapshot["invariants"]["checked"]
+        assert "byzantine-fabricated-read" in checked
+        assert "lie-detection-sound" in checked
+        assert "lie-suspicion-reflected" in checked
+        assert snapshot["byzantine_replicas"] == report.byzantine_replicas
+        assert snapshot["invariants"]["violation_counts"] == {}
+        assert snapshot["metrics"]["byzantine"]["lies_detected"] > 0
+        json.dumps(snapshot)  # fully serialisable
+
+    def test_liar_draw_does_not_shift_other_streams(self):
+        # The liar set comes from its own named stream: the crash/partition
+        # schedule is identical with and without Byzantine faults.
+        plain = run_chaos(
+            self.masking_system(), seed=4,
+            config=small_config(crash_rate=0.05), mode="sim",
+        )
+        byz = run_chaos(
+            self.masking_system(), seed=4, config=self.byz_config(), mode="sim"
+        )
+        plain_kinds = {
+            kind: count
+            for kind, count in plain.schedule.to_dict()["by_kind"].items()
+        }
+        byz_kinds = dict(byz.schedule.to_dict()["by_kind"])
+        byz_kinds.pop("byzantine")
+        assert plain_kinds == byz_kinds
+
+    def test_leases_run_under_chaos(self):
+        report = run_chaos(
+            self.masking_system(),
+            seed=3,
+            config=self.byz_config(lease_ttl=10),
+            mode="sim",
+        )
+        assert report.ok, report.violations
+        assert report.metrics.lease_renewals > 0
+        snapshot = report.to_dict()
+        assert snapshot["metrics"]["leases"]["renewals"] > 0
+
+    def test_too_many_liars_rejected(self):
+        with pytest.raises(ServiceError):
+            run_chaos(
+                self.masking_system(),
+                seed=0,
+                config=self.byz_config(byzantine_liars=6),
+                mode="sim",
+            )

@@ -89,6 +89,74 @@ class TestChaos:
             main(["chaos", "--system", "not-a-system:3"])
 
 
+class TestByzantineChaosCli:
+    CLEAN = [
+        "chaos", "--system", "masking:5x1", "--byzantine", "1", "--liars", "1",
+        "--sim", "--ops", "120", "--keys", "4", "--crash-rate", "0.05",
+    ]
+
+    def test_masking_spec_builds(self, capsys):
+        main(["info", "masking:5x1"])
+        out = capsys.readouterr().out
+        assert "masking-majority(n=5,b=1)" in out
+
+    def test_within_budget_run_reports_and_exits_cleanly(self, capsys):
+        main(self.CLEAN)
+        out = capsys.readouterr().out
+        assert "all held" in out
+        assert "byzantine" in out
+        assert "lies detected=" in out
+
+    def test_over_budget_liars_exit_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(self.CLEAN[:6] + ["2"] + self.CLEAN[7:])
+        assert info.value.code == 1
+        out = capsys.readouterr().out
+        assert "byzantine-fabricated-read" in out
+
+    def test_thin_system_is_rejected_with_boost_hint(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([
+                "chaos", "--system", "htriang:6", "--byzantine", "1",
+                "--liars", "1", "--sim", "--ops", "40",
+            ])
+        assert "boost" in str(info.value)
+
+    def test_boost_flag_thickens_thin_systems(self, capsys):
+        main([
+            "chaos", "--system", "htriang:6", "--byzantine", "1",
+            "--liars", "1", "--boost", "--sim", "--ops", "60",
+            "--keys", "4", "--crash-rate", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert "boosted" in out
+        assert "all held" in out
+
+    def test_lease_ttl_surfaces_in_report(self, capsys):
+        main(self.CLEAN + ["--lease-ttl", "10"])
+        out = capsys.readouterr().out
+        assert "leases" in out
+        assert "renewals=" in out
+
+    def test_sweep_scorecard_counts_violations_per_invariant(
+        self, capsys, tmp_path
+    ):
+        import json as json_module
+
+        out_path = tmp_path / "byz.json"
+        with pytest.raises(SystemExit):
+            main(
+                self.CLEAN[:6] + ["2"] + self.CLEAN[7:]
+                + ["--seeds", "2", "--json-out", str(out_path)]
+            )
+        payload = json_module.loads(out_path.read_text())
+        assert payload["all_ok"] is False
+        counts = payload["violations_by_invariant"]
+        assert counts["byzantine-fabricated-read"] > 0
+        for run in payload["runs"]:
+            assert "violation_counts" in run["invariants"]
+
+
 class TestServe:
     def test_serve_binds_and_exits_after_duration(self, capsys):
         main([

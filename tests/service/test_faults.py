@@ -7,6 +7,8 @@ import pytest
 
 from repro.core.errors import ServiceError
 from repro.service import (
+    ActivationLog,
+    ByzantineFault,
     CrashFault,
     DropFault,
     DuplicateFault,
@@ -22,6 +24,7 @@ from repro.service import (
     Window,
     split_brain_schedule,
 )
+from repro.service.replica import NULL_TIMESTAMP
 
 
 def make_faulty(schedule, n=5, *, seed=0, site=0, transport_seed=0):
@@ -281,6 +284,35 @@ class TestFaultyTransport:
                 continue  # replica 0 calls may differ
             assert c  # no rule applies: the call must succeed
 
+    def test_activation_log_is_ring_buffered(self):
+        schedule = FaultSchedule([CrashFault(frozenset({0}), Window(0, 100))])
+        replicas = [Replica(i) for i in range(2)]
+        inner = InProcessTransport(replicas, seed=0)
+        transport = FaultyTransport(inner, schedule, seed=0, log_cap=3)
+
+        async def scenario():
+            for _ in range(5):
+                with pytest.raises(ReplicaUnavailable):
+                    await transport.call(0, {"op": "ping"})
+
+        asyncio.run(scenario())
+        assert transport.injected["crash"] == 5
+        assert len(transport.activation_log) == 3
+        assert transport.activations_dropped == 2
+        # List-like surface survives the bounding.
+        assert transport.activation_log == [(0.0, "crash", 0)] * 3
+        assert transport.activation_log[0] == (0.0, "crash", 0)
+        assert transport.activation_log[-2:] == [(0.0, "crash", 0)] * 2
+        assert "dropped=2" in repr(transport.activation_log)
+
+    def test_activation_log_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ActivationLog(0)
+        replicas = [Replica(0)]
+        inner = InProcessTransport(replicas, seed=0)
+        with pytest.raises(ValueError):
+            FaultyTransport(inner, FaultSchedule(), log_cap=-1)
+
     def test_empty_schedule_is_transparent(self):
         replicas, transport = make_faulty(FaultSchedule())
 
@@ -298,4 +330,138 @@ class TestFaultyTransport:
             "drop_request": 0,
             "drop_response": 0,
             "duplicate": 0,
+            "byz_wrong_value": 0,
+            "byz_stale_timestamp": 0,
+            "byz_equivocate": 0,
+            "byz_write_fakeack": 0,
         }
+
+
+class TestByzantineTransport:
+    WRITE = {"op": "write", "key": "k", "value": "v", "counter": 3, "writer": 1}
+
+    def liar_transport(self, mode, *, site=0, registry=None, n=3):
+        schedule = FaultSchedule(
+            [ByzantineFault(frozenset({0}), Window(0.0), mode=mode)]
+        )
+        replicas = [Replica(i) for i in range(n)]
+        inner = InProcessTransport(replicas, seed=0)
+        transport = FaultyTransport(
+            inner, schedule, seed=0, site=site, fabricated_registry=registry
+        )
+        return replicas, inner, transport
+
+    def test_wrong_value_read_lies_at_true_timestamp(self):
+        replicas, _, transport = self.liar_transport("wrong_value")
+        replicas[0].apply_write("k", "honest", 3, 1)
+
+        async def scenario():
+            return await transport.call(0, {"op": "read", "key": "k"})
+
+        reply = asyncio.run(scenario())
+        assert reply.payload["value"] == "zzz-byz:k:3:1"
+        assert (reply.payload["counter"], reply.payload["writer"]) == (3, 1)
+        assert transport.injected["byz_wrong_value"] == 1
+        assert "zzz-byz:k:3:1" in transport.fabricated_values
+
+    def test_wrong_value_fake_acks_writes_without_applying(self):
+        replicas, _, transport = self.liar_transport("wrong_value")
+
+        async def scenario():
+            return await transport.call(0, dict(self.WRITE))
+
+        reply = asyncio.run(scenario())
+        # The ack looks exactly like an honest one...
+        assert reply.payload["applied"] is True
+        assert (reply.payload["counter"], reply.payload["writer"]) == (3, 1)
+        # ...but the store was never touched (the wire saw a ping).
+        assert replicas[0].get("k") is None
+        assert replicas[0].writes_applied == 0
+        assert transport.injected["byz_write_fakeack"] == 1
+
+    def test_stale_timestamp_denies_the_write(self):
+        replicas, _, transport = self.liar_transport("stale_timestamp")
+        replicas[0].apply_write("k", "honest", 3, 1)
+
+        async def scenario():
+            return await transport.call(0, {"op": "read", "key": "k"})
+
+        reply = asyncio.run(scenario())
+        assert reply.payload["value"] is None
+        assert (reply.payload["counter"], reply.payload["writer"]) == NULL_TIMESTAMP
+        assert transport.injected["byz_stale_timestamp"] == 1
+        # stale_timestamp liars apply writes honestly (the lie is denial).
+        assert replicas[0].get("k").value == "honest"
+
+    def test_equivocation_differs_per_site(self):
+        registry = set()
+        replicas_a, inner, near = self.liar_transport(
+            "equivocate", site=0, registry=registry
+        )
+        # Same replicas and schedule, different caller site.
+        far = FaultyTransport(
+            inner, near.schedule, seed=1, site=1, fabricated_registry=registry
+        )
+        replicas_a[0].apply_write("k", "honest", 3, 1)
+
+        async def scenario():
+            reply_near = await near.call(0, {"op": "read", "key": "k"})
+            reply_far = await far.call(0, {"op": "read", "key": "k"})
+            return reply_near, reply_far
+
+        reply_near, reply_far = asyncio.run(scenario())
+        assert reply_near.payload["value"] != reply_far.payload["value"]
+        assert reply_near.payload["value"].endswith(":s0")
+        assert reply_far.payload["value"].endswith(":s1")
+        # Both lies landed in the one shared registry.
+        assert {reply_near.payload["value"], reply_far.payload["value"]} <= registry
+
+    def test_honest_replicas_and_inactive_windows_untouched(self):
+        schedule = FaultSchedule(
+            [ByzantineFault(frozenset({0}), Window(10.0, 20.0))]
+        )
+        replicas = [Replica(i) for i in range(2)]
+        inner = InProcessTransport(replicas, seed=0)
+        transport = FaultyTransport(inner, schedule, seed=0)
+        replicas[0].apply_write("k", "real", 1, 0)
+        replicas[1].apply_write("k", "real", 1, 0)
+
+        async def scenario():
+            before = await transport.call(0, {"op": "read", "key": "k"})
+            honest = await transport.call(1, {"op": "read", "key": "k"})
+            transport.clock = 15.0
+            lied = await transport.call(0, {"op": "read", "key": "k"})
+            return before, honest, lied
+
+        before, honest, lied = asyncio.run(scenario())
+        assert before.payload["value"] == "real"
+        assert honest.payload["value"] == "real"
+        assert lied.payload["value"].startswith("zzz-byz:")
+
+    def test_lie_content_burns_no_coins(self):
+        # Byzantine rules draw no RNG: the drop/duplicate coin stream is
+        # identical with and without the liar, so adding one to a seeded
+        # scenario never reshuffles unrelated faults.
+        drop = DropFault(frozenset({1}), Window(0, 100), probability=0.5)
+
+        def outcomes(with_liar):
+            rules = [drop]
+            if with_liar:
+                rules.append(ByzantineFault(frozenset({0}), Window(0.0)))
+            replicas = [Replica(i) for i in range(3)]
+            inner = InProcessTransport(replicas, seed=0)
+            transport = FaultyTransport(inner, FaultSchedule(rules), seed=7)
+
+            async def scenario():
+                fates = []
+                for _ in range(30):
+                    try:
+                        await transport.call(1, {"op": "ping"})
+                        fates.append(True)
+                    except RequestTimeout:
+                        fates.append(False)
+                return fates
+
+            return asyncio.run(scenario())
+
+        assert outcomes(False) == outcomes(True)

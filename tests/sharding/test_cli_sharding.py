@@ -64,6 +64,11 @@ class TestReshardCommand:
         assert "across 3 seeds" in out
         assert "all held" in out
 
+    def test_lease_ttl_runs_clean(self, capsys):
+        main(QUICK_RESHARD + ["--seed", "0", "--lease-ttl", "12"])
+        out = capsys.readouterr().out
+        assert "invariants    : all held" in out
+
     def test_json_out_scorecard(self, tmp_path, capsys):
         out_path = tmp_path / "reshard.json"
         main(QUICK_RESHARD + ["--seeds", "2", "--json-out", str(out_path)])

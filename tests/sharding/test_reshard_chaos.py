@@ -39,6 +39,25 @@ class TestInvariants:
                 return
         pytest.skip("no aborting seed in range (config got too forgiving)")
 
+    def test_leases_hold_under_reshard_churn(self):
+        # Quorum leases on every per-shard coordinator: fresh backends
+        # start leaseless, so the drain→copy→flip handoff exercises the
+        # re-join handshake mid-run.  Safety must be unaffected.
+        config = ReshardChaosConfig(
+            ops=150, keys=16, clients=3, shards=3, spec="majority:3",
+            lease_ttl=12,
+        )
+        report = run_reshard_chaos(seed=0, config=config)
+        assert report.ok, report.violations
+        assert report.reshard_completed
+        # Leases changed the coordinator schedule, not the outcome.
+        baseline = run_reshard_chaos(seed=0, config=QUICK)
+        assert baseline.ok
+
+    def test_lease_ttl_validated(self):
+        with pytest.raises(ServiceError):
+            ReshardChaosConfig(lease_ttl=-1).validate()
+
     def test_grow_mode(self):
         config = ReshardChaosConfig(
             ops=120,

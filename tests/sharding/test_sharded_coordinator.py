@@ -42,6 +42,28 @@ class TestRouting:
 
         run(clock, main())
 
+    def test_lease_ttl_wires_quorum_leases_into_every_shard(self):
+        clock, sharded = make_sharded(shards=2, lease_ttl=3)
+        stats = {}
+
+        async def main():
+            for index, key in enumerate(KEYS):
+                await sharded.write(key, index)
+            for key in KEYS:
+                assert (await sharded.read(key)).value is not None
+            for shard_id, backend in sharded._backends.items():
+                stats[shard_id] = (
+                    sum(replica.joins_served for replica in backend.replicas),
+                    backend.coordinator.metrics.lease_renewals,
+                )
+            await sharded.close()
+
+        run(clock, main())
+        assert len(stats) == 2
+        for joins, renewals in stats.values():
+            # Every shard's coordinator ran real join handshakes.
+            assert joins > 0 and renewals > 0
+
     def test_load_is_tracked_per_shard(self):
         clock, sharded = make_sharded(shards=2)
 
