@@ -7,21 +7,39 @@ triangle) and across transports:
 * ``inprocess``          — deterministic virtual-latency transport;
 * ``inprocess_faults``   — same, with iid crash injection;
 * ``inprocess_hedged``   — same, with one hedge spare per quorum phase;
-* ``tcp_pipelined``      — localhost TCP, correlation-id multiplexed;
+* ``tcp_pipelined``      — localhost TCP, JSON lines, correlation-id
+  multiplexed;
 * ``tcp_hedged``         — pipelined TCP plus one hedge spare;
 * ``tcp_serialized``     — localhost TCP over the preserved
-  lock-per-replica baseline client (the pre-overhaul hot path).
+  lock-per-replica baseline client (the pre-overhaul hot path);
+* ``tcp_binary``         — localhost TCP over the struct-packed,
+  op-coalescing binary wire protocol v2.
 
-plus the sharding layer: ``shard_scaling`` runs the same seeded zipf
-workload through ``repro.sharding`` at 1 and 8 shards under virtual
-time with finite-capacity replicas, and records the speedup (gated at
->= 2x — the whole point of partitioning the namespace).
+plus two scaling studies:
 
-Writes ``BENCH_service.json`` (ops/s, latency percentiles, bytes on the
-wire, hedge statistics, the pipelined-vs-serialized speedup per system,
-and the shard-scaling block) and exits non-zero if any fault-free
-scenario dropped an operation — timings are reported, correctness is
-gated.
+* the **wire matrix** — protocol (pipelined JSON, binary, binary
+  without coalescing) × server core count (``workers`` = 0 in-loop,
+  1, 2 OS processes) under a transport-level closed-loop quorum-read
+  fan-out at 8 clients.  This isolates the wire from the coordinator:
+  end-to-end ops/s blends strategy sampling, quorum bookkeeping and
+  event-loop scheduling with the protocol cost, so the matrix is where
+  the codec's speedup is visible undiluted.  Two gates ride on it:
+  binary+coalesced must be >= 2x pipelined JSON at workers=0 on at
+  least one system family, and binary at workers=2 must beat
+  workers=1 (recorded, and gated only outside ``--quick`` — CI
+  runners' core counts are not trustworthy);
+* ``shard_scaling`` runs the same seeded zipf workload through
+  ``repro.sharding`` at 1 and 8 shards under virtual time with
+  finite-capacity replicas, and records the speedup (gated at >= 2x —
+  the whole point of partitioning the namespace).
+
+Writes ``BENCH_service.json`` (ops/s, latency percentiles, bytes on
+the wire, ops-per-frame coalescing ratios, hedge statistics, the
+per-system speedup table, the wire matrix and the shard-scaling
+block).  Exits non-zero if any fault-free scenario dropped an
+operation, if binary end-to-end falls below pipelined JSON, or if a
+wire-matrix gate fails — correctness and protocol-ordering are gated;
+absolute timings are only recorded.
 
 Run from the repo root::
 
@@ -32,12 +50,24 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
+import asyncio
+import itertools
 import json
 import sys
-from typing import Any, Dict
+import time
+from typing import Any, Dict, List, Tuple
 
 from repro.cli import build_system
-from repro.service import BenchmarkReport, run_kv_benchmark
+from repro.service import (
+    BenchmarkReport,
+    BinaryTcpTransport,
+    ReplicaCluster,
+    TcpTransport,
+    make_replicas,
+    run_kv_benchmark,
+    start_tcp_replicas,
+    transport_summary,
+)
 from repro.sharding import compare_shard_scaling
 
 SEED = 42
@@ -57,10 +87,17 @@ SCENARIOS: Dict[str, Dict[str, Any]] = {
     # hedging must cost ~nothing; hedge *wins* show up under faults.
     "tcp_hedged": {"tcp_local": True, "hedge_spares": 1, "hedge_delay_ms": 20.0},
     "tcp_serialized": {"tcp_local": True, "serialized": True},
+    "tcp_binary": {"tcp_local": True, "binary": True},
 }
 
 #: scenarios where every operation must succeed (no faults injected)
 FAULT_FREE = tuple(name for name in SCENARIOS if "faults" not in name)
+
+#: wire-matrix axes: systems kept to two families to bound runtime,
+#: protocol x server core count.
+WIRE_SYSTEMS = ("majority:5", "htriang:15")
+WIRE_PROTOCOLS = ("json", "binary", "binary_nocoalesce")
+WIRE_WORKERS = (0, 1, 2)
 
 
 def summarize(report: BenchmarkReport) -> Dict[str, Any]:
@@ -84,6 +121,150 @@ def summarize(report: BenchmarkReport) -> Dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# Wire matrix: transport-level quorum fan-out, no coordinator
+# ----------------------------------------------------------------------
+def _wire_cell(
+    spec: str, protocol: str, workers: int, ops: int, clients: int
+) -> Dict[str, Any]:
+    """One matrix cell: closed-loop quorum-shaped reads, 8 clients.
+
+    Every logical op fans one read out to each member of a minimal
+    quorum (rotating through the first 8 quorums), awaits the full
+    quorum, repeats.  ``workers=0`` serves replicas on the benchmark's
+    own loop; ``workers>=1`` hosts them in that many OS processes.
+    """
+    system = build_system(spec)
+    quorums = [
+        tuple(sorted(q)) for q in itertools.islice(system.minimal_quorums(), 8)
+    ]
+    cluster = None
+    if workers:
+        cluster = ReplicaCluster(list(system.universe.ids), workers=workers)
+        cluster.start()
+
+    async def run() -> Tuple[int, float, Dict[str, Any]]:
+        servers: List[asyncio.AbstractServer] = []
+        if cluster is not None:
+            addresses = cluster.addresses
+        else:
+            servers, addresses = await start_tcp_replicas(make_replicas(system))
+        if protocol == "json":
+            transport = TcpTransport(addresses)
+        elif protocol == "binary":
+            transport = BinaryTcpTransport(addresses)
+        elif protocol == "binary_nocoalesce":
+            transport = BinaryTcpTransport(addresses, coalesce=False)
+        else:
+            raise ValueError(f"unknown protocol {protocol!r}")
+        submit = getattr(transport, "submit", None)
+        request = {"op": "read", "key": "k"}
+        done = 0
+
+        async def client(cid: int) -> None:
+            nonlocal done
+            i = 0
+            while done < ops:
+                done += 1
+                quorum = quorums[(cid + i) % len(quorums)]
+                if submit is not None:
+                    calls = [submit(rid, request) for rid in quorum]
+                else:
+                    calls = [
+                        asyncio.ensure_future(transport.call(rid, request))
+                        for rid in quorum
+                    ]
+                await asyncio.gather(*calls)
+                i += 1
+
+        started = time.perf_counter()
+        await asyncio.gather(*(client(c) for c in range(clients)))
+        elapsed = time.perf_counter() - started
+        stats = transport_summary(transport)
+        await transport.close()
+        for server in servers:
+            server.close()
+        for server in servers:
+            await server.wait_closed()
+        return done, elapsed, stats
+
+    try:
+        done, elapsed, stats = asyncio.run(run())
+    finally:
+        if cluster is not None:
+            cluster.close()
+    cell = {
+        "ops_per_second": round(done / elapsed, 1),
+        "rpcs_per_second": round(stats.get("calls", 0) / elapsed, 1),
+        "elapsed_seconds": round(elapsed, 4),
+    }
+    for ratio in ("ops_per_frame", "bytes_per_op"):
+        if ratio in stats:
+            cell[ratio] = round(stats[ratio], 2)
+    return cell
+
+
+def run_wire_matrix(
+    systems, ops: int, clients: int
+) -> Tuple[Dict[str, Any], List[str], List[str]]:
+    """The full protocol x core-count sweep plus its two gates."""
+    matrix: Dict[str, Any] = {
+        "workload": "closed-loop quorum reads",
+        "ops": ops,
+        "clients": clients,
+        "systems": {},
+    }
+    hard_failures: List[str] = []
+    notes: List[str] = []
+    for spec in systems:
+        per_spec: Dict[str, Any] = {}
+        for protocol in WIRE_PROTOCOLS:
+            per_worker: Dict[str, Any] = {}
+            for workers in WIRE_WORKERS:
+                cell = _wire_cell(spec, protocol, workers, ops, clients)
+                per_worker[str(workers)] = cell
+                opf = cell.get("ops_per_frame")
+                print(
+                    f"{spec:>12} wire {protocol:<18} workers={workers}"
+                    f" {cell['ops_per_second']:>9.1f} ops/s"
+                    f" {cell['rpcs_per_second']:>9.1f} rpc/s"
+                    + (f"  {opf:.2f} ops/frame" if opf is not None else "")
+                )
+            per_spec[protocol] = per_worker
+        binary0 = per_spec["binary"]["0"]["ops_per_second"]
+        json0 = per_spec["json"]["0"]["ops_per_second"]
+        per_spec["binary_vs_json_inloop"] = round(binary0 / json0, 2)
+        w1 = per_spec["binary"]["1"]["ops_per_second"]
+        w2 = per_spec["binary"]["2"]["ops_per_second"]
+        per_spec["binary_workers2_vs_1"] = round(w2 / w1, 2)
+        print(
+            f"{spec:>12} wire: binary {binary0 / json0:.2f}x pipelined json"
+            f" (in-loop); binary workers=2 {w2 / w1:.2f}x workers=1"
+        )
+        matrix["systems"][spec] = per_spec
+
+    best_ratio = max(
+        per["binary_vs_json_inloop"] for per in matrix["systems"].values()
+    )
+    matrix["gates"] = {
+        "binary_2x_json": best_ratio >= 2.0,
+        "best_binary_vs_json": best_ratio,
+        "workers2_beats_workers1": any(
+            per["binary_workers2_vs_1"] > 1.0 for per in matrix["systems"].values()
+        ),
+    }
+    if best_ratio < 2.0:
+        hard_failures.append(
+            f"wire_matrix: best binary-vs-json ratio {best_ratio:.2f}x < 2x floor"
+        )
+    if not matrix["gates"]["workers2_beats_workers1"]:
+        notes.append(
+            "wire_matrix: binary workers=2 did not beat workers=1 on any"
+            " family (core-starved host?)"
+        )
+    return matrix, hard_failures, notes
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_service.json")
@@ -92,7 +273,8 @@ def main() -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="smaller run for CI smoke (fewer ops, majority+htriang only)",
+        help="smaller run for CI smoke (fewer ops, majority+htriang only;"
+        " the worker-scaling gate becomes advisory)",
     )
     args = parser.parse_args()
 
@@ -106,6 +288,7 @@ def main() -> int:
         "systems": {},
     }
     failures = []
+    warnings = []
     for spec in systems:
         system = build_system(spec)
         per_system: Dict[str, Any] = {}
@@ -131,15 +314,44 @@ def main() -> int:
         pipelined = per_system["tcp_pipelined"]["ops_per_second"]
         hedged = per_system["tcp_hedged"]["ops_per_second"]
         serialized = per_system["tcp_serialized"]["ops_per_second"]
+        binary = per_system["tcp_binary"]["ops_per_second"]
         per_system["tcp_speedup"] = {
             "pipelined_vs_serialized": round(pipelined / serialized, 2),
             "hedged_vs_serialized": round(hedged / serialized, 2),
+            "binary_vs_serialized": round(binary / serialized, 2),
+            "binary_vs_pipelined": round(binary / pipelined, 2),
         }
         print(
             f"{spec:>12} speedup: pipelined {pipelined / serialized:.2f}x,"
-            f" hedged {hedged / serialized:.2f}x over serialized baseline"
+            f" binary {binary / serialized:.2f}x over serialized;"
+            f" binary {binary / pipelined:.2f}x over pipelined"
         )
+        # Gate (satellite): the binary protocol must never lose to the
+        # JSON client it replaces on the identical end-to-end workload.
+        if binary < pipelined:
+            failures.append(
+                f"{spec}: binary e2e {binary:.1f} ops/s <"
+                f" pipelined json {pipelined:.1f} ops/s"
+            )
         results["systems"][spec] = per_system
+
+    # Protocol x core-count matrix at the transport level.
+    wire_ops = 600 if args.quick else 4000
+    wire_matrix, wire_failures, wire_notes = run_wire_matrix(
+        ("majority:5",) if args.quick else WIRE_SYSTEMS, wire_ops, CLIENTS
+    )
+    results["wire_matrix"] = wire_matrix
+    if args.quick:
+        # CI smoke: record the matrix, keep only the fault/ordering
+        # gates — absolute ratios on shared runners are advisory.
+        warnings.extend(wire_failures + wire_notes)
+    else:
+        failures.extend(wire_failures)
+        warnings.extend(wire_notes)
+        if not wire_matrix["gates"]["workers2_beats_workers1"]:
+            failures.append(
+                "wire_matrix: binary workers=2 never beat workers=1"
+            )
 
     # Shard scaling: same seeded zipf workload, 1 vs 8 shards, virtual
     # time, finite-capacity replicas.  Deterministic per seed.
@@ -193,8 +405,10 @@ def main() -> int:
         handle.write("\n")
     print(f"wrote {args.out}")
 
+    for line in warnings:
+        print(f"WARNING: {line}", file=sys.stderr)
     if failures:
-        print("FAILED OPS in fault-free scenarios:", file=sys.stderr)
+        print("GATE FAILURES:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
         return 1

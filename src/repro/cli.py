@@ -11,7 +11,9 @@ Subcommands
                        observed per-element load with the LP prediction;
                        ``--shards N`` benchmarks the sharded namespace
                        (N instances of the spec, virtual-time capacity)
-``serve <system>``     run TCP/JSON-lines replica servers for the system
+``serve <system>``     run TCP replica servers for the system (binary
+                       wire v2 + JSON lines on one port, sniffed per
+                       connection; ``--workers N`` for multi-process)
 ``chaos``              randomized fault schedule against the KV service,
                        safety-invariant checks, measured-vs-exact
                        availability; exits 1 on any violation
@@ -247,6 +249,23 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
     print(f"analytic  : {exact:.6f}")
 
 
+def _accelerator_banner() -> str:
+    """One line naming the optional perf dependencies that are active.
+
+    Printed by the wall-clock modes (``serve``, TCP ``kvbench``) so any
+    quoted throughput number also states what it was measured with.
+    """
+    from .runtime.clock import accelerators
+
+    active = accelerators()
+    flags = " ".join(
+        f"{name}={'on' if enabled else 'off'}"
+        for name, enabled in sorted(active.items())
+    )
+    hint = "" if all(active.values()) else "  (`pip install 'repro[perf]'` for the rest)"
+    return f"accelerators  : {flags}{hint}"
+
+
 def _cmd_kvbench_sharded(args: argparse.Namespace) -> None:
     import json as json_module
 
@@ -324,6 +343,13 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     transport = None
     if args.tcp and args.tcp_local:
         raise SystemExit("--tcp and --tcp-local are mutually exclusive")
+    if (args.binary or args.workers or args.uvloop) and not args.tcp_local:
+        raise SystemExit("--binary/--workers/--uvloop require --tcp-local")
+    if not args.json:
+        # Wall-clock modes state their accelerators so every quoted
+        # number is attributable; --json stays seed-deterministic.
+        if args.tcp or args.tcp_local:
+            print(_accelerator_banner())
     if args.tcp:
         host, colon, base = args.tcp.partition(":")
         if not (host and colon and base.isdigit()):
@@ -353,6 +379,10 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
             config=config,
             tcp_local=args.tcp_local,
             serialized=args.serialized,
+            binary=args.binary,
+            coalesce=args.coalesce,
+            workers=args.workers,
+            use_uvloop=args.uvloop,
         )
     except ServiceError as exc:
         raise SystemExit(f"kvbench failed: {exc}")
@@ -373,6 +403,25 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
     latency = snapshot["latency_ms"]
     deviation = snapshot["load_deviation"]
     print(f"system        : {system.system_name} (n={system.n})")
+    if args.tcp_local:
+        if args.binary:
+            protocol = "binary v2" + ("" if args.coalesce else " (coalescing off)")
+        elif args.serialized:
+            protocol = "serialized json (baseline)"
+        else:
+            protocol = "pipelined json"
+        print(
+            f"transport     : tcp-local {protocol},"
+            f" workers={args.workers or 'in-loop'}"
+        )
+        wire = report.transport_stats
+        if wire.get("frames_sent"):
+            print(
+                f"wire          : {wire['bytes_sent']} B out /"
+                f" {wire['bytes_received']} B in,"
+                f" {wire['ops_per_frame']:.2f} ops/frame,"
+                f" {wire['bytes_per_op']:.1f} B/op"
+            )
     print(f"strategy load : {report.lp_load:.4f} (LP-optimal, Def. 3.4)")
     print(
         f"workload      : {ops['attempted']} ops, clients={config.clients},"
@@ -709,21 +758,68 @@ def _cmd_reshard(args: argparse.Namespace) -> None:
 
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
+    import time as time_module
 
-    from .service import make_replicas, start_tcp_replicas
+    from .runtime.clock import install_uvloop
+    from .service import ReplicaCluster, make_replicas, start_tcp_replicas
 
     system = build_system(args.system)
+    print(_accelerator_banner())
+    if args.uvloop:
+        install_uvloop()  # no-op (returns False) without the perf extra
+
+    def _print_addresses(addresses) -> None:
+        # One port speaks both protocols: servers sniff the first byte
+        # and speak binary wire v2 or JSON lines per connection.
+        print(
+            f"serving {system.system_name} (n={system.n}) over TCP"
+            f" (binary v2 + JSON lines, sniffed per connection)"
+        )
+        for element in sorted(addresses):
+            host, port = addresses[element]
+            name = system.universe.name_of(element)
+            print(f"   replica {str(name):>10} -> {host}:{port}")
+
+    if args.workers:
+        # Multi-core serving: replicas hosted round-robin across worker
+        # processes, keeping the base_port + id layout external clients
+        # dial against.
+        cluster = ReplicaCluster(
+            list(system.universe.ids),
+            workers=args.workers,
+            host=args.host,
+            base_port=args.base_port,
+            use_uvloop=args.uvloop,
+        )
+        cluster.start()
+        _print_addresses(cluster.addresses)
+        print(f"workers       : {cluster.workers} OS processes")
+        print("press Ctrl-C to stop" if args.duration is None else
+              f"serving for {args.duration:g}s")
+        try:
+            deadline = (
+                None if args.duration is None
+                else time_module.monotonic() + args.duration
+            )
+            while deadline is None or time_module.monotonic() < deadline:
+                time_module.sleep(0.2)
+                crashed = cluster.poll_crashed()
+                if crashed:
+                    raise SystemExit(
+                        f"serve failed: worker hosting replicas {crashed} died"
+                    )
+        except KeyboardInterrupt:
+            pass
+        finally:
+            cluster.close()
+        return
 
     async def _serve() -> None:
         replicas = make_replicas(system)
         servers, addresses = await start_tcp_replicas(
             replicas, host=args.host, base_port=args.base_port
         )
-        print(f"serving {system.system_name} (n={system.n}) over TCP/JSON-lines")
-        for element in sorted(addresses):
-            host, port = addresses[element]
-            name = system.universe.name_of(element)
-            print(f"   replica {str(name):>10} -> {host}:{port}")
+        _print_addresses(addresses)
         print("press Ctrl-C to stop" if args.duration is None else
               f"serving for {args.duration:g}s")
         try:
@@ -827,6 +923,23 @@ def main(argv: List[str] = None) -> None:
     p_bench.add_argument("--serialized", action="store_true",
                          help="with --tcp-local: use the pre-pipelining"
                               " lock-per-replica client as baseline")
+    p_bench.add_argument("--binary", action="store_true",
+                         help="with --tcp-local: speak the struct-packed"
+                              " binary wire protocol v2 instead of"
+                              " JSON lines")
+    p_bench.add_argument("--no-coalesce", dest="coalesce",
+                         action="store_false", default=True,
+                         help="with --binary: frame each op individually"
+                              " instead of coalescing ops that share a"
+                              " flush window into one frame")
+    p_bench.add_argument("--workers", type=int, default=0,
+                         help="with --tcp-local: host the replicas in this"
+                              " many OS processes (0 = in the benchmark's"
+                              " own event loop)")
+    p_bench.add_argument("--uvloop", action="store_true",
+                         help="install uvloop for the client loop and any"
+                              " worker processes (no-op without the"
+                              " repro[perf] extra)")
     p_bench.add_argument("--hedge-spares", type=int, default=0,
                          help="spare replicas contacted beyond each quorum"
                               " (first candidate quorum to fully ack wins)")
@@ -975,6 +1088,13 @@ def main(argv: List[str] = None) -> None:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--base-port", type=int, default=9000,
                          help="replica i listens on base-port + i (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="host replicas in this many OS processes"
+                              " (0 = one event loop in this process;"
+                              " worker ports are ephemeral)")
+    p_serve.add_argument("--uvloop", action="store_true",
+                         help="install uvloop for the serving loop(s)"
+                              " (no-op without the repro[perf] extra)")
     p_serve.add_argument("--duration", type=float, default=None,
                          help="stop after this many seconds (default: forever)")
     p_serve.set_defaults(func=_cmd_serve)

@@ -44,6 +44,8 @@ __all__ = [
     "VirtualClock",
     "VirtualTimeLoop",
     "run_virtual",
+    "install_uvloop",
+    "accelerators",
 ]
 
 _T = TypeVar("_T")
@@ -190,6 +192,46 @@ def run_virtual(
             loop.run_until_complete(loop.shutdown_asyncgens())
         finally:
             loop.close()
+
+
+# ----------------------------------------------------------------------
+# Optional accelerators (the ``repro[perf]`` extra)
+# ----------------------------------------------------------------------
+def install_uvloop() -> bool:
+    """Install the uvloop event-loop policy when the environment has it.
+
+    Returns ``True`` when uvloop is now the policy, ``False`` when the
+    import failed — callers gate on the return value instead of
+    requiring the dependency, so the wall-clock serving stack merely
+    runs slower without the ``repro[perf]`` extra, never breaks.  Only
+    affects loops created *after* the call (``asyncio.run``, cluster
+    workers); never touches a loop that is already running, and is
+    deliberately ignored by the virtual-time machinery above, which
+    needs the selector loop it subclasses.
+    """
+    try:  # pragma: no cover - depends on environment
+        import uvloop
+    except ImportError:
+        return False
+    uvloop.install()  # pragma: no cover - depends on environment
+    return True  # pragma: no cover - depends on environment
+
+
+def accelerators() -> dict:
+    """Which optional performance dependencies are importable.
+
+    The ``quorumtool serve`` / ``kvbench`` startup banner prints this so
+    a benchmark number always states what it was measured with.
+    """
+    report = {}
+    for name in ("orjson", "uvloop"):
+        try:
+            __import__(name)
+        except ImportError:
+            report[name] = False
+        else:
+            report[name] = True
+    return report
 
 
 def _cancel_all_tasks(loop: asyncio.AbstractEventLoop) -> None:

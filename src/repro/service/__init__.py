@@ -7,8 +7,12 @@ into a running service:
   (timestamp ordering, read-repair targets);
 * :mod:`repro.service.transport` — pluggable transports: a
   deterministic seeded in-process one (virtual latency, iid crash
-  epochs shared with :mod:`repro.sim.failures`) and TCP/JSON-lines for
-  real sockets;
+  epochs shared with :mod:`repro.sim.failures`), TCP/JSON-lines, and
+  the coalescing binary wire-v2 client (:mod:`repro.service.wire`) —
+  servers sniff the first byte, so one port speaks both protocols;
+* :mod:`repro.service.cluster` — multi-process replica hosting
+  (``workers=N`` OS processes behind one address map) with crash
+  detection;
 * :mod:`repro.service.coordinator` — strategy-sampling coordinator with
   concurrent fan-out, per-request timeouts, capped-exponential-backoff
   retries and fallback to quorums avoiding suspected-down replicas;
@@ -50,11 +54,13 @@ from .loadgen import (
     run_kv_benchmark,
     run_workload,
 )
-from .metrics import ServiceMetrics
+from .cluster import ReplicaCluster
+from .metrics import ServiceMetrics, transport_summary
 from .replica import NULL_TIMESTAMP, Replica, Versioned
 from .simtransport import SimTransport
 from .transport import (
     DEFAULT_TIMEOUT_MS,
+    BinaryTcpTransport,
     InProcessTransport,
     Reply,
     ReplicaUnavailable,
@@ -65,9 +71,11 @@ from .transport import (
     TransportError,
     start_tcp_replicas,
 )
+from .wire import WireError
 
 __all__ = [
     "BenchmarkReport",
+    "BinaryTcpTransport",
     "ChaosConfig",
     "ChaosReport",
     "Coordinator",
@@ -87,6 +95,7 @@ __all__ = [
     "PartitionFault",
     "ReadResult",
     "Replica",
+    "ReplicaCluster",
     "ReplicaUnavailable",
     "Reply",
     "RequestTimeout",
@@ -98,6 +107,7 @@ __all__ = [
     "TransportError",
     "Versioned",
     "Window",
+    "WireError",
     "WorkloadConfig",
     "WriteResult",
     "build_schedule",
@@ -108,4 +118,5 @@ __all__ = [
     "run_workload",
     "split_brain_schedule",
     "start_tcp_replicas",
+    "transport_summary",
 ]

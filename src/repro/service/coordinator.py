@@ -270,6 +270,11 @@ class Coordinator:
             raise ServiceError(f"hedge_delay_ms must be >= 0, got {hedge_delay_ms}")
         self.system = system
         self.transport = transport
+        # Synchronous task-free fan-out, when the transport offers one
+        # (BinaryTcpTransport.submit); None falls back to one task per
+        # member.  Wrappers like FaultyTransport deliberately don't
+        # expose submit, so faults keep applying per logical call.
+        self._submit = getattr(transport, "submit", None)
         if strategy is None:
             from ..analysis.load import optimal_strategy
 
@@ -619,8 +624,12 @@ class Coordinator:
 
         ``deferred_spares`` are hedge replicas *not yet contacted*: they
         are issued (via ``request_for``) as soon as ``hedge_delay_ms``
-        elapses without the fan-out completing, or a contacted member
-        fails — Dean-style hedging that costs nothing on the fast path.
+        elapses *from the start of the fan-out* without it completing,
+        or a contacted member fails — Dean-style hedging that costs
+        nothing on the fast path.  The deadline is anchored once: early
+        partial replies must not keep resetting the window, or a phase
+        that is slow in aggregate (members trickling in just under the
+        delay apiece) never hedges at all.
         """
         rid_of = {task: rid for rid, task in tasks.items()}
         pending = set(tasks.values())
@@ -629,21 +638,31 @@ class Coordinator:
         attempt_latency = 0.0
         winner: Optional[Quorum] = None
         spares_pending = tuple(deferred_spares)
+        loop = asyncio.get_running_loop()
+        hedge_deadline = (
+            loop.time() + self.hedge_delay_ms / 1000.0 if spares_pending else 0.0
+        )
 
         def issue_spares() -> None:
             nonlocal spares_pending
             assert request_for is not None
             self.metrics.record_hedges_issued(len(spares_pending))
+            submit = self._submit
             for rid in spares_pending:
-                task = asyncio.ensure_future(
-                    self.transport.call(rid, request_for(rid), self.timeout)
-                )
+                if submit is not None:
+                    task = submit(rid, request_for(rid), self.timeout)
+                else:
+                    task = asyncio.ensure_future(
+                        self.transport.call(rid, request_for(rid), self.timeout)
+                    )
                 rid_of[task] = rid
                 pending.add(task)
             spares_pending = ()
 
         while pending:
-            delay = self.hedge_delay_ms / 1000.0 if spares_pending else None
+            delay = (
+                max(0.0, hedge_deadline - loop.time()) if spares_pending else None
+            )
             done, pending = await asyncio.wait(
                 pending, timeout=delay, return_when=asyncio.FIRST_COMPLETED
             )
@@ -734,12 +753,23 @@ class Coordinator:
             upfront_spares = () if deferred else live_spares
             if upfront_spares:
                 self.metrics.record_hedges_issued(len(upfront_spares))
-            tasks: Dict[int, "asyncio.Task"] = {
-                rid: asyncio.ensure_future(
-                    self.transport.call(rid, request_for(rid), self.timeout)
-                )
-                for rid in members + upfront_spares
-            }
+            # Transports with a synchronous submission fast path (the
+            # binary transport) fan the quorum out with zero per-member
+            # task creation; everything downstream treats the returned
+            # futures exactly like tasks.
+            submit = self._submit
+            if submit is not None:
+                tasks: Dict[int, "asyncio.Task"] = {
+                    rid: submit(rid, request_for(rid), self.timeout)
+                    for rid in members + upfront_spares
+                }
+            else:
+                tasks = {
+                    rid: asyncio.ensure_future(
+                        self.transport.call(rid, request_for(rid), self.timeout)
+                    )
+                    for rid in members + upfront_spares
+                }
             payloads, failed, attempt_latency, winner = await self._collect(
                 tasks,
                 candidates,
@@ -1095,10 +1125,15 @@ class Coordinator:
             "writer": best_ts[1],
         }
         targets = sorted(stale)
-        outcomes = await asyncio.gather(
-            *(self.transport.call(rid, request, self.timeout) for rid in targets),
-            return_exceptions=True,
-        )
+        submit = self._submit
+        if submit is not None:
+            calls = [submit(rid, request, self.timeout) for rid in targets]
+        else:
+            calls = [
+                asyncio.ensure_future(self.transport.call(rid, request, self.timeout))
+                for rid in targets
+            ]
+        outcomes = await asyncio.gather(*calls, return_exceptions=True)
         for rid, outcome in zip(targets, outcomes):
             if isinstance(outcome, Reply) and outcome.payload.get("ok"):
                 self.metrics.record_read_repair()

@@ -29,10 +29,11 @@ from ..core.quorum_system import QuorumSystem
 from ..core.strategy import Strategy
 from ..runtime.rng import RngStreams
 from .coordinator import Coordinator, OperationFailed
-from .metrics import ServiceMetrics
+from .metrics import ServiceMetrics, transport_summary
 from .replica import Replica
 from .transport import (
     DEFAULT_TIMEOUT_MS,
+    BinaryTcpTransport,
     InProcessTransport,
     SerializedTcpTransport,
     TcpTransport,
@@ -253,9 +254,6 @@ async def run_workload(
     return metrics
 
 
-_TRANSPORT_COUNTERS = ("calls", "flushes", "bytes_sent", "bytes_received", "reconnects")
-
-
 def run_kv_benchmark(
     system: QuorumSystem,
     *,
@@ -265,6 +263,10 @@ def run_kv_benchmark(
     config: Optional[WorkloadConfig] = None,
     tcp_local: bool = False,
     serialized: bool = False,
+    binary: bool = False,
+    coalesce: bool = True,
+    workers: int = 0,
+    use_uvloop: bool = False,
     **overrides: Any,
 ) -> BenchmarkReport:
     """One-call benchmark: build the service, drive it, report loads.
@@ -280,7 +282,14 @@ def run_kv_benchmark(
     the perf harness's end-to-end mode.  ``serialized=True`` (with
     ``tcp_local``) swaps the pipelined client for the lock-per-replica
     :class:`SerializedTcpTransport` to measure the pre-pipelining
-    baseline.
+    baseline; ``binary=True`` swaps in the struct-packed
+    :class:`BinaryTcpTransport` instead (``coalesce=False`` keeps the
+    binary codec but frames each op individually).  ``workers=N``
+    hosts the replicas in a :class:`~repro.service.cluster
+    .ReplicaCluster` of N OS processes — built *before* the event loop
+    starts, since forking under a running loop duplicates loop state —
+    and ``use_uvloop=True`` installs uvloop (when importable) for both
+    the client loop and the cluster workers.
     """
     if config is None:
         config = WorkloadConfig()
@@ -293,6 +302,12 @@ def run_kv_benchmark(
         raise ServiceError("tcp_local builds its own transport; do not pass one")
     if serialized and not tcp_local:
         raise ServiceError("serialized baseline only applies to tcp_local mode")
+    if binary and not tcp_local:
+        raise ServiceError("binary transport only applies to tcp_local mode")
+    if binary and serialized:
+        raise ServiceError("pick one of binary or serialized, not both")
+    if workers and not tcp_local:
+        raise ServiceError("workers only apply to tcp_local mode")
 
     if strategy is None:
         from ..analysis.load import optimal_strategy
@@ -301,16 +316,39 @@ def run_kv_benchmark(
 
     owns_transport = transport is None
 
+    cluster = None
+    if tcp_local and workers > 0:
+        from .cluster import ReplicaCluster
+
+        cluster = ReplicaCluster(
+            [replica.replica_id for replica in make_replicas(system)],
+            workers=workers,
+            use_uvloop=use_uvloop,
+        )
+        cluster.start()
+
+    if use_uvloop:
+        from ..runtime.clock import install_uvloop
+
+        install_uvloop()  # no-op (returns False) without the perf extra
+
     async def _run() -> Tuple[ServiceMetrics, Dict[str, Any]]:
         local = transport
         servers: List[asyncio.AbstractServer] = []
         if local is None:
             if tcp_local:
-                servers, addresses = await start_tcp_replicas(
-                    make_replicas(system), base_port=0
-                )
-                client_cls = SerializedTcpTransport if serialized else TcpTransport
-                local = client_cls(addresses)
+                if cluster is not None:
+                    addresses = cluster.addresses
+                else:
+                    servers, addresses = await start_tcp_replicas(
+                        make_replicas(system), base_port=0
+                    )
+                if binary:
+                    local = BinaryTcpTransport(addresses, coalesce=coalesce)
+                elif serialized:
+                    local = SerializedTcpTransport(addresses)
+                else:
+                    local = TcpTransport(addresses)
             else:
                 local = InProcessTransport(
                     make_replicas(system),
@@ -328,15 +366,14 @@ def run_kv_benchmark(
             for server in servers:
                 server.close()
                 await server.wait_closed()
-        stats = {
-            name: getattr(local, name)
-            for name in _TRANSPORT_COUNTERS
-            if hasattr(local, name)
-        }
-        return run_metrics, stats
+        return run_metrics, transport_summary(local)
 
     started = time.perf_counter()
-    metrics, transport_stats = asyncio.run(_run())
+    try:
+        metrics, transport_stats = asyncio.run(_run())
+    finally:
+        if cluster is not None:
+            cluster.close()
     # Prefer the in-loop measurement (excludes dialing and preload);
     # fall back to the coarse wrapper time if a custom runner skipped it.
     elapsed = getattr(metrics, "elapsed_seconds", 0.0) or (

@@ -21,6 +21,46 @@ import numpy as np
 from ..core.errors import ServiceError
 from ..runtime.metrics import KeyCounter, LatencyHistogram
 
+#: Counter attributes a transport may expose, in reporting order.  The
+#: wire-level ones (frames, coalesced ops, the derived ops-per-frame and
+#: bytes-per-op ratios) come from :class:`~repro.service.transport.
+#: BinaryTcpTransport`; the JSON transports expose the byte/flush subset.
+#: Kept here, next to the op metrics, so every report that quotes an
+#: ops/s figure can also say what the wire did to earn it.
+TRANSPORT_COUNTERS = (
+    "calls",
+    "flushes",
+    "bytes_sent",
+    "bytes_received",
+    "reconnects",
+    "frames_sent",
+    "frames_received",
+    "coalesced_ops",
+    "ops_per_frame",
+    "bytes_per_op",
+)
+
+
+def transport_summary(transport: Any) -> Dict[str, Any]:
+    """Snapshot whichever :data:`TRANSPORT_COUNTERS` a transport exposes.
+
+    Works across the whole transport zoo — counters a transport lacks
+    are simply absent, so callers can diff summaries without caring
+    which wire (JSON lines, binary frames, in-process) produced them.
+    Ratios stay floats; counts are coerced to plain ints so the result
+    is always JSON-serialisable.
+    """
+    summary: Dict[str, Any] = {}
+    for name in TRANSPORT_COUNTERS:
+        value = getattr(transport, name, None)
+        if value is None:
+            continue
+        if isinstance(value, float):
+            summary[name] = value
+        else:
+            summary[name] = int(value)
+    return summary
+
 
 class ServiceMetrics:
     """Counters and histograms for one coordinator/benchmark run.

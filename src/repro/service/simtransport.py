@@ -75,6 +75,14 @@ class SimTransport(Transport):
         This is the knob that makes sharding measurable — spreading
         keys over more replicas buys aggregate service capacity, which
         the virtual-time throughput of the sharded benchmark reports.
+    wire_check:
+        Debug mode: round-trip every request and reply through the
+        binary wire-v2 codec (:mod:`repro.service.wire`) and raise on
+        any drift.  The sim never frames bytes on its hot path, so the
+        default is off; switching it on turns every sim run into a
+        proof that the op model the simulator exercises is exactly the
+        one :class:`~repro.service.transport.BinaryTcpTransport` puts
+        on real sockets.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class SimTransport(Transport):
         mean_latency: float = 4.0,
         crash_rate: float = 0.0,
         service_time_ms: float = 0.0,
+        wire_check: bool = False,
     ) -> None:
         if isinstance(replicas, Mapping):
             self.replicas: Dict[int, Replica] = dict(replicas)
@@ -107,6 +116,7 @@ class SimTransport(Transport):
         self.mean_latency = mean_latency
         self.crash_rate = crash_rate
         self.service_time_ms = service_time_ms
+        self.wire_check = wire_check
         self.down: frozenset = frozenset()
         self.epochs = 0
         self.calls = Counter()
@@ -182,7 +192,14 @@ class SimTransport(Transport):
         # applies at *arrival* time, so concurrent operations interleave
         # in latency order exactly as they would over a network.
         await self.clock.sleep(latency)
-        return Reply(replica.handle(request), latency)
+        payload = replica.handle(request)
+        if self.wire_check:
+            # One op model across substrates: anything the sim carries
+            # must survive the binary codec byte-exactly, else raise.
+            from . import wire
+
+            wire.assert_op_roundtrip(request, payload)
+        return Reply(payload, latency)
 
     async def pause(self, delay_ms: float) -> None:
         # Backoff costs clock time here (unlike the in-process

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import struct
 import time
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, Tuple
@@ -40,6 +41,7 @@ from ..core.errors import (
     TransportError,
 )
 from ..runtime.faults import sample_iid_crash_set
+from . import wire
 from .replica import Replica
 
 # The transport error taxonomy lives in :mod:`repro.core.errors`
@@ -54,6 +56,7 @@ __all__ = [
     "Transport",
     "InProcessTransport",
     "TcpTransport",
+    "BinaryTcpTransport",
     "SerializedTcpTransport",
     "start_tcp_replicas",
 ]
@@ -213,6 +216,13 @@ RECV_CHUNK_BYTES = 1 << 16
 #: Compact JSON encoding for the wire (no spaces after separators).
 _WIRE_SEPARATORS = (",", ":")
 
+#: First byte of every binary v2 frame (high byte of the magic, "Q") —
+#: what the replica server sniffs to pick a protocol per connection.
+_BINARY_FIRST_BYTE = wire.MAGIC >> 8
+
+#: HELLO body: (min_version, max_version) supported by the peer.
+_HELLO_BODY = struct.Struct("!BB")
+
 # The hot path (replica servers + pipelined client) encodes with orjson
 # when the environment has it; stdlib json is the drop-in fallback.  The
 # wire format is identical either way.  SerializedTcpTransport keeps
@@ -233,76 +243,212 @@ else:  # pragma: no cover - depends on environment
     _wire_decode = json.loads
 
 
-async def _serve_connection(
-    replica: Replica, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-) -> None:
-    buffer = b""
-    try:
-        while True:
-            chunk = await reader.read(RECV_CHUNK_BYTES)
-            if not chunk:
-                break
-            buffer += chunk
-            if b"\n" not in chunk:
-                if len(buffer) > MAX_LINE_BYTES:
-                    break  # oversized frame with no delimiter: hang up
-                continue
-            # Handle every complete line in the burst, answer with one
-            # batched write: a pipelined client's fan-in costs one
-            # syscall here instead of one per request.
-            *lines, buffer = buffer.split(b"\n")
-            out: List[bytes] = []
-            for line in lines:
-                if not line:
-                    continue
-                rpc_id = None
+class _ReplicaProtocol(asyncio.Protocol):
+    """One replica-server connection: sniff the protocol, serve it
+    callback-style.
+
+    Binary v2 frames always start with the magic byte ``0x51`` ("Q"); a
+    JSON-lines request always starts with ``{``.  Sniffing the first
+    byte of the connection lets both protocols share one port, so the
+    pre-existing JSON transports keep working against upgraded servers
+    with no flag day.
+
+    The handler runs directly on transport callbacks — no per-connection
+    ``StreamReader`` task — so a pipelined burst of N requests costs one
+    ``data_received``, one batch apply, and one write, with no task
+    switch in between.
+
+    Binary semantics: each incoming frame is a coalesced batch of
+    requests; the whole batch goes through
+    :meth:`Replica.handle_batch` and comes back as one reply burst —
+    one ``write`` per ``data_received``.  The first frame must be a
+    HELLO; the reply HELLO's header carries the negotiated version
+    (0 = no overlap, then hang up).  Any codec violation (bad magic,
+    oversized frame, truncated message) tears the connection down —
+    there is no resync inside a byte stream; the client reconnects.
+    """
+
+    __slots__ = ("replica", "transport", "mode", "buffer", "decoder", "version")
+
+    _MODE_SNIFF = 0
+    _MODE_BINARY = 1
+    _MODE_JSON = 2
+
+    def __init__(self, replica: Replica) -> None:
+        self.replica = replica
+        self.transport: Optional[asyncio.Transport] = None
+        self.mode = self._MODE_SNIFF
+        self.buffer = b""
+        self.decoder: Optional[wire.FrameDecoder] = None
+        self.version = 0
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = transport
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        self.transport = None
+
+    # Flow control: when the peer stops reading our replies, stop
+    # reading its requests instead of buffering replies unboundedly —
+    # the callback analogue of the old ``await writer.drain()``.
+    def pause_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.pause_reading()
+
+    def resume_writing(self) -> None:
+        if self.transport is not None:
+            self.transport.resume_reading()
+
+    def _hang_up(self) -> None:
+        transport, self.transport = self.transport, None
+        if transport is not None:
+            transport.close()
+
+    def data_received(self, data: bytes) -> None:
+        if self.transport is None:  # already hung up; late bytes in flight
+            return
+        mode = self.mode
+        if mode == self._MODE_BINARY:
+            self._binary_data(data)
+        elif mode == self._MODE_JSON:
+            self._json_data(data)
+        elif data[0] == _BINARY_FIRST_BYTE:
+            self.mode = self._MODE_BINARY
+            self.decoder = wire.FrameDecoder()
+            self._binary_data(data)
+        else:
+            self.mode = self._MODE_JSON
+            self._json_data(data)
+
+    def _binary_data(self, data: bytes) -> None:
+        try:
+            frames = self.decoder.feed(data)
+        except wire.WireError:
+            self._hang_up()
+            return
+        if not frames:
+            return
+        out: List[bytes] = []
+        replica = self.replica
+        for frame_version, flags, count, body in frames:
+            if flags & wire.FLAG_HELLO:
                 try:
-                    request = _wire_decode(line)
-                except ValueError as exc:
-                    response = {"ok": False, "error": f"bad json: {exc}"}
-                else:
-                    if isinstance(request, dict):
-                        rpc_id = request.pop(RPC_ID_KEY, None)
-                    response = replica.handle(request)
-                if rpc_id is not None:
-                    response = dict(response)
-                    response[RPC_ID_KEY] = rpc_id
-                out.append(_wire_encode(response))
-            if out:
-                writer.write(b"\n".join(out) + b"\n")
-                await writer.drain()
-    except (ConnectionError, asyncio.IncompleteReadError):
-        pass
-    except asyncio.CancelledError:
-        # Loop shutdown while blocked on read: finish quietly so the
-        # streams machinery does not log the cancellation as an error.
-        pass
-    finally:
-        writer.close()
+                    client_min, client_max = _HELLO_BODY.unpack(bytes(body))
+                except struct.error:
+                    self._hang_up()
+                    return
+                self.version = wire.negotiate(client_min, client_max)
+                out.append(wire.hello_frame(version=self.version))
+                if self.version == 0:
+                    self.transport.write(b"".join(out))
+                    self._hang_up()
+                    return
+                continue
+            if self.version == 0:
+                self._hang_up()  # protocol violation: data before HELLO
+                return
+            try:
+                offset = 0
+                requests = []
+                rpc_ids = []
+                for _ in range(count):
+                    rpc_id, request, offset = wire.decode_request(body, offset)
+                    rpc_ids.append(rpc_id)
+                    requests.append(request)
+                responses = replica.handle_batch(requests)
+                out.extend(
+                    wire.pack_frames(
+                        map(wire.encode_response, rpc_ids, responses),
+                        version=self.version,
+                    )
+                )
+            except wire.WireError:
+                self._hang_up()
+                return
+        if out and self.transport is not None:
+            self.transport.write(b"".join(out))
+
+    def _json_data(self, data: bytes) -> None:
+        buffer = self.buffer + data if self.buffer else data
+        if b"\n" not in data:
+            if len(buffer) > MAX_LINE_BYTES:
+                self._hang_up()  # oversized frame with no delimiter: hang up
+                return
+            self.buffer = buffer
+            return
+        # Handle every complete line in the burst, answer with one
+        # batched write: a pipelined client's fan-in costs one
+        # syscall here instead of one per request.
+        *lines, rest = buffer.split(b"\n")
+        self.buffer = rest
+        out: List[bytes] = []
+        handle = self.replica.handle
+        for line in lines:
+            if not line:
+                continue
+            rpc_id = None
+            try:
+                request = _wire_decode(line)
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad json: {exc}"}
+            else:
+                if isinstance(request, dict):
+                    rpc_id = request.pop(RPC_ID_KEY, None)
+                response = handle(request)
+            if rpc_id is not None:
+                response = dict(response)
+                response[RPC_ID_KEY] = rpc_id
+            out.append(_wire_encode(response))
+        if out and self.transport is not None:
+            self.transport.write(b"\n".join(out) + b"\n")
 
 
 async def start_tcp_replicas(
     replicas: Iterable[Replica],
     host: str = "127.0.0.1",
     base_port: int = 0,
-) -> Tuple[List[asyncio.base_events.Server], Dict[int, Tuple[str, int]]]:
-    """Start one JSON-lines server per replica.
+    workers: int = 0,
+):
+    """Start one dual-protocol (binary v2 + JSON lines) server per replica.
 
     With ``base_port > 0`` replica ``i`` listens on ``base_port + i``;
     with ``base_port == 0`` the OS assigns ephemeral ports.  Returns the
     server objects (close them to "crash" a replica) and the
-    ``{replica_id: (host, port)}`` address map a :class:`TcpTransport`
+    ``{replica_id: (host, port)}`` address map any TCP transport
     consumes.
+
+    With ``workers > 0`` the replicas are instead hosted by a
+    :class:`~repro.service.cluster.ReplicaCluster` of that many OS
+    processes (one event loop each, replicas assigned round-robin) and
+    the first element of the return value is the started cluster —
+    ``close()`` it instead of closing servers.  The worker processes
+    build their *own* fresh ``Replica`` state for the given ids; the
+    passed objects only contribute their ``replica_id``.  Prefer
+    constructing the cluster before entering the event loop when you
+    can; this path exists for loop-bound callers (e.g. ``quorumtool
+    serve --workers``).
     """
+    if workers > 0:
+        from .cluster import ReplicaCluster
+
+        cluster = ReplicaCluster(
+            [replica.replica_id for replica in replicas],
+            workers=workers,
+            host=host,
+            base_port=base_port,
+        )
+        loop = asyncio.get_running_loop()
+        addresses = await loop.run_in_executor(None, cluster.start)
+        return cluster, addresses
+    loop = asyncio.get_running_loop()
     servers: List[asyncio.base_events.Server] = []
     addresses: Dict[int, Tuple[str, int]] = {}
     for replica in replicas:
         port = 0 if base_port == 0 else base_port + replica.replica_id
-        server = await asyncio.start_server(
-            lambda r, w, rep=replica: _serve_connection(rep, r, w),
+        server = await loop.create_server(
+            lambda rep=replica: _ReplicaProtocol(rep),
             host=host,
             port=port,
-            limit=MAX_LINE_BYTES,
         )
         bound_port = server.sockets[0].getsockname()[1]
         servers.append(server)
@@ -576,6 +722,499 @@ class TcpTransport(Transport):
             await asyncio.gather(*tasks, return_exceptions=True)
         for replica_id, channel in channels:
             self._teardown(replica_id, channel, "transport closed")
+
+
+class _BinCall:
+    """One logical RPC in flight on the binary transport."""
+
+    __slots__ = (
+        "replica_id",
+        "request",
+        "timeout",
+        "future",
+        "start",
+        "deadline",
+        "reused",
+        "retried",
+        "rpc_id",
+        "timer",
+    )
+
+    def __init__(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float,
+        future: asyncio.Future,
+        start: float,
+    ) -> None:
+        self.replica_id = replica_id
+        self.request = request
+        self.timeout = timeout
+        self.future = future
+        self.start = start
+        self.deadline = start + timeout / 1000.0
+        self.reused = False
+        self.retried = False
+        self.rpc_id = -1
+        # Armed only while the call waits in a dial backlog; calls
+        # pending on a live channel share the channel's deadline sweep.
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class _BinChannel(asyncio.Protocol):
+    """One negotiated binary connection, run directly on transport
+    callbacks: pending calls by rpc id, an outbox of encoded messages
+    awaiting the next coalesced flush, and a single deadline-sweep timer
+    instead of one timer per call.  Replies resolve futures inside
+    ``data_received`` — no reader task, no per-reply task switch."""
+
+    __slots__ = (
+        "owner",
+        "replica_id",
+        "state",
+        "conn",
+        "pending",
+        "next_id",
+        "outbox",
+        "flush_scheduled",
+        "closed",
+        "version",
+        "decoder",
+        "sweep_timer",
+        "sweep_at",
+        "paused",
+    )
+
+    def __init__(
+        self, owner: "BinaryTcpTransport", replica_id: int, state: "_BinState"
+    ) -> None:
+        self.owner = owner
+        self.replica_id = replica_id
+        self.state = state
+        self.conn: Optional[asyncio.Transport] = None
+        self.pending: Dict[int, _BinCall] = {}
+        self.next_id = 0
+        self.outbox: List[bytes] = []
+        self.flush_scheduled = False
+        self.closed = False
+        self.version = 0  # 0 until the server's HELLO lands
+        self.decoder = wire.FrameDecoder()
+        self.sweep_timer: Optional[asyncio.TimerHandle] = None
+        self.sweep_at = 0.0
+        self.paused = False
+
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.conn = transport
+
+    def connection_lost(self, exc: Optional[BaseException]) -> None:
+        if not self.closed:
+            reason = str(exc) if exc else "closed"
+            self.owner._teardown(self.state, self, reason)
+
+    def data_received(self, data: bytes) -> None:
+        self.owner._on_data(self, data)
+
+    # Flow control: hold the outbox while the socket is backed up; the
+    # queued messages go out on resume.
+    def pause_writing(self) -> None:
+        self.paused = True
+
+    def resume_writing(self) -> None:
+        self.paused = False
+        if self.outbox and not self.flush_scheduled:
+            self.flush_scheduled = True
+            self.owner._loop.call_soon(self.owner._flush, self)
+
+
+class _BinState:
+    """Per-replica dial state: the live channel (if any), calls waiting
+    for a dial to finish, and the dial task itself."""
+
+    __slots__ = ("channel", "backlog", "dial_task")
+
+    def __init__(self) -> None:
+        self.channel: Optional[_BinChannel] = None
+        self.backlog: List[_BinCall] = []
+        self.dial_task: Optional[asyncio.Task] = None
+
+
+class BinaryTcpTransport(Transport):
+    """Pipelined binary v2 client: struct-packed frames, op coalescing,
+    and a task-free hot path end to end.
+
+    Differences from the JSON :class:`TcpTransport` (which is preserved
+    unchanged as the baseline):
+
+    * **No per-message JSON.**  Requests and replies are packed with
+      :mod:`struct` (:mod:`repro.service.wire`); only values travel as
+      JSON blobs, keys and timestamps are length-delimited binary
+      fields.
+    * **Op coalescing.**  Every logical RPC queued during one flush
+      window is packed into a *single* length-prefixed frame; the
+      replica server decodes, applies and answers the batch with one
+      write.  ``coalesced_ops`` / ``frames_sent`` / ``ops_per_frame`` /
+      ``bytes_per_op`` counters expose the packing.  ``coalesce=False``
+      degrades to one frame and one write per op, isolating what
+      coalescing itself buys in the benchmark matrix.
+    * **Task-free hot path.**  :meth:`submit` enqueues a call and
+      returns a plain future without creating a task; flushes are
+      ``call_soon`` callbacks scheduled at the end of the current
+      event-loop iteration (so every op submitted in the iteration
+      lands in one frame); replies resolve futures directly inside the
+      connection's ``data_received``; and per-call deadline timers are
+      replaced by one deadline-sweep timer per channel.  :meth:`call`
+      is the ``Transport``-conforming wrapper.
+    * **Version negotiation.**  The first frame each way is a HELLO;
+      the client pipelines requests behind its HELLO optimistically and
+      tears the channel down if the server's negotiated version is
+      unsupported.
+
+    Failure semantics match the other TCP clients: a call that dies
+    with its *cached* channel is retried once on a fresh connection
+    (``reconnects`` counts re-dials), a fresh connection that fails
+    surfaces :class:`ReplicaUnavailable`, and a per-request timeout
+    drops the late reply by rpc id without costing the channel.
+    """
+
+    def __init__(
+        self,
+        addresses: Mapping[int, Tuple[str, int]],
+        *,
+        coalesce: bool = True,
+    ) -> None:
+        if not addresses:
+            raise ServiceError("TCP transport needs at least one address")
+        self.addresses = dict(addresses)
+        self.coalesce = coalesce
+        self._states: Dict[int, _BinState] = {}
+        self._ever_dialed: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.reconnects = 0
+        self.calls = 0
+        self.flushes = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.coalesced_ops = 0
+
+    # ------------------------------------------------------------------
+    # Derived coalescing metrics
+    # ------------------------------------------------------------------
+    @property
+    def ops_per_frame(self) -> float:
+        """Mean logical RPCs coalesced into one outbound frame."""
+        return self.coalesced_ops / self.frames_sent if self.frames_sent else 0.0
+
+    @property
+    def bytes_per_op(self) -> float:
+        """Mean wire bytes (both directions) per logical RPC."""
+        return (self.bytes_sent + self.bytes_received) / self.calls if self.calls else 0.0
+
+    # ------------------------------------------------------------------
+    # Submission fast path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> "asyncio.Future[Reply]":
+        """Queue one RPC; return a future resolving to :class:`Reply`.
+
+        Synchronous: no coroutine, no task — the caller can fan a whole
+        quorum out in a tight loop and ``await asyncio.wait`` on the
+        futures.  Must be called from within the running event loop.
+        """
+        if replica_id not in self.addresses:
+            raise ServiceError(f"unknown replica id {replica_id}")
+        loop = self._loop
+        if loop is None:
+            loop = self._loop = asyncio.get_running_loop()
+        self.calls += 1
+        entry = _BinCall(
+            replica_id, request, timeout, loop.create_future(), loop.time()
+        )
+        state = self._states.get(replica_id)
+        if state is None:
+            state = self._states[replica_id] = _BinState()
+        self._dispatch(state, entry, fresh=False)
+        return entry.future
+
+    async def call(
+        self,
+        replica_id: int,
+        request: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_MS,
+    ) -> Reply:
+        return await self.submit(replica_id, request, timeout)
+
+    # ------------------------------------------------------------------
+    # Dispatch / dial
+    # ------------------------------------------------------------------
+    def _dispatch(self, state: _BinState, entry: _BinCall, *, fresh: bool) -> None:
+        channel = state.channel
+        if channel is not None and not channel.closed:
+            rpc_id = channel.next_id
+            channel.next_id = rpc_id + 1
+            # Encode before registering: an unencodable request raises
+            # out of submit() without leaving a dangling pending entry.
+            message = wire.encode_request(rpc_id, entry.request)
+            entry.reused = not fresh
+            entry.rpc_id = rpc_id
+            if entry.timer is not None:  # leftover backlog timer
+                entry.timer.cancel()
+                entry.timer = None
+            channel.pending[rpc_id] = entry
+            loop = self._loop
+            if channel.sweep_timer is None:
+                channel.sweep_at = entry.deadline
+                channel.sweep_timer = loop.call_later(
+                    max(0.0, entry.deadline - loop.time()), self._sweep, channel
+                )
+            elif entry.deadline < channel.sweep_at:
+                channel.sweep_timer.cancel()
+                channel.sweep_at = entry.deadline
+                channel.sweep_timer = loop.call_later(
+                    max(0.0, entry.deadline - loop.time()), self._sweep, channel
+                )
+            if not self.coalesce:
+                # One frame and one write per logical op — the
+                # un-coalesced comparison point for the matrix.
+                frame = wire.pack_frame((message,), version=wire.VERSION)
+                channel.conn.write(frame)
+                self.flushes += 1
+                self.frames_sent += 1
+                self.coalesced_ops += 1
+                self.bytes_sent += len(frame)
+                return
+            channel.outbox.append(message)
+            if not channel.flush_scheduled:
+                channel.flush_scheduled = True
+                # End-of-iteration callback: every op submitted during
+                # this event-loop iteration joins the same frame.
+                loop.call_soon(self._flush, channel)
+            return
+        if entry.timer is None:
+            loop = self._loop
+            entry.timer = loop.call_later(
+                max(0.0, entry.deadline - loop.time()), self._expire, entry
+            )
+        state.backlog.append(entry)
+        if state.dial_task is None or state.dial_task.done():
+            state.dial_task = asyncio.ensure_future(
+                self._dial(entry.replica_id, state)
+            )
+
+    async def _dial(self, replica_id: int, state: _BinState) -> None:
+        # One-shot reconnect accounting, same convention as TcpTransport:
+        # re-dialing a replica whose previous channel died counts once.
+        if replica_id in self._ever_dialed:
+            self._ever_dialed.discard(replica_id)
+            self.reconnects += 1
+        host, port = self.addresses[replica_id]
+        channel = _BinChannel(self, replica_id, state)
+        try:
+            await self._loop.create_connection(lambda: channel, host, port)
+        except (ConnectionError, OSError) as exc:
+            backlog, state.backlog = state.backlog, []
+            for entry in backlog:
+                self._fail(entry, str(exc))
+            return
+        self._ever_dialed.add(replica_id)
+        state.channel = channel
+        # HELLO goes out first; requests pipeline behind it optimistically
+        # and die with the channel if the server rejects the version.
+        hello = wire.hello_frame()
+        channel.conn.write(hello)
+        self.bytes_sent += len(hello)
+        backlog, state.backlog = state.backlog, []
+        for entry in backlog:
+            if not entry.future.done():
+                self._dispatch(state, entry, fresh=True)
+
+    def _fail(self, entry: _BinCall, reason: str) -> None:
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        if not entry.future.done():
+            elapsed = (self._loop.time() - entry.start) * 1000.0
+            entry.future.set_exception(
+                ReplicaUnavailable(entry.replica_id, latency=elapsed, reason=reason)
+            )
+
+    def _expire(self, entry: _BinCall) -> None:
+        """Backlog deadline timer: the dial did not finish in time."""
+        entry.timer = None
+        if not entry.future.done():
+            entry.future.set_exception(
+                RequestTimeout(entry.replica_id, latency=entry.timeout)
+            )
+
+    def _sweep(self, channel: _BinChannel) -> None:
+        """Channel deadline sweep: one timer for every pending call.
+
+        Fires at the earliest pending deadline, fails whatever expired,
+        re-arms at the next one.  Completed calls leave ``pending``
+        immediately, so in the common case the sweep wakes rarely and
+        finds nothing — versus one ``call_later`` + ``cancel`` per RPC.
+        The late reply (if any) is dropped by rpc id in ``_on_data``.
+        """
+        channel.sweep_timer = None
+        if channel.closed:
+            return
+        loop = self._loop
+        now = loop.time()
+        expired: List[_BinCall] = []
+        next_deadline = 0.0
+        for entry in channel.pending.values():
+            if entry.deadline <= now:
+                expired.append(entry)
+            elif not next_deadline or entry.deadline < next_deadline:
+                next_deadline = entry.deadline
+        for entry in expired:
+            channel.pending.pop(entry.rpc_id, None)
+            if not entry.future.done():
+                entry.future.set_exception(
+                    RequestTimeout(entry.replica_id, latency=entry.timeout)
+                )
+        if next_deadline:
+            channel.sweep_at = next_deadline
+            channel.sweep_timer = loop.call_later(
+                next_deadline - now, self._sweep, channel
+            )
+
+    # ------------------------------------------------------------------
+    # Flush / receive
+    # ------------------------------------------------------------------
+    def _flush(self, channel: _BinChannel) -> None:
+        """Pack the outbox into coalesced frames, one write per burst.
+
+        Runs as a plain ``call_soon`` callback at the end of the loop
+        iteration that queued the first message — no flush task, and
+        every concurrent submitter in that iteration shares the frame.
+        """
+        channel.flush_scheduled = False
+        if channel.closed or channel.paused:
+            return
+        messages = channel.outbox
+        if not messages:
+            return
+        channel.outbox = []
+        frames = wire.pack_frames(messages, version=wire.VERSION)
+        data = frames[0] if len(frames) == 1 else b"".join(frames)
+        channel.conn.write(data)
+        self.flushes += 1
+        self.frames_sent += len(frames)
+        self.coalesced_ops += len(messages)
+        self.bytes_sent += len(data)
+
+    def _on_data(self, channel: _BinChannel, data: bytes) -> None:
+        """Connection callback: decode reply frames, resolve futures."""
+        self.bytes_received += len(data)
+        try:
+            frames = channel.decoder.feed(data)
+        except wire.WireError as exc:
+            self._teardown(channel.state, channel, str(exc))
+            return
+        loop = self._loop
+        pending = channel.pending
+        for version, flags, count, body in frames:
+            if flags & wire.FLAG_HELLO:
+                if not wire.MIN_VERSION <= version <= wire.VERSION:
+                    self._teardown(
+                        channel.state,
+                        channel,
+                        f"server rejected protocol (version {version})",
+                    )
+                    return
+                channel.version = version
+                continue
+            self.frames_received += 1
+            offset = 0
+            try:
+                for _ in range(count):
+                    rpc_id, payload, offset = wire.decode_response(body, offset)
+                    entry = pending.pop(rpc_id, None)
+                    # Unmatched ids are replies that already timed out: drop.
+                    if entry is None:
+                        continue
+                    if not entry.future.done():
+                        entry.future.set_result(
+                            Reply(payload, (loop.time() - entry.start) * 1000.0)
+                        )
+            except wire.WireError as exc:
+                self._teardown(channel.state, channel, str(exc))
+                return
+
+    def _teardown(
+        self,
+        state: _BinState,
+        channel: _BinChannel,
+        reason: str,
+        *,
+        allow_retry: bool = True,
+    ) -> None:
+        """Fail or re-queue every call pending on a dead channel.
+
+        Calls that were riding a *cached* channel get their one retry: a
+        fresh dial is kicked off and they go out again with new rpc ids.
+        Everything else fails with :class:`ReplicaUnavailable`.
+        """
+        if channel.closed:
+            return
+        channel.closed = True
+        if channel.sweep_timer is not None:
+            channel.sweep_timer.cancel()
+            channel.sweep_timer = None
+        if state.channel is channel:
+            state.channel = None
+        pending = list(channel.pending.values())
+        channel.pending.clear()
+        channel.outbox.clear()
+        retry: List[_BinCall] = []
+        for entry in pending:
+            if entry.future.done():
+                continue
+            if allow_retry and entry.reused and not entry.retried:
+                entry.retried = True
+                retry.append(entry)
+            else:
+                self._fail(entry, reason)
+        if retry:
+            state.backlog.extend(retry)
+            if state.dial_task is None or state.dial_task.done():
+                state.dial_task = asyncio.ensure_future(
+                    self._dial(retry[0].replica_id, state)
+                )
+        conn = channel.conn
+        if conn is not None:
+            try:
+                conn.close()
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+
+    async def close(self) -> None:
+        states = list(self._states.values())
+        self._states.clear()
+        tasks = [
+            state.dial_task
+            for state in states
+            if state.dial_task is not None and not state.dial_task.done()
+        ]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        for state in states:
+            backlog, state.backlog = state.backlog, []
+            for entry in backlog:
+                self._fail(entry, "transport closed")
+            if state.channel is not None:
+                self._teardown(
+                    state, state.channel, "transport closed", allow_retry=False
+                )
 
 
 class SerializedTcpTransport(Transport):

@@ -30,7 +30,12 @@ from repro.service.faults import (
     LatencyFault,
     Window,
 )
-from repro.service.transport import DEFAULT_TIMEOUT_MS, Reply, Transport
+from repro.service.transport import (
+    DEFAULT_TIMEOUT_MS,
+    Reply,
+    TcpTransport,
+    Transport,
+)
 from repro.systems import MajorityQuorumSystem
 
 
@@ -202,6 +207,46 @@ class TestHedgingUnderLatencySpikes:
         assert metrics.timeouts >= 1  # the spiked replica kept missing deadlines
         assert metrics.hedges_won >= 1
         assert metrics.fallbacks == 0
+
+    def test_latency_spiked_tcp_run_issues_hedges(self):
+        # Regression for the kvbench `hedging.issued: 0` bug: the
+        # deferred-hedge deadline was re-anchored to "now" on every
+        # straggler poll, so over real sockets — where polls are
+        # frequent — the timer receded forever and TCP hedged runs
+        # never issued a spare.  The deadline is anchored once per
+        # phase now; a spiked quorum member must trigger >= 1 hedge.
+        from repro.service import start_tcp_replicas
+
+        async def scenario():
+            system, strategy = pinned_system()
+            replicas = [Replica(i) for i in range(3)]
+            servers, addresses = await start_tcp_replicas(replicas)
+            schedule = FaultSchedule(
+                [LatencyFault(frozenset({1}), Window(0), extra=10_000.0)]
+            )
+            faulty = FaultyTransport(TcpTransport(addresses), schedule, seed=1)
+            coordinator = Coordinator(
+                system, faulty, strategy, seed=0,
+                hedge_spares=1, hedge_delay_ms=5.0,
+            )
+            try:
+                ack = await coordinator.write("k", "v")
+                assert ack.attempts == 1
+                result = await coordinator.read("k")
+                assert result.value == "v"
+                await coordinator.drain()
+            finally:
+                await faulty.close()
+                for server in servers:
+                    server.close()
+                for server in servers:
+                    await server.wait_closed()
+            return coordinator.metrics
+
+        metrics = asyncio.run(scenario())
+        assert metrics.hedges_issued >= 1
+        assert metrics.hedges_won >= 1
+        assert metrics.ops_failed == 0
 
     def test_chaos_invariants_hold_with_hedging_enabled(self):
         # The full chaos harness — crash epochs, latency spikes, drops,

@@ -1,0 +1,260 @@
+"""Tests for repro.service.wire: the binary wire protocol v2 codec.
+
+Covers the message codec (struct fast paths and the OP_JSON escape
+hatch), frame packing/splitting, the incremental decoder's handling of
+partial/oversized/garbage input, version negotiation, and the op-model
+parity contract that keeps the binary wire and the simulated transports
+speaking one op vocabulary.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.runtime.clock import VirtualClock, run_virtual
+from repro.service import Replica, SimTransport
+from repro.service import wire
+from repro.service.wire import (
+    FrameDecoder,
+    WireError,
+    assert_op_roundtrip,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    hello_frame,
+    negotiate,
+    pack_frame,
+    pack_frames,
+    roundtrip_request,
+    roundtrip_response,
+)
+
+#: One request per op kind, in canonical replica shape, plus the shapes
+#: that must fall back to the OP_JSON escape hatch.
+REQUESTS = [
+    {"op": "read", "key": "k0001"},
+    {"op": "read", "key": "clé-ünïcode-❤"},
+    {"op": "write", "key": "k", "value": "v", "counter": 3, "writer": 1},
+    {"op": "write", "key": "k", "value": None, "counter": 0, "writer": 0},
+    {"op": "write", "key": "k", "value": {"nested": [1, 2.5, None]},
+     "counter": -1, "writer": -1},
+    {"op": "repair", "key": "k", "value": [1, 2], "counter": 9, "writer": 4},
+    {"op": "ping"},
+    {"op": "keys"},
+    {"op": "join", "coordinator": 7, "ttl": 5000},
+    # Escape-hatch shapes: unknown op, extra fields, non-string key.
+    {"op": "snapshot", "since": 12},
+    {"op": "read", "key": "k", "hint": True},
+    {"op": "write", "key": 5, "value": "v", "counter": 1, "writer": 1},
+]
+
+RESPONSES = [
+    {"ok": True, "replica": 0, "value": "v", "counter": 3, "writer": 1},
+    {"ok": True, "replica": 2, "value": None, "counter": 0, "writer": -1},
+    {"ok": True, "replica": 1, "applied": True, "counter": 4, "writer": 2},
+    {"ok": True, "replica": 1, "applied": False, "counter": 9, "writer": 3},
+    {"ok": True, "replica": 3},
+    {"ok": True, "replica": 0, "granted": True, "ttl": 5000},
+    {"ok": True, "replica": 0, "keys": ["a", "b"]},
+    {"ok": False, "replica": 4, "error": "write needs key/counter/writer"},
+    {"ok": False, "error": "bad json: boom"},  # no replica field at all
+]
+
+
+class TestMessageCodec:
+    @pytest.mark.parametrize("request_dict", REQUESTS, ids=repr)
+    def test_request_round_trips_byte_exactly(self, request_dict):
+        assert roundtrip_request(request_dict) == request_dict
+
+    @pytest.mark.parametrize("payload", RESPONSES, ids=repr)
+    def test_response_round_trips_byte_exactly(self, payload):
+        assert roundtrip_response(payload) == payload
+
+    def test_rpc_ids_survive_and_address_the_message(self):
+        for rpc_id in (0, 1, 0xFFFF_FFFF):
+            encoded = encode_request(rpc_id, {"op": "ping"})
+            decoded_id, _, _ = decode_request(memoryview(encoded), 0)
+            assert decoded_id == rpc_id
+            encoded = encode_response(rpc_id, {"ok": True, "replica": 0})
+            decoded_id, _, _ = decode_response(memoryview(encoded), 0)
+            assert decoded_id == rpc_id
+
+    def test_hot_ops_avoid_the_json_escape_hatch(self):
+        # The fast path matters for perf: canonical shapes must NOT be
+        # tagged OP_JSON (byte 4 is the op kind in every message).
+        for request_dict, kind in [
+            ({"op": "read", "key": "k"}, 1),
+            ({"op": "write", "key": "k", "value": 1, "counter": 1, "writer": 1}, 2),
+            ({"op": "ping"}, 5),
+        ]:
+            assert encode_request(0, request_dict)[4] == kind
+        assert encode_request(0, {"op": "snapshot"})[4] == wire.OP_JSON
+
+    def test_messages_concatenate_and_decode_sequentially(self):
+        blob = b"".join(encode_request(i, req) for i, req in enumerate(REQUESTS))
+        view = memoryview(blob)
+        offset = 0
+        for expected_id, expected in enumerate(REQUESTS):
+            rpc_id, decoded, offset = decode_request(view, offset)
+            assert rpc_id == expected_id
+            assert decoded == expected
+        assert offset == len(blob)
+
+    def test_truncated_message_raises_wire_error(self):
+        encoded = encode_request(
+            1, {"op": "write", "key": "k", "value": "v", "counter": 1, "writer": 1}
+        )
+        with pytest.raises(WireError):
+            decode_request(memoryview(encoded[: len(encoded) - 1]), 0)
+
+    def test_unknown_op_kind_raises_wire_error(self):
+        bogus = bytes([0, 0, 0, 1, 200]) + b"x" * 8
+        with pytest.raises(WireError):
+            decode_request(memoryview(bogus), 0)
+
+
+class TestFrames:
+    def test_pack_frame_round_trips_through_the_decoder(self):
+        messages = [encode_request(i, req) for i, req in enumerate(REQUESTS)]
+        frame = pack_frame(messages)
+        decoder = FrameDecoder()
+        frames = decoder.feed(frame)
+        assert len(frames) == 1
+        version, flags, count, body = frames[0]
+        assert version == wire.VERSION
+        assert flags == 0
+        assert count == len(messages)
+        assert bytes(body) == b"".join(messages)
+
+    def test_partial_frame_across_many_reads(self):
+        # Satellite: a frame split at every possible byte boundary must
+        # decode once complete — header split anywhere, body anywhere.
+        messages = [encode_request(7, {"op": "read", "key": "k"})]
+        frame = pack_frame(messages)
+        decoder = FrameDecoder()
+        for boundary in range(1, len(frame)):
+            assert decoder.feed(frame[:boundary]) == []
+            assert decoder.pending_bytes == boundary
+            frames = decoder.feed(frame[boundary:])
+            assert len(frames) == 1
+            assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_feed_yields_every_frame(self):
+        frame = pack_frame([encode_request(1, {"op": "ping"})]) * 3
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(frame)):
+            collected.extend(decoder.feed(frame[i : i + 1]))
+        assert len(collected) == 3
+        assert decoder.frames_decoded == 3
+
+    def test_multiple_frames_in_one_read(self):
+        frames_in = [pack_frame([encode_request(i, {"op": "ping"})]) for i in range(4)]
+        decoder = FrameDecoder()
+        assert len(decoder.feed(b"".join(frames_in))) == 4
+
+    def test_oversized_frame_is_rejected(self):
+        header = wire.HEADER.pack(
+            wire.MAGIC, wire.VERSION, 0, wire.MAX_FRAME_BYTES + 1, 1
+        )
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="oversized"):
+            decoder.feed(header)
+
+    def test_garbage_magic_is_rejected_not_buffered(self):
+        decoder = FrameDecoder()
+        with pytest.raises(WireError, match="magic"):
+            decoder.feed(b"GET / HTTP/1.1\r\n")
+
+    def test_pack_frame_refuses_bodies_over_the_cap(self):
+        big = b"x" * (wire.MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError):
+            pack_frame([big])
+
+    def test_pack_frames_splits_at_the_body_cap(self, monkeypatch):
+        message = encode_request(0, {"op": "read", "key": "k" * 10})
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", len(message) * 2)
+        frames = pack_frames([message] * 5)
+        assert len(frames) == 3  # 2 + 2 + 1
+        decoder = FrameDecoder()
+        counts = [count for _, _, count, _ in decoder.feed(b"".join(frames))]
+        assert counts == [2, 2, 1]
+
+    def test_pack_frames_refuses_one_message_over_the_cap(self, monkeypatch):
+        message = encode_request(0, {"op": "read", "key": "k" * 64})
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", len(message) - 1)
+        with pytest.raises(WireError):
+            pack_frames([message])
+
+
+class TestNegotiation:
+    def test_hello_frame_shape(self):
+        frame = hello_frame()
+        decoder = FrameDecoder()
+        ((version, flags, count, body),) = decoder.feed(frame)
+        assert version == wire.VERSION
+        assert flags & wire.FLAG_HELLO
+        assert count == 0
+        assert bytes(body) == bytes([wire.MIN_VERSION, wire.VERSION])
+
+    def test_negotiate_picks_highest_common_version(self):
+        assert negotiate(wire.MIN_VERSION, wire.VERSION) == wire.VERSION
+        assert negotiate(1, wire.VERSION + 5) == wire.VERSION
+
+    def test_negotiate_rejects_disjoint_ranges(self):
+        assert negotiate(wire.VERSION + 1, wire.VERSION + 3) == 0
+        assert negotiate(0, wire.MIN_VERSION - 1) == 0
+
+
+class TestOpModelParity:
+    def test_assert_op_roundtrip_accepts_the_live_vocabulary(self):
+        replica = Replica(0)
+        for request_dict in REQUESTS:
+            payload = replica.handle(dict(request_dict))
+            assert_op_roundtrip(request_dict, payload)
+
+    def test_assert_op_roundtrip_raises_on_drift(self):
+        # Tuples don't survive JSON — exactly the drift the check exists
+        # to catch before it reaches a socket.
+        with pytest.raises(ServiceError, match="drift"):
+            assert_op_roundtrip({"op": "probe", "at": (1, 2)}, {"ok": True})
+
+    def test_sim_transport_wire_check_is_invisible_to_results(self):
+        def run(wire_check):
+            clock = VirtualClock()
+            transport = SimTransport(
+                [Replica(i) for i in range(3)],
+                clock=clock,
+                seed=5,
+                wire_check=wire_check,
+            )
+
+            async def scenario():
+                out = []
+                for i in range(20):
+                    await transport.call(
+                        i % 3,
+                        {"op": "write", "key": f"k{i % 4}", "value": i,
+                         "counter": i, "writer": 0},
+                    )
+                    reply = await transport.call(i % 3, {"op": "read", "key": f"k{i % 4}"})
+                    out.append((reply.payload, reply.latency))
+                return out
+
+            return run_virtual(scenario(), clock=clock)
+
+        assert run(wire_check=True) == run(wire_check=False)
+
+    def test_sim_transport_wire_check_catches_non_wire_ops(self):
+        clock = VirtualClock()
+        transport = SimTransport(
+            [Replica(0)], clock=clock, seed=0, wire_check=True
+        )
+
+        async def scenario():
+            await transport.call(0, {"op": "read", "key": "k", "extra": {1, 2}})
+
+        with pytest.raises((ServiceError, TypeError)):
+            run_virtual(scenario(), clock=clock)
