@@ -31,7 +31,18 @@ plus two scaling studies:
 * ``shard_scaling`` runs the same seeded zipf workload through
   ``repro.sharding`` at 1 and 8 shards under virtual time with
   finite-capacity replicas, and records the speedup (gated at >= 2x —
-  the whole point of partitioning the namespace).
+  the whole point of partitioning the namespace);
+* the **read/write capacity matrix** — read fraction (0.5, 0.9, 0.99)
+  × family (grid, h-grid, h-T-grid, h-triangle) under virtual time
+  with finite-capacity FIFO replicas, each cell served once by the
+  unified write-legal LP optimum and once by the read/write capacity
+  LP's split strategy pair.  Two hard gates (deterministic — virtual
+  time, so they hold in ``--quick`` too): the split path at read
+  fraction >= 0.9 must be >= 1.3x the unified baseline on at least two
+  families, and every observed split throughput must land within 25%
+  of its LP-predicted capacity.  (The hierarchical triangle is
+  honestly ~1.0x: it is self-dual, so its read quorums are no smaller
+  than its write quorums — recorded, not gated.)
 
 Writes ``BENCH_service.json`` (ops/s, latency percentiles, bytes on
 the wire, ops-per-frame coalescing ratios, hedge statistics, the
@@ -98,6 +109,13 @@ FAULT_FREE = tuple(name for name in SCENARIOS if "faults" not in name)
 WIRE_SYSTEMS = ("majority:5", "htriang:15")
 WIRE_PROTOCOLS = ("json", "binary", "binary_nocoalesce")
 WIRE_WORKERS = (0, 1, 2)
+
+#: read/write capacity-matrix axes and gates
+RW_SYSTEMS = ("grid:4x4", "hgrid:4x4", "htgrid:4x4", "htriang:15")
+RW_FRACTIONS = (0.5, 0.9, 0.99)
+RW_SPEEDUP_FLOOR = 1.3  # split vs unified at read fraction >= 0.9
+RW_SPEEDUP_FAMILIES = 2  # ... on at least this many families
+RW_TOLERANCE = 0.25  # |observed/predicted - 1| ceiling for split runs
 
 
 def summarize(report: BenchmarkReport) -> Dict[str, Any]:
@@ -265,6 +283,125 @@ def run_wire_matrix(
     return matrix, hard_failures, notes
 
 
+# ----------------------------------------------------------------------
+# Read/write capacity matrix: split strategy pair vs unified optimum
+# ----------------------------------------------------------------------
+def run_capacity_matrix(
+    systems, fractions, seed: int, ops: int
+) -> Tuple[Dict[str, Any], List[str], List[str]]:
+    """Virtual-time saturation throughput, split vs unified, plus gates.
+
+    Every cell is deterministic per seed (virtual clock, seeded
+    latencies), so both gates are hard even on shared CI runners.
+    """
+    from repro.service import run_capacity_benchmark
+
+    matrix: Dict[str, Any] = {
+        "workload": "closed-loop zipf KV ops, finite-capacity FIFO replicas",
+        "ops": ops,
+        "seed": seed,
+        "fractions": list(fractions),
+        "speedup_floor": RW_SPEEDUP_FLOOR,
+        "tolerance": RW_TOLERANCE,
+        "systems": {},
+    }
+    hard_failures: List[str] = []
+    notes: List[str] = []
+    families_passing = []
+    for spec in systems:
+        system = build_system(spec)
+        per_spec: Dict[str, Any] = {}
+        best_high_fraction_speedup = 0.0
+        for fraction in fractions:
+            unified = run_capacity_benchmark(
+                system, read_write=False, read_fraction=fraction,
+                seed=seed, ops=ops,
+            )
+            split = run_capacity_benchmark(
+                system, read_write=True, read_fraction=fraction,
+                seed=seed, ops=ops,
+            )
+            speedup = (
+                split["observed_ops_per_sec"] / unified["observed_ops_per_sec"]
+                if unified["observed_ops_per_sec"] > 0
+                else 0.0
+            )
+            cell = {
+                "unified": {
+                    "observed_ops_per_sec": round(
+                        unified["observed_ops_per_sec"], 1
+                    ),
+                    "predicted_ops_per_sec": round(
+                        unified["predicted_ops_per_sec"], 1
+                    ),
+                    "observed_over_predicted": round(
+                        unified["observed_over_predicted"], 3
+                    ),
+                    "failed": unified["ops_failed"],
+                },
+                "read_write": {
+                    "observed_ops_per_sec": round(
+                        split["observed_ops_per_sec"], 1
+                    ),
+                    "predicted_ops_per_sec": round(
+                        split["predicted_ops_per_sec"], 1
+                    ),
+                    "observed_over_predicted": round(
+                        split["observed_over_predicted"], 3
+                    ),
+                    "lp_load": round(split["lp_load"], 4),
+                    "failed": split["ops_failed"],
+                },
+                "split_vs_unified": round(speedup, 2),
+            }
+            per_spec[f"{fraction:g}"] = cell
+            print(
+                f"{spec:>12} rw fraction={fraction:<5g}"
+                f" split {split['observed_ops_per_sec']:>7.1f} ops/vs"
+                f" (pred {split['predicted_ops_per_sec']:.1f})"
+                f"  unified {unified['observed_ops_per_sec']:>7.1f}"
+                f"  speedup {speedup:.2f}x"
+            )
+            ratio = split["observed_over_predicted"]
+            if abs(ratio - 1.0) > RW_TOLERANCE:
+                hard_failures.append(
+                    f"capacity_matrix {spec}@{fraction:g}: observed/predicted"
+                    f" {ratio:.3f} outside 1±{RW_TOLERANCE:g}"
+                )
+            if split["ops_failed"] or unified["ops_failed"]:
+                hard_failures.append(
+                    f"capacity_matrix {spec}@{fraction:g}: dropped ops"
+                    f" (split {split['ops_failed']},"
+                    f" unified {unified['ops_failed']})"
+                )
+            if fraction >= 0.9:
+                best_high_fraction_speedup = max(
+                    best_high_fraction_speedup, speedup
+                )
+        per_spec["best_speedup_at_0.9plus"] = round(
+            best_high_fraction_speedup, 2
+        )
+        if best_high_fraction_speedup >= RW_SPEEDUP_FLOOR:
+            families_passing.append(spec)
+        matrix["systems"][spec] = per_spec
+    matrix["gates"] = {
+        "families_above_floor": families_passing,
+        "speedup_gate": len(families_passing) >= RW_SPEEDUP_FAMILIES,
+    }
+    if len(families_passing) < RW_SPEEDUP_FAMILIES:
+        hard_failures.append(
+            f"capacity_matrix: only {families_passing} reached"
+            f" {RW_SPEEDUP_FLOOR:g}x over unified at read fraction >= 0.9"
+            f" (need {RW_SPEEDUP_FAMILIES} families)"
+        )
+    else:
+        print(
+            f"{'':>12} rw gate: {len(families_passing)} families >="
+            f" {RW_SPEEDUP_FLOOR:g}x at 0.9+ ({', '.join(families_passing)})"
+        )
+    return matrix, hard_failures, notes
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_service.json")
@@ -399,6 +536,15 @@ def main() -> int:
         failures.append(
             f"shard_scaling: speedup {scaling['speedup']:.2f}x < 2x floor"
         )
+
+    # Read/write capacity matrix: deterministic virtual-time gates, so
+    # they stay hard in --quick (only the op count shrinks).
+    capacity_matrix, capacity_failures, capacity_notes = run_capacity_matrix(
+        RW_SYSTEMS, RW_FRACTIONS, args.seed, 400 if args.quick else 600
+    )
+    results["capacity_matrix"] = capacity_matrix
+    failures.extend(capacity_failures)
+    warnings.extend(capacity_notes)
 
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)

@@ -59,10 +59,23 @@ from .lattice import (
     solve as solve_connectivity,
     uniform_survival,
 )
+from .capacity import (
+    CapacityResult,
+    read_quorums_of,
+    read_write_capacity,
+)
+
+# Importing the capacity submodule above rebinds the package attribute
+# ``capacity`` to the module; restore the Prop. 3.2 capacity *function*
+# under its long-standing public name (the LP module stays importable as
+# ``repro.analysis.capacity``).
+from .bounds import capacity
+
 from .load import (
     load_lower_bound,
     load_lower_bounds,
     optimal_strategy,
+    read_write_optimal,
     system_load,
     verify_load_bounds,
 )
@@ -79,7 +92,11 @@ from .rare import RareEventEstimate, failure_probability_rare
 from .shannon import availability_shannon, failure_probability_shannon
 
 __all__ = [
+    "CapacityResult",
     "FailureAwareSelector",
+    "read_quorums_of",
+    "read_write_capacity",
+    "read_write_optimal",
     "MAX_EXHAUSTIVE_N",
     "availability_with_selector",
     "boost",

@@ -47,6 +47,13 @@ def optimal_strategy(
 ) -> Strategy:
     """Load-minimising strategy over the given support via linear programming.
 
+    This optimises the *unified* (write-legal) load: every operation —
+    read or write — draws from one distribution over full quorums of the
+    system, which is what Definition 3.4's ``L(S)`` measures.  Workloads
+    that are mostly reads can do strictly better by serving reads from
+    the smaller read-quorum family; use :func:`read_write_optimal` (the
+    capacity LP of :mod:`repro.analysis.capacity`) for that split.
+
     Parameters
     ----------
     system:
@@ -87,6 +94,21 @@ def optimal_strategy(
     weights = np.clip(result.x[:m], 0.0, None)
     weights /= weights.sum()
     return Strategy(system, support, weights)
+
+
+def read_write_optimal(system: QuorumSystem, **kwargs):
+    """Throughput-optimal read/write strategy pair for a mixed workload.
+
+    Convenience façade over the capacity LP: accepts the same keyword
+    arguments as :func:`repro.analysis.capacity.read_write_capacity`
+    (``read_fraction``, per-node capacities, ``f``, ``min_intersection``)
+    and returns the optimal
+    :class:`~repro.core.rwstrategy.ReadWriteStrategy`.  Use the capacity
+    module directly when the predicted capacity itself is needed.
+    """
+    from .capacity import read_write_capacity
+
+    return read_write_capacity(system, **kwargs).strategy
 
 
 def system_load(

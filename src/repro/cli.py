@@ -285,6 +285,7 @@ def _cmd_kvbench_sharded(args: argparse.Namespace) -> None:
             clients=args.clients,
             service_time_ms=args.service_time_ms,
             timeout=args.timeout,
+            read_write=args.read_write,
         )
     except ServiceError as exc:
         raise SystemExit(f"kvbench failed: {exc}")
@@ -329,7 +330,6 @@ def _cmd_kvbench_sharded(args: argparse.Namespace) -> None:
 def _cmd_kvbench(args: argparse.Namespace) -> None:
     import json as json_module
 
-    from .analysis.load import optimal_strategy
     from .core.errors import ServiceError
     from .service import TcpTransport, WorkloadConfig, run_kv_benchmark
 
@@ -339,7 +339,6 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
         _cmd_kvbench_sharded(args)
         return
     system = build_system(args.system)
-    strategy = optimal_strategy(system)
     transport = None
     if args.tcp and args.tcp_local:
         raise SystemExit("--tcp and --tcp-local are mutually exclusive")
@@ -374,7 +373,7 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
         report = run_kv_benchmark(
             system,
             seed=args.seed,
-            strategy=strategy,
+            read_write=args.read_write,
             transport=transport,
             config=config,
             tcp_local=args.tcp_local,
@@ -422,7 +421,22 @@ def _cmd_kvbench(args: argparse.Namespace) -> None:
                 f" {wire['ops_per_frame']:.2f} ops/frame,"
                 f" {wire['bytes_per_op']:.1f} B/op"
             )
-    print(f"strategy load : {report.lp_load:.4f} (LP-optimal, Def. 3.4)")
+    if report.read_write:
+        print(
+            f"strategy load : {report.lp_load:.4f} (read/write capacity LP"
+            f" at read fraction {config.read_fraction:g})"
+        )
+    else:
+        print(f"strategy load : {report.lp_load:.4f} (LP-optimal, Def. 3.4)")
+    predicted_cap = (
+        f"{report.predicted_capacity:.2f}x one replica's service rate"
+        if report.predicted_capacity
+        else "n/a"
+    )
+    print(
+        f"throughput    : observed {report.ops_per_second:,.0f} ops/s,"
+        f" LP-predicted capacity {predicted_cap}"
+    )
     print(
         f"workload      : {ops['attempted']} ops, clients={config.clients},"
         f" read fraction={config.read_fraction:g}, key skew={config.skew:g},"
@@ -554,6 +568,7 @@ def _cmd_chaos(args: argparse.Namespace) -> None:
             byzantine_liars=args.liars,
             byzantine_mode=args.byzantine_mode,
             lease_ttl=args.lease_ttl,
+            read_write=args.read_write,
         )
         config.validate()
     except ServiceError as exc:
@@ -940,6 +955,12 @@ def main(argv: List[str] = None) -> None:
                          help="install uvloop for the client loop and any"
                               " worker processes (no-op without the"
                               " repro[perf] extra)")
+    p_bench.add_argument("--read-write", action="store_true",
+                         help="serve reads from the read/write capacity LP's"
+                              " read-quorum distribution (optimized at"
+                              " --read-fraction) instead of the unified"
+                              " write-legal strategy; with --shards, every"
+                              " shard solves its own LP")
     p_bench.add_argument("--hedge-spares", type=int, default=0,
                          help="spare replicas contacted beyond each quorum"
                               " (first candidate quorum to fully ack wins)")
@@ -981,6 +1002,12 @@ def main(argv: List[str] = None) -> None:
                          help="per-request deadline in ms")
     p_chaos.add_argument("--partitions", type=int, default=1,
                          help="random partition windows in the schedule")
+    p_chaos.add_argument("--read-write", action="store_true",
+                         help="serve reads from the capacity LP's read-quorum"
+                              " family (small read quorums) — the safety"
+                              " invariants must hold over the split path too;"
+                              " composes with --byzantine (2B+1-deep"
+                              " read/write intersections)")
     p_chaos.add_argument("--no-degraded-reads", action="store_true",
                          help="fail reads outright instead of serving"
                               " best-effort stale results")

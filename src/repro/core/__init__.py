@@ -32,6 +32,7 @@ from .serialization import (
     system_from_dict,
     system_to_dict,
 )
+from .rwstrategy import ReadWriteStrategy
 from .sampling import AliasTable
 from .strategy import Strategy, balanced_strategy_over
 from .universe import Universe
@@ -47,6 +48,7 @@ __all__ = [
     "KCoterie",
     "ProtocolError",
     "Quorum",
+    "ReadWriteStrategy",
     "QuorumError",
     "QuorumSystem",
     "SimulationError",

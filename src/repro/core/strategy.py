@@ -41,6 +41,14 @@ class Strategy:
         The support of the distribution.
     weights:
         Probabilities, same length as ``quorums``; must sum to 1.
+    validate_quorums:
+        When ``True`` (default) every support set must contain a minimal
+        quorum of the system.  Read-side distributions of a
+        :class:`~repro.core.rwstrategy.ReadWriteStrategy` set this to
+        ``False``: read quorums (row covers, hierarchical covers) are
+        deliberately *not* quorums of the combined system — their only
+        obligation is to intersect every write quorum, which the
+        read/write pair validates instead.
     """
 
     def __init__(
@@ -48,6 +56,8 @@ class Strategy:
         system: QuorumSystem,
         quorums: Sequence[Iterable[int]],
         weights: Sequence[float],
+        *,
+        validate_quorums: bool = True,
     ) -> None:
         if len(quorums) != len(weights):
             raise StrategyError(
@@ -62,11 +72,13 @@ class Strategy:
         total = float(weight_array.sum())
         if not math.isclose(total, 1.0, abs_tol=1e-6):
             raise StrategyError(f"strategy weights sum to {total}, expected 1")
-        for quorum in frozen:
-            if not system.contains_quorum(quorum):
-                raise StrategyError(
-                    f"support set {sorted(quorum)} is not a quorum of the system"
-                )
+        if validate_quorums:
+            for quorum in frozen:
+                if not system.contains_quorum(quorum):
+                    raise StrategyError(
+                        f"support set {sorted(quorum)} is not a quorum of the system"
+                    )
+        self._validate_quorums = validate_quorums
         self._system = system
         self._quorums: Tuple[Quorum, ...] = tuple(frozen)
         self._weights = weight_array / total
@@ -287,12 +299,16 @@ class Strategy:
         if total <= _PROBABILITY_TOLERANCE:
             uniform = 1.0 / len(kept)
             return Strategy(
-                self._system, [q for q, _ in kept], [uniform] * len(kept)
+                self._system,
+                [q for q, _ in kept],
+                [uniform] * len(kept),
+                validate_quorums=self._validate_quorums,
             )
         return Strategy(
             self._system,
             [q for q, _ in kept],
             [w / total for _, w in kept],
+            validate_quorums=self._validate_quorums,
         )
 
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ from .loadgen import (
     build_schedule,
     key_weights,
     make_replicas,
+    run_capacity_benchmark,
     run_kv_benchmark,
     run_workload,
 )
@@ -114,6 +115,7 @@ __all__ = [
     "key_weights",
     "make_replicas",
     "run_chaos",
+    "run_capacity_benchmark",
     "run_kv_benchmark",
     "run_workload",
     "split_brain_schedule",

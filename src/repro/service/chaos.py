@@ -79,6 +79,7 @@ import numpy as np
 from ..analysis.availability import availability_comparison
 from ..core.errors import ServiceError
 from ..core.quorum_system import QuorumSystem
+from ..core.rwstrategy import PathStrategy
 from ..core.strategy import Strategy
 from ..runtime.clock import Clock, VirtualClock, WallClock, run_virtual
 from ..runtime.rng import RngStreams
@@ -130,6 +131,7 @@ class ChaosConfig:
     byzantine_liars: int = 0  # replicas turned into lying (Byzantine) faults
     byzantine_mode: str = "wrong_value"  # lie flavour, see BYZANTINE_MODES
     lease_ttl: int = 0  # quorum-lease lifetime in ops (0 = leases off)
+    read_write: bool = False  # serve reads from the capacity-LP read family
 
     def validate(self) -> None:
         if self.ops < 1:
@@ -262,7 +264,7 @@ def run_chaos(
     seed: int = 0,
     config: Optional[ChaosConfig] = None,
     schedule: Optional[FaultSchedule] = None,
-    strategy: Optional[Strategy] = None,
+    strategy: Optional[PathStrategy] = None,
     mode: str = "inprocess",
 ) -> ChaosReport:
     """Run one seeded chaos scenario and check every safety invariant.
@@ -284,9 +286,25 @@ def run_chaos(
         config = ChaosConfig()
     config.validate()
     if strategy is None:
-        from ..analysis.load import optimal_strategy
+        if config.read_write:
+            # Split serving path under faults: reads come from the LP's
+            # read-quorum family (small quorums!), writes from the
+            # matched write family — the invariants below must hold
+            # regardless.  Voted reads need 2b+1-deep intersections, so
+            # the LP is constrained accordingly; when no read family is
+            # deep enough, read_write_capacity itself falls back to
+            # splitting over the write family (unified_read_fallback).
+            from ..analysis.capacity import read_write_capacity
 
-        strategy = optimal_strategy(system)
+            strategy = read_write_capacity(
+                system,
+                read_fraction=config.read_fraction,
+                min_intersection=2 * config.byzantine_b + 1,
+            ).strategy
+        else:
+            from ..analysis.load import optimal_strategy
+
+            strategy = optimal_strategy(system)
 
     streams = RngStreams(seed)
     ids = sorted(system.universe.ids)

@@ -87,6 +87,7 @@ import numpy as np
 
 from ..core.errors import AnalysisError, ServiceError
 from ..core.quorum_system import Quorum, QuorumSystem
+from ..core.rwstrategy import ReadWriteStrategy
 from ..core.strategy import Strategy
 from .metrics import ServiceMetrics
 from .replica import NULL_TIMESTAMP
@@ -157,7 +158,13 @@ class Coordinator:
     strategy:
         Quorum-picking distribution; defaults to the LP-optimal strategy
         from :mod:`repro.analysis.load`, i.e. the system served at its
-        analytic load ``L(S)``.
+        analytic load ``L(S)``.  A plain :class:`Strategy` serves every
+        operation from one distribution (the unified path); a
+        :class:`~repro.core.rwstrategy.ReadWriteStrategy` routes reads
+        through its read distribution and writes / repairs / transfers
+        through its write distribution — plain strategies are
+        auto-lifted to a degenerate pair, so behaviour is unchanged
+        unless a split pair is passed explicitly.
     coordinator_id:
         Tie-breaker in write timestamps; give every concurrent client a
         distinct id.
@@ -281,7 +288,16 @@ class Coordinator:
             strategy = optimal_strategy(system)
         if strategy.system is not system:
             raise ServiceError("strategy belongs to a different system")
-        self.strategy = strategy
+        # Reads and writes may draw from different quorum families
+        # (2-intersecting read/write pairs); plain strategies become the
+        # degenerate pair whose two paths share one distribution.
+        self.rw_strategy = ReadWriteStrategy.lift(strategy)
+        #: Write-path distribution; for lifted plain strategies this is
+        #: the strategy originally passed in (back-compat alias).
+        self.strategy = self.rw_strategy.writes
+        #: Read-path distribution (same object as ``strategy`` unless a
+        #: split pair was configured).
+        self.read_strategy = self.rw_strategy.reads
         self.coordinator_id = coordinator_id
         self.rng = np.random.default_rng(seed)
         self.timeout = timeout
@@ -307,6 +323,20 @@ class Coordinator:
                 validate_masking(system, byzantine_b)
             except AnalysisError as exc:
                 raise ServiceError(str(exc)) from None
+            if self.rw_strategy.is_split:
+                # Voted reads must out-vote b liars inside the overlap
+                # with the newest write quorum: every read/write support
+                # pair needs at least 2b+1 common members (which also
+                # forces read quorums of size >= 2b+1).
+                needed = 2 * byzantine_b + 1
+                depth = self.rw_strategy.min_read_write_intersection()
+                if depth < needed:
+                    raise ServiceError(
+                        f"split read path is too shallow for b={byzantine_b}"
+                        f" masking reads: min |R ∩ W| = {depth} < {needed};"
+                        " use read_write_capacity(min_intersection="
+                        f"{needed}) to build a maskable pair"
+                    )
         self.metrics = metrics if metrics is not None else ServiceMetrics(system.n)
         self._clock = 0
         self._ops_issued = 0
@@ -316,12 +346,17 @@ class Coordinator:
         # replica id -> {key: (counter, writer, value)} pending handoffs
         self._hints: Dict[int, Dict[str, Tuple[int, int, Any]]] = {}
         self._replaying = False  # reentrancy guard for _replay_hints
-        # Hot-path caches: quorum -> sorted member tuple, blocked set ->
-        # restricted strategy (or None), quorum -> hedge plan.
+        # Hot-path caches: quorum -> sorted member tuple, (path, blocked
+        # set) -> restricted strategy (or None), (path, quorum) -> hedge
+        # plan.  Caches are path-keyed because a split pair restricts
+        # and hedges each distribution independently; unsplit pairs
+        # canonicalise both paths to "write" so nothing is computed
+        # twice.
         self._members_cache: Dict[Quorum, Tuple[int, ...]] = {}
-        self._avoiding_cache: Dict[frozenset, Optional[Strategy]] = {}
+        self._avoiding_cache: Dict[Tuple[str, frozenset], Optional[Strategy]] = {}
         self._hedge_plans: Dict[
-            Quorum, Tuple[Tuple[int, ...], Tuple[Tuple[Quorum, Tuple[int, ...]], ...]]
+            Tuple[str, Quorum],
+            Tuple[Tuple[int, ...], Tuple[Tuple[Quorum, Tuple[int, ...]], ...]],
         ] = {}
         # In-flight absorbed stragglers (hedged phases that already won).
         self._stragglers: set = set()
@@ -505,22 +540,32 @@ class Coordinator:
             self._members_cache[quorum] = members
         return members
 
-    def _avoiding_strategy(self, blocked: frozenset) -> Optional[Strategy]:
-        """Memoised ``strategy.avoiding(blocked)`` — renormalising the
-        distribution is O(support), far too slow to redo per operation
+    def _path_for(self, path: str) -> str:
+        """Canonical path key: unsplit pairs collapse reads onto "write"."""
+        return path if path == "read" and self.rw_strategy.is_split else "write"
+
+    def _strategy_for(self, path: str) -> Strategy:
+        return self.read_strategy if path == "read" else self.strategy
+
+    def _avoiding_strategy(self, path: str, blocked: frozenset) -> Optional[Strategy]:
+        """Memoised ``strategy.avoiding(blocked)`` per path — renormalising
+        the distribution is O(support), far too slow to redo per operation
         while the same replicas stay suspected."""
-        if blocked in self._avoiding_cache:
-            return self._avoiding_cache[blocked]
+        cache_key = (path, blocked)
+        if cache_key in self._avoiding_cache:
+            return self._avoiding_cache[cache_key]
         if len(self._avoiding_cache) >= self._AVOIDING_CACHE_LIMIT:
             self._avoiding_cache.clear()
-        restricted = self.strategy.avoiding(blocked)
-        self._avoiding_cache[blocked] = restricted
+        restricted = self._strategy_for(path).avoiding(blocked)
+        self._avoiding_cache[cache_key] = restricted
         return restricted
 
-    def _pick_quorum(self) -> Quorum:
+    def _pick_quorum(self, path: str) -> Quorum:
+        path = self._path_for(path)
+        strategy = self._strategy_for(path)
         blocked = self._blocked_replicas()
         if blocked:
-            restricted = self._avoiding_strategy(blocked)
+            restricted = self._avoiding_strategy(path, blocked)
             if restricted is not None:
                 return restricted.quorums[restricted.sample_index(self.rng)]
             # Every quorum touches a blocked replica: optimistically forget
@@ -529,29 +574,32 @@ class Coordinator:
             self._suspected.clear()
             self._breaker_fails.clear()
             self._breaker_open_until.clear()
-        return self.strategy.quorums[self.strategy.sample_index(self.rng)]
+        return strategy.quorums[strategy.sample_index(self.rng)]
 
     def _hedge_plan(
-        self, primary: Quorum
+        self, path: str, primary: Quorum
     ) -> Tuple[Tuple[int, ...], Tuple[Tuple[Quorum, Tuple[int, ...]], ...]]:
         """Spares to contact and candidate quorums for a primary quorum.
 
         Spares are the first ``hedge_spares`` replicas outside the primary
-        encountered walking the strategy's ranked quorums, so they belong
+        encountered walking the path's ranked quorums, so they belong
         to the most probable alternatives.  Candidates are the primary
-        first, then every other support quorum contained in
-        primary ∪ spares — the sets that can win the phase.
+        first, then every other support quorum of the same path contained
+        in primary ∪ spares — the sets that can win the phase.
         """
-        plan = self._hedge_plans.get(primary)
+        path = self._path_for(path)
+        cache_key = (path, primary)
+        plan = self._hedge_plans.get(cache_key)
         if plan is not None:
             return plan
+        strategy = self._strategy_for(path)
         spares: List[int] = []
         candidates: List[Tuple[Quorum, Tuple[int, ...]]] = [
             (primary, self._members_for(primary))
         ]
         if self.hedge_spares > 0:
-            order = self.strategy.ranked_order()
-            all_members = self.strategy.quorum_members()
+            order = strategy.ranked_order()
+            all_members = strategy.quorum_members()
             for index in order:
                 for rid in all_members[index]:
                     if rid not in primary and rid not in spares:
@@ -562,11 +610,11 @@ class Coordinator:
                     break
             contacted = primary | frozenset(spares)
             for index in order:
-                quorum = self.strategy.quorums[index]
+                quorum = strategy.quorums[index]
                 if quorum != primary and quorum <= contacted:
                     candidates.append((quorum, all_members[index]))
         plan = (tuple(spares), tuple(candidates))
-        self._hedge_plans[primary] = plan
+        self._hedge_plans[cache_key] = plan
         return plan
 
     def _absorb_straggler(
@@ -714,6 +762,7 @@ class Coordinator:
         kind: str = "op",
         key: str = "",
         hint: Optional[Dict[str, Any]] = None,
+        path: str = "write",
     ) -> Tuple[Dict[int, Dict[str, Any]], float, int, Quorum]:
         """Run one request against a full quorum, retrying with fallbacks.
 
@@ -723,11 +772,13 @@ class Coordinator:
         winning candidate's slowest member (fan-out is concurrent);
         operation latency accumulates attempts plus backoffs.  ``hint`` is
         the write request to queue for members that could not be reached
-        (hinted handoff).
+        (hinted handoff).  ``path`` picks the distribution: reads sample
+        the read side of a split pair, everything else (writes, repairs,
+        transfers) the write side.
         """
         total_latency = 0.0
         for attempt in range(1, self.max_attempts + 1):
-            quorum = self._pick_quorum()
+            quorum = self._pick_quorum(path)
             if self.lease_ttl > 0:
                 joined, join_latency = await self._ensure_lease(quorum)
                 total_latency += join_latency
@@ -742,7 +793,7 @@ class Coordinator:
                         total_latency += backoff
                         await self.transport.pause(backoff)
                     continue
-            spares, candidates = self._hedge_plan(quorum)
+            spares, candidates = self._hedge_plan(path, quorum)
             members = candidates[0][1]
             if spares:
                 blocked = self._blocked_replicas()
@@ -789,7 +840,7 @@ class Coordinator:
                         self._record_hint(rid, hint)
                 if winner != quorum:
                     self.metrics.record_hedge_won()
-                self.metrics.record_quorum_access(winner)
+                self.metrics.record_quorum_access(winner, path)
                 return payloads, total_latency, attempt, winner
             for rid in failed:
                 self._note_failure(rid)
@@ -832,7 +883,7 @@ class Coordinator:
         }
         if self.byzantine_b <= 0:
             payloads, latency, attempts, _ = await self._quorum_phase(
-                request_for, kind="read", key=key
+                request_for, kind="read", key=key, path="read"
             )
             return self._best_payload(payloads), payloads, latency, attempts
         total_latency = 0.0
@@ -840,7 +891,7 @@ class Coordinator:
         for _ in range(self.max_attempts):
             try:
                 payloads, latency, attempts, _ = await self._quorum_phase(
-                    request_for, kind="read", key=key
+                    request_for, kind="read", key=key, path="read"
                 )
             except OperationFailed as exc:
                 raise OperationFailed(
@@ -994,7 +1045,7 @@ class Coordinator:
         original :class:`OperationFailed`); otherwise the newest version
         any respondent held, flagged ``stale=True``.
         """
-        probe = self.strategy.least_damaged(self._blocked_replicas())
+        probe = self.read_strategy.least_damaged(self._blocked_replicas())
         members = sorted(probe)
         request = {"op": "read", "key": key}
         outcomes = await asyncio.gather(

@@ -26,11 +26,13 @@ import numpy as np
 
 from ..core.errors import ServiceError
 from ..core.quorum_system import QuorumSystem
+from ..core.rwstrategy import PathStrategy, ReadWriteStrategy
 from ..core.strategy import Strategy
 from ..runtime.rng import RngStreams
 from .coordinator import Coordinator, OperationFailed
 from .metrics import ServiceMetrics, transport_summary
 from .replica import Replica
+from .simtransport import SimTransport
 from .transport import (
     DEFAULT_TIMEOUT_MS,
     BinaryTcpTransport,
@@ -57,6 +59,7 @@ class WorkloadConfig:
     preload: bool = True  # write every key once before the timed run
     hedge_spares: int = 0  # spare replicas contacted beyond each quorum
     hedge_delay_ms: float = 0.0  # defer spares until this delay elapses (0=upfront)
+    read_repair: bool = True  # rewrite stale members during reads
 
     def validate(self) -> None:
         if self.ops < 0:
@@ -89,6 +92,8 @@ class BenchmarkReport:
     predicted_loads: np.ndarray
     lp_load: float
     element_names: List[Any] = field(default_factory=list)
+    read_write: bool = False  # strategy was a split read/write pair
+    predicted_capacity: Optional[float] = None  # LP ops/s prediction (capacity runs)
     # Wall-clock timing and transport counters live outside to_dict():
     # the determinism tests require to_dict() to be bit-identical for
     # identical seeds, and elapsed time never is.
@@ -110,6 +115,8 @@ class BenchmarkReport:
                 "system": self.system_name,
                 "seed": self.seed,
                 "lp_load": self.lp_load,
+                "read_write": self.read_write,
+                "predicted_capacity": self.predicted_capacity,
                 "config": {
                     "ops": self.config.ops,
                     "read_fraction": self.config.read_fraction,
@@ -120,6 +127,7 @@ class BenchmarkReport:
                     "ops_per_epoch": self.config.ops_per_epoch,
                     "hedge_spares": self.config.hedge_spares,
                     "hedge_delay_ms": self.config.hedge_delay_ms,
+                    "read_repair": self.config.read_repair,
                 },
             }
         )
@@ -175,7 +183,7 @@ def make_replicas(system: QuorumSystem) -> List[Replica]:
 async def run_workload(
     system: QuorumSystem,
     transport: Transport,
-    strategy: Strategy,
+    strategy: PathStrategy,
     config: WorkloadConfig,
     *,
     seed: int = 0,
@@ -186,6 +194,9 @@ async def run_workload(
     ``clients`` coordinators share one metrics sink and pull operations
     from a single precomputed schedule; crash epochs are resampled every
     ``ops_per_epoch`` operations when the transport supports injection.
+    ``strategy`` may be a plain :class:`Strategy` or a split
+    :class:`~repro.core.rwstrategy.ReadWriteStrategy` — the coordinators
+    route reads and writes through the matching distribution either way.
     """
     config.validate()
     metrics = metrics if metrics is not None else ServiceMetrics(system.n)
@@ -204,6 +215,7 @@ async def run_workload(
             timeout=config.timeout,
             hedge_spares=config.hedge_spares,
             hedge_delay_ms=config.hedge_delay_ms,
+            read_repair=config.read_repair,
             metrics=metrics,
         )
         for client in range(config.clients)
@@ -242,7 +254,16 @@ async def run_workload(
             except OperationFailed:
                 pass  # already counted in metrics
 
+    # When the transport runs on a virtual clock (SimTransport under
+    # run_virtual) also record simulated elapsed time, so throughput can
+    # be compared against the LP capacity prediction deterministically.
+    # FaultyTransport exposes a float ``clock`` attribute; only a Clock
+    # object with a callable ``now`` counts as virtual time here.
+    sim_clock = getattr(transport, "clock", None)
+    if not callable(getattr(sim_clock, "now", None)):
+        sim_clock = None
     started = time.perf_counter()
+    vstarted = sim_clock.now() if sim_clock is not None else 0.0
     await asyncio.gather(*(client_loop(c) for c in coordinators))
     # Hedged phases may leave absorbed stragglers in flight; wait for
     # them so the transport can be torn down cleanly and the straggler
@@ -251,6 +272,8 @@ async def run_workload(
     # Wall-clock for the measured ops only (dialing and preload excluded);
     # stored as a plain attribute so to_dict() stays seed-deterministic.
     metrics.elapsed_seconds = time.perf_counter() - started
+    if sim_clock is not None:
+        metrics.virtual_elapsed_ms = sim_clock.now() - vstarted
     return metrics
 
 
@@ -258,7 +281,8 @@ def run_kv_benchmark(
     system: QuorumSystem,
     *,
     seed: int = 0,
-    strategy: Optional[Strategy] = None,
+    strategy: Optional[PathStrategy] = None,
+    read_write: bool = False,
     transport: Optional[Transport] = None,
     config: Optional[WorkloadConfig] = None,
     tcp_local: bool = False,
@@ -276,6 +300,13 @@ def run_kv_benchmark(
     transport is given an in-process one is created with the requested
     crash rate; a caller-supplied transport (e.g. TCP against live
     ``quorumtool serve`` replicas) is used as-is.
+
+    ``read_write=True`` solves the read/write capacity LP
+    (:func:`repro.analysis.capacity.read_write_capacity`) at the
+    workload's ``read_fraction`` and serves reads from the LP-optimal
+    read distribution — the quoracle-style split serving path.  An
+    explicit ``strategy`` (plain or :class:`ReadWriteStrategy`) always
+    wins over the flag.
 
     ``tcp_local=True`` instead starts one localhost TCP server per
     replica inside the event loop and benchmarks over real sockets —
@@ -310,9 +341,16 @@ def run_kv_benchmark(
         raise ServiceError("workers only apply to tcp_local mode")
 
     if strategy is None:
-        from ..analysis.load import optimal_strategy
+        if read_write:
+            from ..analysis.capacity import read_write_capacity
 
-        strategy = optimal_strategy(system)
+            strategy = read_write_capacity(
+                system, read_fraction=config.read_fraction
+            ).strategy
+        else:
+            from ..analysis.load import optimal_strategy
+
+            strategy = optimal_strategy(system)
 
     owns_transport = transport is None
 
@@ -379,15 +417,145 @@ def run_kv_benchmark(
     elapsed = getattr(metrics, "elapsed_seconds", 0.0) or (
         time.perf_counter() - started
     )
+    # For a split pair the predicted loads blend the read and write
+    # distributions at the workload's read fraction (Section 2 of the
+    # read/write LP docs); a plain strategy ignores the fraction.
+    if isinstance(strategy, ReadWriteStrategy):
+        predicted = strategy.element_loads(config.read_fraction)
+        lp_load = strategy.induced_load(config.read_fraction)
+        split = strategy.is_split
+    else:
+        predicted = strategy.element_loads()
+        lp_load = strategy.induced_load()
+        split = False
     return BenchmarkReport(
         system_name=system.system_name,
         n=system.n,
         seed=seed,
         config=config,
         metrics=metrics,
-        predicted_loads=strategy.element_loads(),
-        lp_load=strategy.induced_load(),
+        predicted_loads=predicted,
+        lp_load=lp_load,
         element_names=list(system.universe.names),
+        read_write=split,
+        # Relative LP capacity (1/load): the throughput multiple this
+        # strategy admits over a single element's service rate.
+        predicted_capacity=(1.0 / lp_load) if lp_load > 0 else None,
         elapsed_seconds=elapsed,
         transport_stats=transport_stats,
     )
+
+
+def run_capacity_benchmark(
+    system: QuorumSystem,
+    *,
+    strategy: Optional[PathStrategy] = None,
+    read_write: bool = True,
+    seed: int = 0,
+    read_fraction: float = 0.9,
+    ops: int = 600,
+    keys: int = 128,
+    skew: float = 0.6,
+    clients: int = 24,
+    service_time_ms: float = 2.0,
+    base_latency: float = 0.1,
+    mean_latency: float = 0.3,
+    timeout: float = DEFAULT_TIMEOUT_MS,
+) -> Dict[str, Any]:
+    """Measure saturated throughput in virtual time vs the LP prediction.
+
+    The service runs under a :class:`~repro.runtime.clock.VirtualClock`
+    over a :class:`~repro.service.simtransport.SimTransport` whose
+    replicas are FIFO servers with ``service_time_ms`` per request —
+    each replica has a hard capacity of ``1000/service_time_ms`` ops/s.
+    A closed loop of ``clients`` concurrent clients saturates the
+    system, so observed throughput approaches the capacity the strategy
+    admits; the LP prediction is ``node_rate / induced_load``.
+
+    ``read_write=True`` (the default) solves the read/write capacity LP
+    at ``read_fraction`` and serves reads from the optimal read-quorum
+    distribution; ``read_write=False`` benchmarks the unified
+    write-legal optimum — the baseline the split is gated against.
+    ``read_repair`` is off in this mode: repair writes are outside the
+    LP's traffic model, and safety is unaffected because every read
+    quorum still intersects every write quorum.
+
+    Returns a JSON-ready dict with observed and predicted ops per
+    virtual second, their ratio, the LP load, and per-path loads.
+    """
+    from ..runtime.clock import VirtualClock, run_virtual
+
+    if strategy is None:
+        if read_write:
+            from ..analysis.capacity import read_write_capacity
+
+            strategy = read_write_capacity(
+                system, read_fraction=read_fraction
+            ).strategy
+        else:
+            from ..analysis.load import optimal_strategy
+
+            strategy = optimal_strategy(system)
+
+    if isinstance(strategy, ReadWriteStrategy):
+        lp_load = strategy.induced_load(read_fraction)
+        split = strategy.is_split
+    else:
+        lp_load = strategy.induced_load()
+        split = False
+
+    config = WorkloadConfig(
+        ops=ops,
+        read_fraction=read_fraction,
+        keys=keys,
+        skew=skew,
+        clients=clients,
+        timeout=timeout,
+        read_repair=False,
+    )
+
+    clock = VirtualClock()
+    transport = SimTransport(
+        make_replicas(system),
+        clock=clock,
+        seed=RngStreams(seed).seed_for("loadgen.transport"),
+        base_latency=base_latency,
+        mean_latency=mean_latency,
+        service_time_ms=service_time_ms,
+    )
+
+    async def _run() -> ServiceMetrics:
+        try:
+            return await run_workload(
+                system, transport, strategy, config, seed=seed
+            )
+        finally:
+            await transport.close()
+
+    metrics = run_virtual(_run(), clock=clock)
+
+    node_rate = 1000.0 / service_time_ms  # per-replica ops per second
+    predicted = node_rate / lp_load if lp_load > 0 else 0.0
+    elapsed_s = metrics.virtual_elapsed_ms / 1000.0
+    observed = metrics.ops_succeeded / elapsed_s if elapsed_s > 0 else 0.0
+    return {
+        "system": system.system_name,
+        "n": system.n,
+        "seed": seed,
+        "read_write": split,
+        "read_fraction": read_fraction,
+        "service_time_ms": service_time_ms,
+        "clients": clients,
+        "ops": ops,
+        "lp_load": lp_load,
+        "predicted_ops_per_sec": predicted,
+        "observed_ops_per_sec": observed,
+        "observed_over_predicted": (observed / predicted) if predicted else 0.0,
+        "virtual_elapsed_ms": metrics.virtual_elapsed_ms,
+        "ops_succeeded": metrics.ops_succeeded,
+        "ops_failed": metrics.ops_failed,
+        "path_loads": {
+            path: metrics.observed_path_loads(path).tolist()
+            for path in ("read", "write")
+        },
+    }

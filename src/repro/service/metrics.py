@@ -78,6 +78,15 @@ class ServiceMetrics:
         self.n = n
         self.element_accesses = np.zeros(n, dtype=np.int64)
         self.quorum_accesses = 0
+        # Per-path accounting for split read/write strategies: the same
+        # counters, kept separately for quorums sampled by the read path
+        # and the write path (repair/transfer included), so observed
+        # loads can be compared against each distribution's prediction.
+        self.path_element_accesses: Dict[str, np.ndarray] = {
+            "read": np.zeros(n, dtype=np.int64),
+            "write": np.zeros(n, dtype=np.int64),
+        }
+        self.path_quorum_accesses: Dict[str, int] = {"read": 0, "write": 0}
         self.ops_attempted = 0
         self.ops_succeeded = 0
         self.ops_failed = 0
@@ -114,15 +123,33 @@ class ServiceMetrics:
         # load generator.  Deliberately NOT in to_dict(): the snapshot
         # must stay bit-identical for identical seeds.
         self.elapsed_seconds = 0.0
+        # Virtual-time span of the measured section (ms), stamped when
+        # the transport runs on a virtual clock; 0.0 under wall clocks.
+        # Kept out of to_dict() alongside elapsed_seconds.
+        self.virtual_elapsed_ms = 0.0
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record_quorum_access(self, quorum: Iterable[int]) -> None:
-        """Count one successful access of a full quorum."""
+    def record_quorum_access(
+        self, quorum: Iterable[int], path: Optional[str] = None
+    ) -> None:
+        """Count one successful access of a full quorum.
+
+        ``path`` ("read" or "write") additionally attributes the access
+        to one side of a split read/write strategy; omitting it keeps
+        only the combined counters (legacy callers).
+        """
         self.quorum_accesses += 1
+        if path is None:
+            for element in quorum:
+                self.element_accesses[element] += 1
+            return
+        per_path = self.path_element_accesses[path]
+        self.path_quorum_accesses[path] += 1
         for element in quorum:
             self.element_accesses[element] += 1
+            per_path[element] += 1
 
     def record_op(self, kind: str, latency: float, ok: bool, attempts: int) -> None:
         """Count one client operation (read or write) end to end."""
@@ -244,6 +271,19 @@ class ServiceMetrics:
             return np.zeros(self.n)
         return self.element_accesses / self.quorum_accesses
 
+    def observed_path_loads(self, path: str) -> np.ndarray:
+        """Per-element access frequency over one path's quorum accesses.
+
+        Comparable to the corresponding side of a
+        :class:`~repro.core.rwstrategy.ReadWriteStrategy`:
+        ``strategy.reads.element_loads()`` for the read path,
+        ``strategy.writes.element_loads()`` for the write path.
+        """
+        accesses = self.path_quorum_accesses[path]
+        if accesses == 0:
+            return np.zeros(self.n)
+        return self.path_element_accesses[path] / accesses
+
     def latency_percentile(self, q: float) -> float:
         """Operation latency percentile ``q`` in [0, 100] (ms)."""
         return self.op_latency.percentile(q)
@@ -324,6 +364,15 @@ class ServiceMetrics:
             "latency_ms": self.op_latency.summary(),
             "hot_keys": self.keys.skew_summary(10),
             "observed_loads": [float(x) for x in self.observed_loads()],
+            "path_loads": {
+                path: {
+                    "quorum_accesses": self.path_quorum_accesses[path],
+                    "observed_loads": [
+                        float(x) for x in self.observed_path_loads(path)
+                    ],
+                }
+                for path in ("read", "write")
+            },
         }
         if predicted is not None:
             snapshot["predicted_loads"] = [float(x) for x in predicted]

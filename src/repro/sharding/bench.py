@@ -51,6 +51,7 @@ class ShardBenchReport:
     per_shard: Dict[str, Any] = field(default_factory=dict)
     key_skew: Dict[str, Any] = field(default_factory=dict)
     reshards: List[Dict[str, Any]] = field(default_factory=list)
+    read_write: bool = False  # shards served by split read/write pairs
 
     @property
     def ops_per_virtual_second(self) -> float:
@@ -72,6 +73,7 @@ class ShardBenchReport:
             "per_shard": self.per_shard,
             "key_skew": self.key_skew,
             "reshards": self.reshards,
+            "read_write": self.read_write,
         }
 
 
@@ -108,12 +110,15 @@ def run_sharded_benchmark(
     mean_latency: float = 1.0,
     service_time_ms: float = 2.0,
     timeout: float = 250.0,
+    read_write: bool = False,
 ) -> ShardBenchReport:
     """Drive a seeded zipf workload through a sharded map, virtual time.
 
     One shard per entry of ``systems`` (equal hash ranges).  The run is
     fully deterministic: schedule, per-shard transports and coordinators
-    all draw from named streams of one root seed.
+    all draw from named streams of one root seed.  ``read_write=True``
+    serves every shard with the read/write capacity-LP strategy pair
+    optimised at ``read_fraction`` instead of the unified optimum.
     """
     if not systems:
         raise ServiceError("benchmark needs at least one shard system")
@@ -132,6 +137,7 @@ def run_sharded_benchmark(
         mean_latency=mean_latency,
         service_time_ms=service_time_ms,
         timeout=timeout,
+        read_write=read_fraction if read_write else None,
     )
     sharded = ShardedCoordinator(shard_map, factory)
     succeeded = 0
@@ -188,6 +194,7 @@ def run_sharded_benchmark(
         per_shard=snapshot["load"],
         key_skew=key_skew,
         reshards=snapshot["reshards"],
+        read_write=read_write,
     )
 
 

@@ -80,6 +80,7 @@ def build_sim_backend_factory(
     max_attempts: int = 5,
     hedge_spares: int = 0,
     lease_ttl: int = 0,
+    read_write: Optional[float] = None,
     schedule_for: Optional[Callable[[Shard], Optional[FaultSchedule]]] = None,
     on_apply_for: Optional[Callable[[Shard, Replica], None]] = None,
     fleet: Optional[SimShardFleet] = None,
@@ -105,6 +106,14 @@ def build_sim_backend_factory(
         leases at all, so a reshard's drain→copy→flip handoff happens
         under membership churn — exactly the dynamic-environment case
         the lease machinery exists for.
+    read_write:
+        When set to a read fraction in ``[0, 1]``, every per-shard
+        coordinator is built with the read/write capacity-LP strategy
+        pair (:func:`repro.analysis.capacity.read_write_capacity`)
+        optimised at that fraction instead of the unified write-legal
+        optimum — reads served from small read quorums, writes from the
+        matched write distribution.  Shards created later (splits,
+        merges, §5 growth) solve their own LP at the same fraction.
     schedule_for:
         Optional ``shard -> FaultSchedule`` hook; a non-None schedule
         wraps that shard's transport in a :class:`FaultyTransport`
@@ -148,10 +157,18 @@ def build_sim_backend_factory(
                 if fleet is not None:
                     fleet.register_fault_transport(faulty)
                 outer = faulty
+        if read_write is not None:
+            from ..analysis.capacity import read_write_capacity
+
+            strategy = read_write_capacity(
+                system, read_fraction=read_write
+            ).strategy
+        else:
+            strategy = optimal_strategy(system)
         coordinator = Coordinator(
             system,
             outer,
-            optimal_strategy(system),
+            strategy,
             seed=streams.seed_for(f"shard.{shard.shard_id}.coordinator"),
             timeout=timeout,
             max_attempts=max_attempts,

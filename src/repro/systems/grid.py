@@ -70,6 +70,16 @@ class GridQuorumSystem(QuorumSystem):
         for pick in itertools.product(*per_row):
             yield frozenset(pick)
 
+    def read_quorums(self) -> List[Quorum]:
+        """Minimal read quorums for split read/write serving.
+
+        The uniform protocol hook consumed by
+        :func:`repro.analysis.capacity.read_quorums_of`: each row cover
+        (size R) intersects every read-write quorum and every full line,
+        so reads served from covers always see the newest write.
+        """
+        return list(self.row_covers())
+
     def _generate_quorums(self) -> Iterator[Quorum]:
         """Read-write quorums: full row plus one element per other row."""
         for row in range(self.rows):

@@ -240,6 +240,16 @@ class HierarchicalGrid(QuorumSystem):
         """All minimal hierarchical row-covers (the read quorums)."""
         return row_covers_of(self._root)
 
+    def read_quorums(self) -> List[Quorum]:
+        """Minimal read quorums for split read/write serving.
+
+        Alias of :meth:`row_covers`, exposed under the uniform protocol
+        name: every hierarchical cover picks, per root row, a recursive
+        cover of one child, and therefore meets the full-line half of
+        every combined quorum.
+        """
+        return self.row_covers()
+
     def _generate_quorums(self) -> Iterator[Quorum]:
         covers = self.row_covers()
         for line in self.full_lines():

@@ -101,6 +101,18 @@ class HierarchicalTGrid(QuorumSystem):
         element in each row below it."""
         return self.global_cols() + self.global_rows() - 1
 
+    def read_quorums(self) -> List[Quorum]:
+        """Minimal read quorums: the underlying grid's full row-covers.
+
+        §4.2's remark carries over to serving: every h-T-grid quorum
+        contains a *full* hierarchical line, and every full row-cover
+        intersects every full line (per root row, the cover holds a
+        recursive cover of one child and the line a recursive line of
+        that same child).  So covers of size ``R`` are safe read quorums
+        even though the write quorums only carry *partial* covers.
+        """
+        return self._hgrid.row_covers()
+
     def _generate_quorums(self) -> Iterator[Quorum]:
         covers = self._hgrid.row_covers()
         lines = self._hgrid.full_lines()

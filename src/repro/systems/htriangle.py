@@ -260,6 +260,42 @@ class HierarchicalTriangle(QuorumSystem):
             )
         return iter(self._quorums_of(self._root))
 
+    def _read_quorums_of(self, node: _TriangleNode) -> List[Quorum]:
+        if node.is_leaf:
+            return [frozenset({node.leaf_id})]
+        r1 = self._read_quorums_of(node.t1)
+        r2 = self._read_quorums_of(node.t2)
+        covers = row_covers_of(node.grid)
+        lines = full_lines_of(node.grid)
+        reads: List[Quorum] = []
+        for a, b in itertools.product(r1, r2):
+            reads.append(a | b)
+        for a, b in itertools.product(r1, covers):
+            reads.append(a | b)
+        for a, b in itertools.product(r2, lines):
+            reads.append(a | b)
+        return reads
+
+    def read_quorums(self) -> List[Quorum]:
+        """Read quorums for split read/write serving, built recursively.
+
+        Three families mirror the write methods: ``r(T1) | r(T2)``,
+        ``r(T1) | cover(G)`` and ``r(T2) | line(G)``.  Each intersects
+        every write quorum: the ``r(T1)`` / ``r(T2)`` halves meet the
+        sub-triangle quorum of methods 1-3 by induction, and any grid
+        cover meets any grid line (per row, the cover holds a recursive
+        cover of one child and the line a recursive line of that same
+        child).  All read quorums have size ``t`` — h-triang is
+        self-dual, so reads cannot be smaller than writes and the split
+        buys balance, not capacity (unlike the grid families).
+        """
+        if self.rows is not None and self.rows > 9:
+            raise ConstructionError(
+                f"enumerating h-triang read quorums for t={self.rows} is"
+                " intractable; every metric has a structural formula"
+            )
+        return self._read_quorums_of(self._root)
+
     def smallest_quorum_size(self) -> int:
         if self.rows is not None:
             return self.rows

@@ -312,8 +312,11 @@ class TestAmortizedHotPath:
         # Identity, not equality: the hot path returns the cached object.
         assert coordinator._members_for(quorum) is coordinator._members_for(quorum)
         blocked = frozenset({1})
-        assert coordinator._avoiding_strategy(blocked) is (
-            coordinator._avoiding_strategy(blocked)
+        assert coordinator._avoiding_strategy("write", blocked) is (
+            coordinator._avoiding_strategy("write", blocked)
         )
-        spares_and_candidates = coordinator._hedge_plan(quorum)
-        assert coordinator._hedge_plan(quorum) is spares_and_candidates
+        spares_and_candidates = coordinator._hedge_plan("write", quorum)
+        assert coordinator._hedge_plan("write", quorum) is spares_and_candidates
+        # An unsplit pair canonicalises the read path onto the same
+        # cached plans — nothing is computed twice.
+        assert coordinator._hedge_plan("read", quorum) is spares_and_candidates
