@@ -771,6 +771,163 @@ def _cmd_reshard(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _print_incident_report(scenario, report, scorecard) -> None:
+    _print_chaos_report(report, report.config)
+    slo = scorecard["slo"]
+    observed = slo["observed"]
+    budget = slo["error_budget"]
+    met = slo["met"]
+    targets = slo["targets"]
+    latency_bits = ", ".join(
+        f"{label}={observed['latency_ms'][label]:.1f}ms"
+        f" (ceiling {ceiling:g}, {'met' if met['latency'][label] else 'MISSED'})"
+        for label, ceiling in sorted(targets["latency_ms"].items())
+    )
+    print(
+        f"slo           : availability {observed['availability']:.4f}"
+        f" vs target {targets['availability']:g}"
+        f" ({'met' if met['availability'] else 'MISSED'})"
+        + (f"; {latency_bits}" if latency_bits else "")
+    )
+    print(
+        f"error budget  : burn rate {budget['burn_rate']:.2f}"
+        f" (max window {budget['max_window_burn_rate']:.2f}"
+        f" over {targets['window_ops']} ops), slo"
+        f" {'met' if met['ok'] else 'MISSED'}"
+    )
+    if scorecard.get("arrival"):
+        arrival = scorecard["arrival"]
+        print(
+            f"arrival       : open-loop poisson"
+            f" {arrival['rate_ops_per_s']:g} ops/s target,"
+            f" achieved {arrival['achieved_ops_per_s']:.1f}"
+            f" (max spawn lag {arrival['max_spawn_lag_ms']:.3f}ms)"
+        )
+    if scorecard.get("cache"):
+        cache = scorecard["cache"]
+        print(
+            f"cache         : hit rate {cache['hit_rate']:.1%}"
+            f" ({cache['hits']} fresh + {cache['stale_served']} stale-served"
+            f" / {cache['lookups']} lookups),"
+            f" {cache['refreshes']} refreshes"
+        )
+
+
+def _cmd_incident(args: argparse.Namespace) -> None:
+    import json as json_module
+    import time as time_module
+
+    from .core.errors import ServiceError
+    from .scenarios import get_incident, list_incidents, run_scenario
+
+    if args.action == "list":
+        rows = list_incidents()
+        if args.json:
+            print(json_module.dumps(rows, indent=2, sort_keys=True))
+            return
+        for row in rows:
+            print(f"{row['name']}")
+            print(f"   {row['summary']}")
+            slo = row["slo"]
+            latency = ", ".join(
+                f"{label}<={ceiling:g}ms"
+                for label, ceiling in sorted(slo["latency_ms"].items())
+            )
+            print(
+                f"   default system {row['system']};"
+                f" slo availability>={slo['availability']:g}"
+                + (f", {latency}" if latency else "")
+            )
+        return
+
+    if args.name is None:
+        raise SystemExit("incident run needs a name (see: quorumtool incident list)")
+    if args.sim and args.wall:
+        raise SystemExit("--sim and --wall are mutually exclusive")
+    mode = "wall" if args.wall else "sim"
+    if args.seeds < 1:
+        raise SystemExit(f"--seeds must be >= 1, got {args.seeds}")
+    overrides = {}
+    if args.ops is not None:
+        overrides["ops"] = args.ops
+    try:
+        scenario = get_incident(args.name)
+        results = []
+        started = time_module.perf_counter()
+        for seed in range(args.seed, args.seed + args.seeds):
+            results.append(
+                run_scenario(
+                    scenario,
+                    seed=seed,
+                    mode=mode,
+                    system_spec=args.system,
+                    **overrides,
+                )
+            )
+        elapsed = time_module.perf_counter() - started
+    except ServiceError as exc:
+        raise SystemExit(f"incident failed: {exc}")
+    all_ok = all(report.ok for report, _ in results)
+
+    if args.seeds == 1:
+        payload = results[0][1]
+    else:
+        by_invariant: dict = {}
+        for report, _ in results:
+            for name, count in report.violation_counts.items():
+                by_invariant[name] = by_invariant.get(name, 0) + count
+        payload = {
+            "scorecard_version": results[0][1]["scorecard_version"],
+            "scenario": scenario.name,
+            "summary": scenario.summary,
+            "expect_violations": scenario.expect_violations,
+            "system": results[0][0].system_name,
+            "mode": mode,
+            "seeds": [report.seed for report, _ in results],
+            "all_ok": all_ok,
+            "violations_total": sum(len(r.violations) for r, _ in results),
+            "violations_by_invariant": dict(sorted(by_invariant.items())),
+            "slo_met": [card["slo"]["met"]["ok"] for _, card in results],
+            "runs": [card for _, card in results],
+        }
+    if args.json_out:
+        artifact = dict(payload)
+        artifact["perf"] = {
+            "elapsed_seconds": elapsed,
+            "run_seconds": [report.elapsed_seconds for report, _ in results],
+        }
+        with open(args.json_out, "w") as handle:
+            json_module.dump(artifact, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json_out}")
+    if args.json:
+        print(json_module.dumps(payload, indent=2, sort_keys=True))
+    elif args.seeds == 1:
+        report, scorecard = results[0]
+        print(f"incident      : {scenario.name}")
+        print(f"   {scenario.summary}")
+        _print_incident_report(scenario, report, scorecard)
+    else:
+        print(f"incident      : {scenario.name}, mode {mode}")
+        print(f"system        : {results[0][0].system_name}"
+              f" (n={results[0][0].n})")
+        print(f"sweep         : {args.seeds} seeds [{args.seed}.."
+              f"{args.seed + args.seeds - 1}], {elapsed:.2f}s total")
+        for report, card in results:
+            status = "ok" if report.ok else f"{len(report.violations)} VIOLATION(S)"
+            slo_ok = "slo met" if card["slo"]["met"]["ok"] else "slo missed"
+            print(
+                f"   seed {report.seed:>4}: {status}; {slo_ok};"
+                f" burn {card['slo']['error_budget']['burn_rate']:.2f};"
+                f" trace {report.hashes['trace'][:12]}"
+            )
+        print(f"invariants    : {'all held' if all_ok else 'VIOLATED'}"
+              f" across {args.seeds} seeds")
+    # Violations fail the command unless the scenario is an intentional
+    # unsafe demonstration — that is what CI gates on.
+    if not all_ok and not scenario.expect_violations:
+        raise SystemExit(1)
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     import asyncio
     import time as time_module
@@ -1107,6 +1264,37 @@ def main(argv: List[str] = None) -> None:
                            help="write the JSON scorecard (plus wall-clock"
                                 " perf numbers) to PATH")
     p_reshard.set_defaults(func=_cmd_reshard)
+
+    p_incident = sub.add_parser(
+        "incident",
+        help="run a named SRE incident scenario from the library",
+    )
+    p_incident.add_argument("action", choices=("run", "list"),
+                            help="'list' the incident library or 'run' one")
+    p_incident.add_argument("name", nargs="?", default=None,
+                            help="incident name (for 'run')")
+    p_incident.add_argument("--system", default=None, metavar="SPEC",
+                            help="override the incident's default quorum"
+                                 " system (e.g. majority:5, hgrid:4x4,"
+                                 " htriang:15)")
+    p_incident.add_argument("--seed", type=int, default=0)
+    p_incident.add_argument("--seeds", type=int, default=1,
+                            help="sweep this many consecutive seeds starting"
+                                 " at --seed (exit 1 if any run violates an"
+                                 " invariant)")
+    p_incident.add_argument("--ops", type=int, default=None,
+                            help="override the incident's operation count")
+    p_incident.add_argument("--sim", action="store_true",
+                            help="run under virtual time (the default;"
+                                 " bit-reproducible, milliseconds per run)")
+    p_incident.add_argument("--wall", action="store_true",
+                            help="run the same scenario under real time")
+    p_incident.add_argument("--json", action="store_true",
+                            help="print the scorecard as JSON")
+    p_incident.add_argument("--json-out", metavar="PATH",
+                            help="write the JSON scorecard (plus wall-clock"
+                                 " perf numbers) to PATH")
+    p_incident.set_defaults(func=_cmd_incident)
 
     p_serve = sub.add_parser(
         "serve", help="run TCP replica servers for a system"

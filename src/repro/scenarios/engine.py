@@ -1,0 +1,907 @@
+"""The declarative scenario engine: one chaos runner for every harness.
+
+A scenario is data — a named :class:`~repro.runtime.faults.FaultSchedule`
+(or a builder for one), a workload recipe (:class:`ChaosConfig`: op mix,
+key skew, closed-loop or open-loop Poisson arrival, cache tier, hedging,
+Byzantine knobs), the shared invariant set from
+:mod:`repro.scenarios.invariants`, and :class:`~repro.scenarios.slo.
+SloTargets` — executed by :func:`run_chaos` over the unmodified service
+stack and scored into a versioned JSON scorecard with bit-reproducible
+trace hashes.  :mod:`repro.service.chaos` re-exports this engine for
+compatibility; :mod:`repro.scenarios.library` defines the named SRE
+incidents on top of it; the sharded analogue
+(:mod:`repro.sharding.chaos`) shares the invariant registry and
+scorecard helpers.
+
+The workload loop checks safety invariants over the full operation
+history (see :data:`~repro.scenarios.invariants.INVARIANTS` for the
+contracts): acked-write-durable, no-stale-unflagged-read,
+version-integrity and replica-ts-monotone always; the three Byzantine
+invariants when ``byzantine_liars > 0``.  On top, the engine measures
+availability under the schedule's iid crash component against the
+*exact* failure probability ``F_p`` from :mod:`repro.analysis` —
+closing the loop between the paper's §4.3/§6 numbers and served
+traffic — and, when SLO targets are given, scores the run's error
+budget through :func:`~repro.scenarios.slo.slo_report`.
+
+Execution substrates (``mode=``)
+--------------------------------
+``"inprocess"``
+    The zero-latency deterministic transport: sampled latencies are
+    accounting entries, awaits are cooperative yields.  Fast, the
+    historical default.
+``"sim"``
+    The same unmodified coordinator/replica stack over
+    :class:`~repro.service.simtransport.SimTransport` under a
+    :class:`~repro.runtime.clock.VirtualTimeLoop`: latencies, timeouts
+    and backoffs *elapse* in virtual time, the run is bit-reproducible
+    (the report carries trace and metrics hashes to prove it), and a
+    whole run costs milliseconds of wall clock.
+``"wall"``
+    The identical ``SimTransport`` run over a real clock and event loop
+    — every sampled latency is really slept.  Same RNG draws, same
+    outcomes, same hashes as ``"sim"``; exists as the honest wall-clock
+    baseline the ``--sim`` speedup is measured against.
+
+All randomness is drawn from named :class:`~repro.runtime.rng.RngStreams`
+(``chaos.transport``, ``chaos.schedule``, ``chaos.plan``,
+``chaos.faults.<client>``, ``chaos.coordinator.<client>``,
+``chaos.warmup``, ``chaos.byzantine``, plus ``chaos.arrivals`` for
+open-loop runs), so every component owns an independent stream derived
+from the one root seed — and turning a feature *on* never shifts the
+draws of a run that leaves it off.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.availability import availability_comparison
+from ..core.errors import ServiceError
+from ..core.quorum_system import QuorumSystem
+from ..core.rwstrategy import PathStrategy
+from ..runtime.clock import Clock, VirtualClock, WallClock, run_virtual
+from ..runtime.rng import RngStreams
+from ..service.cache import CoordinatorCache
+from ..service.coordinator import Coordinator, OperationFailed, ReadResult
+from ..service.faults import (
+    BYZANTINE_MODES,
+    ByzantineFault,
+    FaultSchedule,
+    FaultyTransport,
+    Window,
+    split_brain_schedule,
+)
+from ..service.loadgen import key_weights
+from ..service.metrics import ServiceMetrics
+from ..service.replica import NULL_TIMESTAMP, Replica
+from ..service.simtransport import SimTransport
+from ..service.transport import InProcessTransport
+from .invariants import (
+    BYZANTINE_INVARIANTS,
+    CORE_INVARIANTS,
+    audit_durability,
+    audit_lie_detection,
+    audit_lie_suspicion,
+    audit_monotone,
+    check_fabricated_read,
+    check_fresh_read,
+    check_version_integrity,
+)
+from .scorecard import SCORECARD_VERSION, digest, invariants_block
+from .slo import SloTargets, slo_report
+
+_TS = Tuple[int, int]
+
+_MODES = ("inprocess", "sim", "wall")
+
+_ARRIVALS = ("closed", "poisson")
+
+# Back-compat alias: the digest helper lived here (as a private) before
+# the scorecard module existed; tests and the sharded harness import it.
+_digest = digest
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "Scenario",
+    "run_chaos",
+    "run_scenario",
+]
+
+
+@dataclass
+class ChaosConfig:
+    """Shape of one chaos run (the scenario's workload recipe)."""
+
+    ops: int = 400
+    read_fraction: float = 0.6
+    keys: int = 8
+    clients: int = 2
+    crash_rate: float = 0.15
+    epoch: int = 25  # ticks per iid crash epoch
+    timeout: float = 50.0
+    max_attempts: int = 4
+    suspicion_ttl: int = 15
+    breaker_threshold: int = 3
+    breaker_cooldown: int = 30
+    degraded_reads: bool = True
+    hinted_handoff: bool = True
+    latency_spikes: int = 2
+    drops: int = 2
+    duplicates: int = 1
+    flappers: int = 1
+    partitions: int = 1
+    hedge_spares: int = 0  # spare replicas per quorum phase (0 = off)
+    hedge_delay_ms: float = 0.0  # defer spares this long (0 = upfront)
+    unsafe_partial_writes: bool = False  # intentionally breaks intersection
+    byzantine_b: int = 0  # masking parameter b: coordinators vote b+1 deep
+    byzantine_liars: int = 0  # replicas turned into lying (Byzantine) faults
+    byzantine_mode: str = "wrong_value"  # lie flavour, see BYZANTINE_MODES
+    lease_ttl: int = 0  # quorum-lease lifetime in ops (0 = leases off)
+    read_write: bool = False  # serve reads from the capacity-LP read family
+    skew: float = 0.0  # zipf key popularity exponent (0 = uniform, legacy)
+    arrival: str = "closed"  # "closed" | "poisson" (open-loop, sim/wall only)
+    arrival_rate: float = 0.0  # poisson: mean ops per virtual second
+    cache_ttl_ms: float = 0.0  # coordinator-side cache lease (0 = no cache)
+    cache_swr_ms: float = 0.0  # stale-while-revalidate grace after the lease
+
+    def validate(self) -> None:
+        if self.ops < 1:
+            raise ServiceError(f"chaos needs at least one op, got {self.ops}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ServiceError("read fraction must be in [0,1]")
+        if self.keys < 1:
+            raise ServiceError("need at least one key")
+        if self.clients < 1:
+            raise ServiceError("need at least one client")
+        if not 0.0 <= self.crash_rate <= 1.0:
+            raise ServiceError("crash rate must be in [0,1]")
+        if self.epoch < 1:
+            raise ServiceError("epoch must be >= 1 tick")
+        if self.hedge_spares < 0:
+            raise ServiceError("hedge_spares must be >= 0")
+        if self.hedge_delay_ms < 0:
+            raise ServiceError("hedge_delay_ms must be >= 0")
+        if self.unsafe_partial_writes and self.clients < 2:
+            raise ServiceError(
+                "split-brain demonstration needs at least two clients"
+            )
+        if self.byzantine_b < 0:
+            raise ServiceError("byzantine_b must be >= 0")
+        if self.byzantine_liars < 0:
+            raise ServiceError("byzantine_liars must be >= 0")
+        if self.byzantine_mode not in BYZANTINE_MODES:
+            raise ServiceError(
+                f"unknown byzantine mode {self.byzantine_mode!r};"
+                f" pick one of {BYZANTINE_MODES}"
+            )
+        if self.lease_ttl < 0:
+            raise ServiceError("lease_ttl must be >= 0")
+        if self.skew < 0:
+            raise ServiceError("skew must be >= 0")
+        if self.arrival not in _ARRIVALS:
+            raise ServiceError(
+                f"unknown arrival mode {self.arrival!r};"
+                f" pick one of {_ARRIVALS}"
+            )
+        if self.arrival == "poisson" and self.arrival_rate <= 0:
+            raise ServiceError(
+                "poisson arrival needs arrival_rate > 0 (ops per second)"
+            )
+        if self.arrival_rate < 0:
+            raise ServiceError("arrival_rate must be >= 0")
+        if self.cache_ttl_ms < 0 or self.cache_swr_ms < 0:
+            raise ServiceError("cache ttl/swr must be >= 0")
+        if self.cache_swr_ms > 0 and self.cache_ttl_ms <= 0:
+            raise ServiceError(
+                "cache_swr_ms needs a positive cache_ttl_ms lease"
+            )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, JSON-exportable and seed-stable."""
+
+    system_name: str
+    n: int
+    seed: int
+    config: ChaosConfig
+    schedule: FaultSchedule
+    injected: Dict[str, int]
+    operations: Dict[str, int]
+    availability: Dict[str, float]
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Optional[ServiceMetrics] = None
+    mode: str = "inprocess"
+    trace: List[Dict[str, Any]] = field(default_factory=list)
+    hashes: Dict[str, str] = field(default_factory=dict)
+    byzantine_replicas: List[int] = field(default_factory=list)
+    slo: Optional[Dict[str, Any]] = None  # slo_report block (targets given)
+    arrival: Optional[Dict[str, Any]] = None  # open-loop arrival accounting
+    cache: Optional[Dict[str, Any]] = None  # cache tier snapshot (if enabled)
+    # Wall-clock duration of the run; NOT in to_dict() — the snapshot
+    # must stay bit-identical for identical seeds.
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every safety invariant held."""
+        return not self.violations
+
+    @property
+    def violation_counts(self) -> Dict[str, int]:
+        """Violations grouped per invariant (the scorecard histogram)."""
+        from .scorecard import violation_counts
+
+        return violation_counts(self.violations)
+
+    def to_dict(self) -> Dict[str, Any]:
+        checked = list(CORE_INVARIANTS)
+        if self.byzantine_replicas:
+            checked += list(BYZANTINE_INVARIANTS)
+        snapshot: Dict[str, Any] = {
+            "system": self.system_name,
+            "n": self.n,
+            "seed": self.seed,
+            "mode": self.mode,
+            "config": asdict(self.config),
+            "schedule": self.schedule.to_dict(),
+            "byzantine_replicas": list(self.byzantine_replicas),
+            "faults_injected": dict(sorted(self.injected.items())),
+            "operations": dict(sorted(self.operations.items())),
+            "availability": dict(sorted(self.availability.items())),
+            "hashes": dict(sorted(self.hashes.items())),
+            "invariants": invariants_block(checked, self.violations),
+        }
+        if self.metrics is not None:
+            snapshot["metrics"] = self.metrics.to_dict()
+        if self.slo is not None:
+            snapshot["slo"] = self.slo
+        if self.arrival is not None:
+            snapshot["arrival"] = self.arrival
+        if self.cache is not None:
+            snapshot["cache"] = self.cache
+        return snapshot
+
+
+def _plan(
+    rng: np.random.Generator, config: ChaosConfig
+) -> List[Tuple[int, str, str]]:
+    """Precomputed ``(client, kind, key)`` sequence, one entry per tick.
+
+    ``skew > 0`` draws keys from the power-law popularity of
+    :func:`~repro.service.loadgen.key_weights`; ``skew = 0`` keeps the
+    legacy uniform integer draws, so existing seeds replay identically.
+    """
+    reads = rng.random(config.ops) < config.read_fraction
+    if config.skew > 0:
+        weights = key_weights(config.keys, config.skew)
+        keys = rng.choice(config.keys, size=config.ops, p=weights)
+    else:
+        keys = rng.integers(0, config.keys, size=config.ops)
+    return [
+        (index % config.clients, "read" if is_read else "write", f"k{int(k):03d}")
+        for index, (is_read, k) in enumerate(zip(reads, keys))
+    ]
+
+
+def run_chaos(
+    system: QuorumSystem,
+    *,
+    seed: int = 0,
+    config: Optional[ChaosConfig] = None,
+    schedule: Optional[FaultSchedule] = None,
+    strategy: Optional[PathStrategy] = None,
+    mode: str = "inprocess",
+    slo: Optional[SloTargets] = None,
+) -> ChaosReport:
+    """Run one seeded chaos scenario and check every safety invariant.
+
+    A caller-provided ``schedule`` overrides the randomized one (the
+    config's fault knobs are then ignored); ``unsafe_partial_writes``
+    additionally appends a forced split-brain partition and disables the
+    coordinators' full-quorum acknowledgement check — the intentionally
+    intersection-breaking scenario that must be *detected*.
+
+    ``mode`` selects the execution substrate (see module docstring):
+    ``"inprocess"``, ``"sim"`` (virtual time) or ``"wall"`` (real time,
+    same draws as ``"sim"``).  The same seed and config produce the same
+    schedule and plan in every mode.  Open-loop Poisson arrival and the
+    cache tier need a clock, so they require ``"sim"`` or ``"wall"``.
+
+    ``slo`` targets score the run's per-operation availability/latency
+    samples into the report's error-budget block (``report.slo``).
+    """
+    if mode not in _MODES:
+        raise ServiceError(f"unknown chaos mode {mode!r}; pick one of {_MODES}")
+    if config is None:
+        config = ChaosConfig()
+    config.validate()
+    if mode == "inprocess" and config.arrival == "poisson":
+        raise ServiceError(
+            "open-loop poisson arrival needs a clock; use mode='sim' or 'wall'"
+        )
+    if mode == "inprocess" and config.cache_ttl_ms > 0:
+        raise ServiceError(
+            "the cache tier leases entries in clock time; use mode='sim'"
+            " or 'wall'"
+        )
+    if strategy is None:
+        if config.read_write:
+            # Split serving path under faults: reads come from the LP's
+            # read-quorum family (small quorums!), writes from the
+            # matched write family — the invariants below must hold
+            # regardless.  Voted reads need 2b+1-deep intersections, so
+            # the LP is constrained accordingly; when no read family is
+            # deep enough, read_write_capacity itself falls back to
+            # splitting over the write family (unified_read_fallback).
+            from ..analysis.capacity import read_write_capacity
+
+            strategy = read_write_capacity(
+                system,
+                read_fraction=config.read_fraction,
+                min_intersection=2 * config.byzantine_b + 1,
+            ).strategy
+        else:
+            from ..analysis.load import optimal_strategy
+
+            strategy = optimal_strategy(system)
+
+    streams = RngStreams(seed)
+    ids = sorted(system.universe.ids)
+    universe = frozenset(ids)
+
+    # Replica journals for the monotonicity invariant.
+    journals: Dict[int, Dict[str, List[_TS]]] = {rid: {} for rid in ids}
+
+    def journal_for(rid: int):
+        def on_apply(key: str, counter: int, writer: int) -> None:
+            journals[rid].setdefault(key, []).append((counter, writer))
+
+        return on_apply
+
+    replicas = [
+        Replica(rid, name=system.universe.name_of(rid), on_apply=journal_for(rid))
+        for rid in ids
+    ]
+    clock: Optional[Clock] = None
+    if mode == "inprocess":
+        inner: Any = InProcessTransport(
+            replicas, seed=streams.seed_for("chaos.transport")
+        )
+    else:
+        clock = VirtualClock() if mode == "sim" else WallClock()
+        inner = SimTransport(
+            replicas, clock=clock, rng=streams.stream("chaos.transport")
+        )
+
+    if schedule is None:
+        schedule = FaultSchedule.random(
+            streams.stream("chaos.schedule"),
+            ids,
+            float(config.ops),
+            crash_rate=config.crash_rate,
+            epoch=float(config.epoch),
+            latency_spikes=config.latency_spikes,
+            drops=config.drops,
+            duplicates=config.duplicates,
+            flappers=config.flappers,
+            partitions=config.partitions,
+            sites=min(config.clients, 2),
+        )
+    if config.unsafe_partial_writes:
+        window = Window(config.ops * 0.25, config.ops * 0.75)
+        schedule = schedule.extended(split_brain_schedule(ids, window))
+
+    # Byzantine liars: drawn from their own named stream (so turning them
+    # on never shifts the crash/partition schedule), lying for the whole
+    # run.  Which replies actually lie is then a pure function of the
+    # schedule — FaultyTransport burns no extra coins on it.
+    byz_replicas: List[int] = []
+    if config.byzantine_liars > 0:
+        if config.byzantine_liars > len(ids):
+            raise ServiceError(
+                f"cannot pick {config.byzantine_liars} liars from"
+                f" {len(ids)} replicas"
+            )
+        byz_rng = streams.stream("chaos.byzantine")
+        byz_replicas = sorted(
+            int(rid)
+            for rid in byz_rng.choice(ids, size=config.byzantine_liars, replace=False)
+        )
+        schedule = schedule.extended(
+            [
+                ByzantineFault(
+                    frozenset(byz_replicas),
+                    Window(0.0),
+                    mode=config.byzantine_mode,
+                )
+            ]
+        )
+
+    # Open-loop arrival times, drawn from their own named stream so
+    # closed-loop runs burn no extra coins.
+    arrivals: Optional[np.ndarray] = None
+    if config.arrival == "poisson":
+        inter = streams.stream("chaos.arrivals").exponential(
+            1000.0 / config.arrival_rate, size=config.ops
+        )
+        arrivals = np.cumsum(inter)
+
+    # One registry shared by every client's wrapper: the fabricated-read
+    # invariant must recognise a lie no matter which liar told it to whom.
+    fabricated: set = set()
+    transports = [
+        FaultyTransport(
+            inner,
+            schedule,
+            seed=streams.seed_for(f"chaos.faults.{client}"),
+            site=client % 2,
+            fabricated_registry=fabricated,
+        )
+        for client in range(config.clients)
+    ]
+    metrics = ServiceMetrics(system.n)
+    coordinators = [
+        Coordinator(
+            system,
+            transports[client],
+            strategy,
+            coordinator_id=client,
+            seed=streams.seed_for(f"chaos.coordinator.{client}"),
+            timeout=config.timeout,
+            max_attempts=config.max_attempts,
+            suspicion_ttl=config.suspicion_ttl,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            degraded_reads=config.degraded_reads,
+            hinted_handoff=config.hinted_handoff,
+            hedge_spares=config.hedge_spares,
+            hedge_delay_ms=config.hedge_delay_ms,
+            require_full_quorum=not config.unsafe_partial_writes,
+            byzantine_b=config.byzantine_b,
+            lease_ttl=config.lease_ttl,
+            metrics=metrics,
+        )
+        for client in range(config.clients)
+    ]
+    plan = _plan(streams.stream("chaos.plan"), config)
+
+    # The shared cache tier (one pool for every client, like one edge
+    # cache in front of many app servers).  Requires a clock.
+    cache: Optional[CoordinatorCache] = None
+    if config.cache_ttl_ms > 0:
+        assert clock is not None
+        cache = CoordinatorCache(
+            clock, ttl_ms=config.cache_ttl_ms, swr_ms=config.cache_swr_ms
+        )
+
+    acked_max: Dict[str, _TS] = {}
+    acked_values: Dict[Tuple[str, int, int], Any] = {}
+    issued_values: Dict[Tuple[str, int, int], Any] = {}
+    violations: List[Dict[str, Any]] = []
+    trace: List[Dict[str, Any]] = []
+    slo_samples: List[Tuple[int, bool, float]] = []
+    refresh_tasks: List["asyncio.Task"] = []
+    workload_window = {"elapsed_ms": 0.0, "max_spawn_lag_ms": 0.0}
+    counts = {
+        "reads_ok": 0,
+        "reads_degraded": 0,
+        "reads_failed": 0,
+        "writes_ok": 0,
+        "writes_failed": 0,
+        "preloads": 0,
+    }
+    if cache is not None:
+        counts["reads_cached"] = 0
+
+    def record_ack(key: str, timestamp: _TS, value: Any) -> None:
+        acked_values[(key, timestamp[0], timestamp[1])] = value
+        if timestamp > acked_max.get(key, NULL_TIMESTAMP):
+            acked_max[key] = timestamp
+
+    def check_read(
+        index: int, client: int, key: str, result: ReadResult, expected: Optional[_TS]
+    ) -> None:
+        timestamp = (result.counter, result.writer)
+        # Fabricated values are checked before the stale early-return on
+        # purpose: a lie is a violation even when served flagged-stale.
+        check_fabricated_read(
+            violations,
+            op=index,
+            client=client,
+            key=key,
+            value=result.value,
+            timestamp=timestamp,
+            fabricated=fabricated,
+        )
+        check_version_integrity(
+            violations,
+            op=index,
+            client=client,
+            key=key,
+            value=result.value,
+            timestamp=timestamp,
+            issued_values=issued_values,
+        )
+        check_fresh_read(
+            violations,
+            op=index,
+            key=key,
+            timestamp=timestamp,
+            stale=result.stale,
+            expected=expected,
+            client=client,
+        )
+
+    def record_trace(
+        index: int, client: int, kind: str, key: str, outcome: str, ts: Optional[_TS]
+    ) -> None:
+        trace.append(
+            {
+                "op": index,
+                "client": client,
+                "kind": kind,
+                "key": key,
+                "outcome": outcome,
+                "ts": list(ts) if ts is not None else None,
+            }
+        )
+
+    def spawn_refresh(client: int, key: str) -> None:
+        # Stale-while-revalidate: the grace-window serve already went
+        # out; refresh the entry through a real quorum read, single-
+        # flight per key so a stampede of stale hits dedups to one read.
+        assert cache is not None
+        if not cache.begin_refresh(key):
+            return
+
+        async def _refresh() -> None:
+            ok = False
+            try:
+                result = await coordinators[client].read(key)
+            except OperationFailed:
+                pass
+            else:
+                if not result.stale:
+                    cache.store(key, result.value, result.counter, result.writer)
+                    ok = True
+            finally:
+                cache.end_refresh(key, ok=ok)
+
+        refresh_tasks.append(asyncio.ensure_future(_refresh()))
+
+    def cached_read(
+        index: int, client: int, key: str, expected: Optional[_TS]
+    ) -> bool:
+        """Serve a read from the cache tier if it can; True when served."""
+        assert cache is not None
+        state, entry = cache.lookup(key)
+        if entry is None:
+            return False
+        stale = state == "stale"
+        if stale:
+            spawn_refresh(client, key)
+        result = ReadResult(
+            entry.value, entry.counter, entry.writer, 0.0, 0, stale=stale
+        )
+        counts["reads_cached"] += 1
+        if stale:
+            counts["reads_degraded"] += 1
+            outcome = "degraded"
+        else:
+            counts["reads_ok"] += 1
+            outcome = "ok"
+        slo_samples.append((index, True, 0.0))
+        check_read(index, client, key, result, expected)
+        record_trace(
+            index, client, "read", key, outcome, (result.counter, result.writer)
+        )
+        return True
+
+    async def run_op(index: int, client: int, kind: str, key: str) -> None:
+        coordinator = coordinators[client]
+        if kind == "write":
+            value = f"v{index}-c{client}"
+            # The timestamp is determined before the attempt (clock+1),
+            # so even a failed write's partially-applied version is a
+            # known, legal version for later reads to return.  No await
+            # separates this from write()'s clock bump, so the stamp is
+            # exact even when operations overlap under open-loop arrival.
+            stamped = (coordinator.clock + 1, coordinator.coordinator_id)
+            issued_values[(key, stamped[0], stamped[1])] = value
+            try:
+                ack = await coordinator.write(key, value)
+            except OperationFailed as exc:
+                counts["writes_failed"] += 1
+                slo_samples.append((index, False, float(exc.latency)))
+                record_trace(index, client, kind, key, "failed", None)
+            else:
+                counts["writes_ok"] += 1
+                record_ack(key, (ack.counter, ack.writer), value)
+                if cache is not None:
+                    # Write-through (newest-wins): the shared pool never
+                    # serves an entry older than an acknowledged write.
+                    cache.store(key, value, ack.counter, ack.writer)
+                slo_samples.append((index, True, float(ack.latency)))
+                record_trace(
+                    index, client, kind, key, "ok", (ack.counter, ack.writer)
+                )
+        else:
+            # Snapshot the freshness expectation before the first await
+            # so a concurrent-with-read write cannot fake a violation.
+            expected = acked_max.get(key)
+            if cache is not None and cached_read(index, client, key, expected):
+                return
+            try:
+                result = await coordinator.read(key)
+            except OperationFailed as exc:
+                counts["reads_failed"] += 1
+                slo_samples.append((index, False, float(exc.latency)))
+                record_trace(index, client, kind, key, "failed", None)
+            else:
+                if result.stale:
+                    counts["reads_degraded"] += 1
+                    outcome = "degraded"
+                else:
+                    counts["reads_ok"] += 1
+                    if cache is not None:
+                        # Only unflagged quorum results may (re)fill the
+                        # cache: a degraded read carries no freshness
+                        # claim for later unflagged hits to inherit.
+                        cache.store(
+                            key, result.value, result.counter, result.writer
+                        )
+                    outcome = "ok"
+                slo_samples.append((index, True, float(result.latency)))
+                check_read(index, client, key, result, expected)
+                record_trace(
+                    index,
+                    client,
+                    kind,
+                    key,
+                    outcome,
+                    (result.counter, result.writer),
+                )
+
+    async def _run() -> None:
+        # Preload every key through the fault-free inner transport so each
+        # key has an acknowledged baseline version.
+        warmup = Coordinator(
+            system,
+            inner,
+            strategy,
+            coordinator_id=config.clients,
+            seed=streams.seed_for("chaos.warmup"),
+            timeout=10_000.0,
+            max_attempts=6,
+            metrics=ServiceMetrics(system.n),
+        )
+        for key_index in range(config.keys):
+            key, value = f"k{key_index:03d}", f"preload-{key_index}"
+            ack = await warmup.write(key, value)
+            issued_values[(key, ack.counter, ack.writer)] = value
+            record_ack(key, (ack.counter, ack.writer), value)
+            if cache is not None:
+                # Every lease starts at the same instant — the mass-
+                # expiry setup the cache-avalanche incident relies on.
+                cache.store(key, value, ack.counter, ack.writer)
+            counts["preloads"] += 1
+
+        if arrivals is None:
+            for index, (client, kind, key) in enumerate(plan):
+                for transport in transports:
+                    transport.clock = float(index)
+                await run_op(index, client, kind, key)
+        else:
+            # Open loop: ops fire at their Poisson arrival times whether
+            # or not earlier ops finished — the generator never throttles
+            # to service capacity, which is what lets latency collapse
+            # into queueing/timeout burn instead of hiding in a slow
+            # closed loop.
+            assert clock is not None
+            origin = clock.now()
+            pending: List["asyncio.Task"] = []
+            for index, (client, kind, key) in enumerate(plan):
+                target = origin + float(arrivals[index])
+                delay = target - clock.now()
+                if delay > 0:
+                    await clock.sleep(delay)
+                lag = clock.now() - target
+                if lag > workload_window["max_spawn_lag_ms"]:
+                    workload_window["max_spawn_lag_ms"] = lag
+                # Fault ticks advance with the op index, monotonically,
+                # exactly as in the closed loop.
+                for transport in transports:
+                    transport.clock = float(index)
+                pending.append(
+                    asyncio.ensure_future(run_op(index, client, kind, key))
+                )
+            await asyncio.gather(*pending)
+            workload_window["elapsed_ms"] = clock.now() - origin
+        if refresh_tasks:
+            await asyncio.gather(*refresh_tasks)
+        # Hedged phases may leave absorbed stragglers in flight; the
+        # post-run invariants must see their effects (journal appends,
+        # suspicion updates) — wait for them all.
+        for coordinator in coordinators:
+            await coordinator.drain()
+
+    started = time.perf_counter()
+    if mode == "sim":
+        assert isinstance(clock, VirtualClock)
+        run_virtual(_run(), clock=clock)
+    else:
+        asyncio.run(_run())
+    elapsed = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Post-run invariants (the shared registry's audits)
+    # ------------------------------------------------------------------
+    for key in sorted(acked_max):
+        expected = acked_max[key]
+        audit_durability(
+            violations,
+            key=key,
+            expected=expected,
+            acked_value=acked_values[(key, expected[0], expected[1])],
+            replicas=replicas,
+        )
+
+    for rid in sorted(journals):
+        audit_monotone(violations, journals[rid], replica=rid)
+
+    if byz_replicas:
+        audit_lie_detection(
+            violations,
+            coordinators=coordinators,
+            liars=byz_replicas,
+            budget=config.byzantine_b,
+        )
+        audit_lie_suspicion(violations, coordinators=coordinators)
+
+    # ------------------------------------------------------------------
+    # Availability: measured under the schedule's iid crash component vs
+    # the exact failure probability of the same model.
+    # ------------------------------------------------------------------
+    alive_ticks = sum(
+        1
+        for tick in range(config.ops)
+        if system.contains_quorum(universe - schedule.crash_down_at(float(tick)))
+    )
+    availability = availability_comparison(
+        system, config.crash_rate, alive_ticks / config.ops
+    )
+    availability["op_success_rate"] = metrics.success_rate
+
+    injected: Dict[str, int] = {}
+    for transport in transports:
+        for fault_kind, count in transport.injected.items():
+            injected[fault_kind] = injected.get(fault_kind, 0) + count
+
+    metrics_snapshot = metrics.to_dict()
+    hashes = {
+        "trace": _digest(trace),
+        "metrics": _digest(metrics_snapshot),
+    }
+
+    arrival_info: Optional[Dict[str, Any]] = None
+    if arrivals is not None:
+        elapsed_ms = workload_window["elapsed_ms"]
+        arrival_info = {
+            "mode": "poisson",
+            "rate_ops_per_s": config.arrival_rate,
+            "elapsed_ms": elapsed_ms,
+            "achieved_ops_per_s": (
+                config.ops / (elapsed_ms / 1000.0) if elapsed_ms > 0 else 0.0
+            ),
+            # 0.0 in sim mode by construction: the virtual loop wakes the
+            # generator exactly on schedule, so any positive lag means
+            # the open loop failed to sustain the configured rate.
+            "max_spawn_lag_ms": workload_window["max_spawn_lag_ms"],
+        }
+
+    return ChaosReport(
+        system_name=system.system_name,
+        n=system.n,
+        seed=seed,
+        config=config,
+        schedule=schedule,
+        injected=injected,
+        operations=counts,
+        availability=availability,
+        violations=violations,
+        metrics=metrics,
+        mode=mode,
+        trace=trace,
+        hashes=hashes,
+        byzantine_replicas=byz_replicas,
+        slo=slo_report(slo_samples, slo) if slo is not None else None,
+        arrival=arrival_info,
+        cache=cache.snapshot() if cache is not None else None,
+        elapsed_seconds=elapsed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Declarative scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative incident: schedule + workload + SLO.
+
+    ``schedule`` builds the fault schedule from the replica ids and the
+    config (None keeps the engine's seeded randomized schedule, driven
+    by the config's fault knobs).  ``expect_violations`` documents
+    intentionally-unsafe demonstrations — the incident CLI and CI treat
+    violations in such runs as the *expected* outcome.
+    """
+
+    name: str
+    summary: str
+    config: ChaosConfig
+    slo: SloTargets
+    system: str = "majority:5"
+    schedule: Optional[
+        Callable[[List[int], ChaosConfig], FaultSchedule]
+    ] = None
+    expect_violations: bool = False
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``incident list`` row (no run required)."""
+        return {
+            "name": self.name,
+            "summary": self.summary,
+            "system": self.system,
+            "slo": self.slo.to_dict(),
+            "expect_violations": self.expect_violations,
+        }
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    seed: int = 0,
+    mode: str = "sim",
+    system_spec: Optional[str] = None,
+    **overrides: Any,
+) -> Tuple[ChaosReport, Dict[str, Any]]:
+    """Execute one named scenario and build its versioned scorecard.
+
+    ``system_spec`` overrides the scenario's default system (the CI
+    matrix sweeps incidents across families this way); keyword
+    ``overrides`` map onto :class:`ChaosConfig` fields (``ops=...``,
+    ``clients=...``).  Returns ``(report, scorecard)`` where the
+    scorecard is the report snapshot plus the scenario header — the
+    JSON ``quorumtool incident run`` emits.
+    """
+    from ..cli import build_system
+
+    spec = system_spec or scenario.system
+    system = build_system(spec)
+    config = replace(scenario.config, **overrides) if overrides else scenario.config
+    schedule = None
+    if scenario.schedule is not None:
+        schedule = scenario.schedule(sorted(system.universe.ids), config)
+    report = run_chaos(
+        system,
+        seed=seed,
+        config=config,
+        schedule=schedule,
+        mode=mode,
+        slo=scenario.slo,
+    )
+    scorecard: Dict[str, Any] = {
+        "scorecard_version": SCORECARD_VERSION,
+        "scenario": scenario.name,
+        "summary": scenario.summary,
+        "expect_violations": scenario.expect_violations,
+    }
+    scorecard.update(report.to_dict())
+    return report, scorecard

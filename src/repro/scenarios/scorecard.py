@@ -1,0 +1,58 @@
+"""Scorecard primitives shared by every harness in the repo.
+
+Every JSON scorecard the CLI emits — ``quorumtool chaos``, ``reshard``,
+``incident`` and ``kvbench`` — goes through these helpers so sweep
+tooling can parse them uniformly: the ``invariants`` block always has
+the same four keys (``checked``, ``ok``, ``violations``,
+``violation_counts``), and :func:`digest` is the one canonical-JSON
+fingerprint used for bit-reproducibility hashes everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+__all__ = [
+    "SCORECARD_VERSION",
+    "digest",
+    "invariants_block",
+    "violation_counts",
+]
+
+#: Version of the scorecard schema; bumped when keys move or change
+#: meaning, so sweep tooling can refuse snapshots it does not understand.
+SCORECARD_VERSION = 1
+
+
+def digest(payload: Any) -> str:
+    """Canonical-JSON sha256 of a snapshot (the determinism fingerprint)."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def violation_counts(violations: Iterable[Dict[str, Any]]) -> Dict[str, int]:
+    """Violations grouped per invariant (the scorecard histogram)."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        name = violation.get("invariant", "unknown")
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def invariants_block(
+    checked: Sequence[str], violations: List[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The uniform ``invariants`` scorecard block.
+
+    ``checked`` lists the invariant names the harness audited (empty for
+    fault-free benchmarks that audit nothing); ``violations`` is the raw
+    violation list, echoed verbatim with its per-invariant histogram.
+    """
+    return {
+        "checked": list(checked),
+        "ok": not violations,
+        "violations": violations,
+        "violation_counts": violation_counts(violations),
+    }

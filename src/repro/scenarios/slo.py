@@ -1,0 +1,154 @@
+"""SLO targets and error-budget scoring for scenario scorecards.
+
+An :class:`SloTargets` names what the service promises — a minimum
+availability plus any number of latency-percentile ceilings — and
+:func:`slo_report` scores one run's per-operation samples against it:
+observed availability and percentiles (computed through the shared
+:class:`~repro.runtime.metrics.LatencyHistogram`, the same numerics the
+service metrics use), the error budget the availability target implies,
+how much of it the run burned, and the burn rate per fixed-size
+operation window — the windowed view SRE burn-rate alerts are defined
+over.  Everything is a pure function of the samples, so sim-mode
+scorecards stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import ServiceError
+from ..runtime.metrics import LatencyHistogram
+
+__all__ = ["SloTargets", "slo_report"]
+
+#: One scored operation: (op index, served ok, end-to-end latency ms).
+Sample = Tuple[int, bool, float]
+
+
+@dataclass(frozen=True)
+class SloTargets:
+    """What the scenario promises its callers.
+
+    ``availability`` is the minimum fraction of operations served
+    (strictly below 1.0 — a zero error budget makes burn rates
+    meaningless); ``latency_ms`` maps percentile labels (``"p95"``,
+    ``"p99"``, any ``p<float>``) to latency ceilings in milliseconds;
+    ``window_ops`` sizes the burn-rate windows.
+    """
+
+    availability: float = 0.999
+    latency_ms: Mapping[str, float] = field(default_factory=dict)
+    window_ops: int = 50
+
+    def validate(self) -> None:
+        if not 0.0 < self.availability < 1.0:
+            raise ServiceError(
+                "SLO availability target must be in (0,1), got"
+                f" {self.availability}"
+            )
+        for label, ceiling in self.latency_ms.items():
+            _percentile_of(label)  # raises on malformed labels
+            if ceiling <= 0:
+                raise ServiceError(
+                    f"latency ceiling for {label} must be positive,"
+                    f" got {ceiling}"
+                )
+        if self.window_ops < 1:
+            raise ServiceError("window_ops must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "availability": self.availability,
+            "latency_ms": dict(sorted(self.latency_ms.items())),
+            "window_ops": self.window_ops,
+        }
+
+
+def _percentile_of(label: str) -> float:
+    """``"p99"`` -> 99.0 (raises :class:`ServiceError` on junk)."""
+    if not label.startswith("p"):
+        raise ServiceError(f"latency target label {label!r} must be p<q>")
+    try:
+        q = float(label[1:])
+    except ValueError:
+        raise ServiceError(f"latency target label {label!r} must be p<q>")
+    if not 0.0 <= q <= 100.0:
+        raise ServiceError(f"latency percentile {label!r} outside [0,100]")
+    return q
+
+
+def slo_report(
+    samples: Sequence[Sample], targets: SloTargets
+) -> Dict[str, Any]:
+    """Score one run's operation samples against its SLO targets.
+
+    Returns the scorecard ``slo`` block: targets, observed availability
+    and latency percentiles, the error-budget arithmetic (allowed vs
+    observed error rate, fraction of budget spent, overall burn rate),
+    per-window burn rates, and a ``met`` verdict per target.  Failed
+    operations stay in the latency population — they burned their
+    timeout, and hiding them would flatter the percentiles.
+    """
+    targets.validate()
+    total = len(samples)
+    served = sum(1 for _, ok, _ in samples if ok)
+    availability = served / total if total else 1.0
+
+    histogram = LatencyHistogram()
+    for _, _, latency in samples:
+        histogram.record(latency)
+    observed_latency = {
+        label: histogram.percentile(_percentile_of(label))
+        for label in sorted(targets.latency_ms)
+    }
+
+    allowed_error_rate = 1.0 - targets.availability
+    observed_error_rate = 1.0 - availability
+    # Burn rate 1.0 = errors arriving exactly at budget pace; >1 burns
+    # the budget faster than the SLO window sustains.
+    burn_rate = observed_error_rate / allowed_error_rate
+    budget_spent = burn_rate  # over the whole run they coincide
+
+    windows: List[Dict[str, Any]] = []
+    for start in range(0, total, targets.window_ops):
+        chunk = samples[start : start + targets.window_ops]
+        errors = sum(1 for _, ok, _ in chunk if not ok)
+        window_error_rate = errors / len(chunk)
+        windows.append(
+            {
+                "start_op": start,
+                "ops": len(chunk),
+                "error_rate": window_error_rate,
+                "burn_rate": window_error_rate / allowed_error_rate,
+            }
+        )
+    max_window_burn = max((w["burn_rate"] for w in windows), default=0.0)
+
+    latency_met = {
+        label: observed_latency[label] <= ceiling
+        for label, ceiling in sorted(targets.latency_ms.items())
+    }
+    availability_met = availability >= targets.availability
+    return {
+        "targets": targets.to_dict(),
+        "observed": {
+            "ops": total,
+            "served": served,
+            "availability": availability,
+            "latency_ms": observed_latency,
+        },
+        "error_budget": {
+            "allowed_error_rate": allowed_error_rate,
+            "observed_error_rate": observed_error_rate,
+            "budget_spent": budget_spent,
+            "burn_rate": burn_rate,
+            "max_window_burn_rate": max_window_burn,
+        },
+        "windows": windows,
+        "met": {
+            "availability": availability_met,
+            "latency": latency_met,
+            "ok": availability_met and all(latency_met.values()),
+        },
+    }

@@ -24,12 +24,16 @@ into a running service:
 * :mod:`repro.service.faults` — declarative fault schedules (crash
   windows, asymmetric partitions, latency spikes, drop/duplication,
   flapping) applied by a :class:`FaultyTransport` over any transport;
+* :mod:`repro.service.cache` — coordinator-side TTL +
+  stale-while-revalidate read cache (the tier the cache-avalanche
+  incident exercises);
 * :mod:`repro.service.chaos` — seeded randomized chaos runs with safety
   invariant checking and measured-vs-exact availability, behind
-  ``quorumtool chaos``.
+  ``quorumtool chaos``.  The engine itself now lives in
+  :mod:`repro.scenarios.engine`; this module re-exports it.
 """
 
-from .chaos import ChaosConfig, ChaosReport, run_chaos
+from .cache import CacheEntry, CoordinatorCache
 from .coordinator import Coordinator, OperationFailed, ReadResult, WriteResult
 from .faults import (
     ActivationLog,
@@ -74,10 +78,26 @@ from .transport import (
 )
 from .wire import WireError
 
+# The chaos engine lives in repro.scenarios.engine (which imports the
+# service submodules above); resolve its exports lazily (PEP 562) so
+# `from repro.service import run_chaos` keeps working without a cycle.
+_CHAOS_EXPORTS = ("ChaosConfig", "ChaosReport", "run_chaos")
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BenchmarkReport",
     "BinaryTcpTransport",
+    "CacheEntry",
     "ChaosConfig",
+    "CoordinatorCache",
     "ChaosReport",
     "Coordinator",
     "ActivationLog",

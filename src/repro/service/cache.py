@@ -1,0 +1,145 @@
+"""Coordinator-side read cache: TTL leases + stale-while-revalidate.
+
+A :class:`CoordinatorCache` sits in front of quorum reads the way an
+edge cache sits in front of an origin: entries are *leased* for
+``ttl_ms`` of clock time, after which they may still be served for a
+further ``swr_ms`` grace window — flagged stale, with a background
+quorum read refreshing the entry — before they become misses that must
+pay the full quorum round-trip.
+
+Safety contract (what keeps the chaos invariants sound):
+
+* **newest-wins stores** — an entry is only replaced by an equal-or-
+  newer ``(counter, writer)`` version, so a write-through older than
+  the cached version (a lagging writer's logical clock) can never roll
+  the cache back;
+* callers must only :meth:`store` versions that were *acknowledged*
+  (write acks and unflagged quorum reads, never degraded ``stale=True``
+  results), which makes a fresh hit at least as new as every version
+  acknowledged through this cache — serving it unflagged is safe;
+* grace-window serves are flagged ``stale=True`` by the caller: the
+  lease expired, so the entry no longer carries a freshness claim.
+
+The cache is deliberately shared by every client of a harness: one
+write-through pool, like one memcached tier in front of many app
+servers.  Mass-expiry stampedes (every key leased at the same instant
+expiring together — the classic cache avalanche) are what
+``incident-015-cache-avalanche`` demonstrates; the ``swr_ms`` grace
+window plus single-flight refresh deduplication is the mitigation knob.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, NamedTuple, Optional, Set, Tuple
+
+from ..runtime.clock import Clock
+
+__all__ = ["CacheEntry", "CoordinatorCache"]
+
+
+class CacheEntry(NamedTuple):
+    """One cached version with its lease stamp."""
+
+    value: Any
+    counter: int
+    writer: int
+    stored_ms: float
+
+
+class CoordinatorCache:
+    """A shared TTL + stale-while-revalidate read cache over a clock."""
+
+    def __init__(
+        self, clock: Clock, *, ttl_ms: float, swr_ms: float = 0.0
+    ) -> None:
+        if ttl_ms <= 0:
+            raise ValueError(f"cache ttl_ms must be positive, got {ttl_ms}")
+        if swr_ms < 0:
+            raise ValueError(f"cache swr_ms must be >= 0, got {swr_ms}")
+        self._clock = clock
+        self.ttl_ms = float(ttl_ms)
+        self.swr_ms = float(swr_ms)
+        self._entries: Dict[str, CacheEntry] = {}
+        self._refreshing: Set[str] = set()
+        # Deterministic counters (snapshotted into scorecards).
+        self.hits = 0
+        self.stale_served = 0
+        self.misses = 0
+        self.stores = 0
+        self.refreshes = 0
+        self.refresh_failures = 0
+
+    def lookup(self, key: str) -> Tuple[str, Optional[CacheEntry]]:
+        """Classify a read: ``("fresh", entry)`` within the lease,
+        ``("stale", entry)`` within the grace window (serve flagged,
+        refresh in background), ``("miss", None)`` otherwise."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return "miss", None
+        age = self._clock.now() - entry.stored_ms
+        if age < self.ttl_ms:
+            self.hits += 1
+            return "fresh", entry
+        if age < self.ttl_ms + self.swr_ms:
+            self.stale_served += 1
+            return "stale", entry
+        self.misses += 1
+        return "miss", None
+
+    def store(self, key: str, value: Any, counter: int, writer: int) -> bool:
+        """Fill/refresh an entry from an *acknowledged* version.
+
+        Newest-wins: an older version than the cached one is dropped
+        (returns False) so lagging writers cannot roll the cache back;
+        an equal version re-validates the lease (fresh stamp).
+        """
+        existing = self._entries.get(key)
+        if existing is not None and (counter, writer) < (
+            existing.counter,
+            existing.writer,
+        ):
+            return False
+        self._entries[key] = CacheEntry(
+            value, int(counter), int(writer), self._clock.now()
+        )
+        self.stores += 1
+        return True
+
+    def begin_refresh(self, key: str) -> bool:
+        """Claim the single-flight refresh slot for ``key``; False when a
+        refresh is already in flight (the stampede deduplication)."""
+        if key in self._refreshing:
+            return False
+        self._refreshing.add(key)
+        self.refreshes += 1
+        return True
+
+    def end_refresh(self, key: str, *, ok: bool = True) -> None:
+        """Release the refresh slot (count the failure if it failed)."""
+        self._refreshing.discard(key)
+        if not ok:
+            self.refresh_failures += 1
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.stale_served + self.misses
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic scorecard block (no clock values, no floats
+        derived from wall time — identical per seed in sim mode)."""
+        lookups = self.lookups
+        served = self.hits + self.stale_served
+        return {
+            "ttl_ms": self.ttl_ms,
+            "swr_ms": self.swr_ms,
+            "size": len(self._entries),
+            "lookups": lookups,
+            "hits": self.hits,
+            "stale_served": self.stale_served,
+            "misses": self.misses,
+            "hit_rate": (served / lookups) if lookups else 0.0,
+            "stores": self.stores,
+            "refreshes": self.refreshes,
+            "refresh_failures": self.refresh_failures,
+        }

@@ -1,721 +1,22 @@
-"""Chaos harness: randomized fault schedules + safety invariants.
+"""Compatibility shim: the chaos harness is now the scenario engine.
 
-Runs a seeded, bit-reproducible workload against the KV service while a
-:class:`~repro.runtime.faults.FaultSchedule` injects crashes, flapping,
-asymmetric partitions, latency spikes, and message drop/duplication —
-then checks safety invariants over the full operation history:
-
-1. **No acknowledged write lost** — after the run, the newest version
-   surviving on *any* replica is at least the newest acknowledged
-   timestamp per key (and carries the acknowledged value on equality).
-   Guaranteed while quorum intersection holds; broken (and detected) by
-   ``unsafe_partial_writes`` split-brain runs.
-2. **No stale unflagged read** — a successful quorum read returns a
-   timestamp at least as new as every write acknowledged before it
-   (operations run sequentially, so this subsumes read-your-writes and
-   monotone reads per coordinator).  Opt-in degraded reads are exempt:
-   their ``stale=True`` flag is precisely the permission to be stale.
-3. **Version integrity** — every version a read returns was actually
-   issued by some writer, with the exact value it was issued with
-   (catches corruption from duplicated/replayed messages).
-4. **Per-replica timestamp monotonicity** — replica journals only ever
-   move forward (write idempotence under duplication and handoff replay).
-
-With ``byzantine_liars > 0`` the schedule additionally turns replicas
-into lying (Byzantine) faults and three more invariants apply:
-
-5. **No fabricated read** — no successful read (degraded included) ever
-   returns a value a liar fabricated.  Holds whenever the coordinators
-   run masking reads (``byzantine_b``) with at most ``byzantine_b``
-   liars on a b-masking system; the over-budget ``liars = b+1`` run is
-   the expected-failure demonstration.
-6. **Lie detection is sound** — within the masking budget, every
-   replica a coordinator marks as a liar really is one.
-7. **Lies feed suspicion** — every caught liar entered the suspicion/
-   breaker machinery, so lying replicas are steered away from.
-
-On top, the harness measures availability under the schedule's iid crash
-component and compares it against the *exact* failure probability
-``F_p`` from :mod:`repro.analysis` — closing the loop between the
-paper's §4.3/§6 numbers and served traffic.
-
-Execution substrates (``mode=``)
---------------------------------
-``"inprocess"``
-    The zero-latency deterministic transport: sampled latencies are
-    accounting entries, awaits are cooperative yields.  Fast, the
-    historical default.
-``"sim"``
-    The same unmodified coordinator/replica stack over
-    :class:`~repro.service.simtransport.SimTransport` under a
-    :class:`~repro.runtime.clock.VirtualTimeLoop`: latencies, timeouts
-    and backoffs *elapse* in virtual time, the run is bit-reproducible
-    (the report carries trace and metrics hashes to prove it), and a
-    whole run costs milliseconds of wall clock.
-``"wall"``
-    The identical ``SimTransport`` run over a real clock and event loop
-    — every sampled latency is really slept.  Same RNG draws, same
-    outcomes, same hashes as ``"sim"``; exists as the honest wall-clock
-    baseline the ``--sim`` speedup is measured against.
-
-All randomness is drawn from named :class:`~repro.runtime.rng.RngStreams`
-(``chaos.transport``, ``chaos.schedule``, ``chaos.plan``,
-``chaos.faults.<client>``, ``chaos.coordinator.<client>``,
-``chaos.warmup``, ``chaos.byzantine``), so every component owns an
-independent stream derived from the one root seed.
+The randomized-fault chaos runner grew into the declarative scenario
+engine at :mod:`repro.scenarios.engine` — one runner shared by
+``quorumtool chaos``, the named SRE incident library
+(:mod:`repro.scenarios.library`) and the sharded harness's invariant
+registry.  Everything this module used to define is re-exported here
+unchanged (same classes, same signatures, same seeds → same hashes), so
+``from repro.service.chaos import run_chaos`` keeps working.
 """
 
 from __future__ import annotations
 
-import asyncio
-import hashlib
-import json
-import time
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
-
-import numpy as np
-
-from ..analysis.availability import availability_comparison
-from ..core.errors import ServiceError
-from ..core.quorum_system import QuorumSystem
-from ..core.rwstrategy import PathStrategy
-from ..core.strategy import Strategy
-from ..runtime.clock import Clock, VirtualClock, WallClock, run_virtual
-from ..runtime.rng import RngStreams
-from .coordinator import Coordinator, OperationFailed
-from .faults import (
-    BYZANTINE_MODES,
-    ByzantineFault,
-    FaultSchedule,
-    FaultyTransport,
-    Window,
-    split_brain_schedule,
+from ..scenarios.engine import (  # noqa: F401
+    ChaosConfig,
+    ChaosReport,
+    _digest,
+    _plan,
+    run_chaos,
 )
-from .metrics import ServiceMetrics
-from .replica import NULL_TIMESTAMP, Replica
-from .simtransport import SimTransport
-from .transport import InProcessTransport
 
-_TS = Tuple[int, int]
-
-_MODES = ("inprocess", "sim", "wall")
-
-
-@dataclass
-class ChaosConfig:
-    """Shape of one chaos run."""
-
-    ops: int = 400
-    read_fraction: float = 0.6
-    keys: int = 8
-    clients: int = 2
-    crash_rate: float = 0.15
-    epoch: int = 25  # ticks per iid crash epoch
-    timeout: float = 50.0
-    max_attempts: int = 4
-    suspicion_ttl: int = 15
-    breaker_threshold: int = 3
-    breaker_cooldown: int = 30
-    degraded_reads: bool = True
-    hinted_handoff: bool = True
-    latency_spikes: int = 2
-    drops: int = 2
-    duplicates: int = 1
-    flappers: int = 1
-    partitions: int = 1
-    hedge_spares: int = 0  # spare replicas per quorum phase (0 = off)
-    hedge_delay_ms: float = 0.0  # defer spares this long (0 = upfront)
-    unsafe_partial_writes: bool = False  # intentionally breaks intersection
-    byzantine_b: int = 0  # masking parameter b: coordinators vote b+1 deep
-    byzantine_liars: int = 0  # replicas turned into lying (Byzantine) faults
-    byzantine_mode: str = "wrong_value"  # lie flavour, see BYZANTINE_MODES
-    lease_ttl: int = 0  # quorum-lease lifetime in ops (0 = leases off)
-    read_write: bool = False  # serve reads from the capacity-LP read family
-
-    def validate(self) -> None:
-        if self.ops < 1:
-            raise ServiceError(f"chaos needs at least one op, got {self.ops}")
-        if not 0.0 <= self.read_fraction <= 1.0:
-            raise ServiceError("read fraction must be in [0,1]")
-        if self.keys < 1:
-            raise ServiceError("need at least one key")
-        if self.clients < 1:
-            raise ServiceError("need at least one client")
-        if not 0.0 <= self.crash_rate <= 1.0:
-            raise ServiceError("crash rate must be in [0,1]")
-        if self.epoch < 1:
-            raise ServiceError("epoch must be >= 1 tick")
-        if self.hedge_spares < 0:
-            raise ServiceError("hedge_spares must be >= 0")
-        if self.hedge_delay_ms < 0:
-            raise ServiceError("hedge_delay_ms must be >= 0")
-        if self.unsafe_partial_writes and self.clients < 2:
-            raise ServiceError(
-                "split-brain demonstration needs at least two clients"
-            )
-        if self.byzantine_b < 0:
-            raise ServiceError("byzantine_b must be >= 0")
-        if self.byzantine_liars < 0:
-            raise ServiceError("byzantine_liars must be >= 0")
-        if self.byzantine_mode not in BYZANTINE_MODES:
-            raise ServiceError(
-                f"unknown byzantine mode {self.byzantine_mode!r};"
-                f" pick one of {BYZANTINE_MODES}"
-            )
-        if self.lease_ttl < 0:
-            raise ServiceError("lease_ttl must be >= 0")
-
-
-@dataclass
-class ChaosReport:
-    """Everything one chaos run produced, JSON-exportable and seed-stable."""
-
-    system_name: str
-    n: int
-    seed: int
-    config: ChaosConfig
-    schedule: FaultSchedule
-    injected: Dict[str, int]
-    operations: Dict[str, int]
-    availability: Dict[str, float]
-    violations: List[Dict[str, Any]] = field(default_factory=list)
-    metrics: Optional[ServiceMetrics] = None
-    mode: str = "inprocess"
-    trace: List[Dict[str, Any]] = field(default_factory=list)
-    hashes: Dict[str, str] = field(default_factory=dict)
-    byzantine_replicas: List[int] = field(default_factory=list)
-    # Wall-clock duration of the run; NOT in to_dict() — the snapshot
-    # must stay bit-identical for identical seeds.
-    elapsed_seconds: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        """True when every safety invariant held."""
-        return not self.violations
-
-    @property
-    def violation_counts(self) -> Dict[str, int]:
-        """Violations grouped per invariant (the scorecard histogram)."""
-        counts: Dict[str, int] = {}
-        for violation in self.violations:
-            name = violation.get("invariant", "unknown")
-            counts[name] = counts.get(name, 0) + 1
-        return dict(sorted(counts.items()))
-
-    def to_dict(self) -> Dict[str, Any]:
-        checked = [
-            "acked-write-durable",
-            "no-stale-unflagged-read",
-            "version-integrity",
-            "replica-ts-monotone",
-        ]
-        if self.byzantine_replicas:
-            checked += [
-                "byzantine-fabricated-read",
-                "lie-detection-sound",
-                "lie-suspicion-reflected",
-            ]
-        snapshot: Dict[str, Any] = {
-            "system": self.system_name,
-            "n": self.n,
-            "seed": self.seed,
-            "mode": self.mode,
-            "config": asdict(self.config),
-            "schedule": self.schedule.to_dict(),
-            "byzantine_replicas": list(self.byzantine_replicas),
-            "faults_injected": dict(sorted(self.injected.items())),
-            "operations": dict(sorted(self.operations.items())),
-            "availability": dict(sorted(self.availability.items())),
-            "hashes": dict(sorted(self.hashes.items())),
-            "invariants": {
-                "checked": checked,
-                "ok": self.ok,
-                "violations": self.violations,
-                "violation_counts": self.violation_counts,
-            },
-        }
-        if self.metrics is not None:
-            snapshot["metrics"] = self.metrics.to_dict()
-        return snapshot
-
-
-def _plan(
-    rng: np.random.Generator, config: ChaosConfig
-) -> List[Tuple[int, str, str]]:
-    """Precomputed ``(client, kind, key)`` sequence, one entry per tick."""
-    reads = rng.random(config.ops) < config.read_fraction
-    keys = rng.integers(0, config.keys, size=config.ops)
-    return [
-        (index % config.clients, "read" if is_read else "write", f"k{int(k):03d}")
-        for index, (is_read, k) in enumerate(zip(reads, keys))
-    ]
-
-
-def _digest(payload: Any) -> str:
-    """Canonical-JSON sha256 of a snapshot (the determinism fingerprint)."""
-    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
-
-
-def run_chaos(
-    system: QuorumSystem,
-    *,
-    seed: int = 0,
-    config: Optional[ChaosConfig] = None,
-    schedule: Optional[FaultSchedule] = None,
-    strategy: Optional[PathStrategy] = None,
-    mode: str = "inprocess",
-) -> ChaosReport:
-    """Run one seeded chaos scenario and check every safety invariant.
-
-    A caller-provided ``schedule`` overrides the randomized one (the
-    config's fault knobs are then ignored); ``unsafe_partial_writes``
-    additionally appends a forced split-brain partition and disables the
-    coordinators' full-quorum acknowledgement check — the intentionally
-    intersection-breaking scenario that must be *detected*.
-
-    ``mode`` selects the execution substrate (see module docstring):
-    ``"inprocess"``, ``"sim"`` (virtual time) or ``"wall"`` (real time,
-    same draws as ``"sim"``).  The same seed and config produce the same
-    schedule and plan in every mode.
-    """
-    if mode not in _MODES:
-        raise ServiceError(f"unknown chaos mode {mode!r}; pick one of {_MODES}")
-    if config is None:
-        config = ChaosConfig()
-    config.validate()
-    if strategy is None:
-        if config.read_write:
-            # Split serving path under faults: reads come from the LP's
-            # read-quorum family (small quorums!), writes from the
-            # matched write family — the invariants below must hold
-            # regardless.  Voted reads need 2b+1-deep intersections, so
-            # the LP is constrained accordingly; when no read family is
-            # deep enough, read_write_capacity itself falls back to
-            # splitting over the write family (unified_read_fallback).
-            from ..analysis.capacity import read_write_capacity
-
-            strategy = read_write_capacity(
-                system,
-                read_fraction=config.read_fraction,
-                min_intersection=2 * config.byzantine_b + 1,
-            ).strategy
-        else:
-            from ..analysis.load import optimal_strategy
-
-            strategy = optimal_strategy(system)
-
-    streams = RngStreams(seed)
-    ids = sorted(system.universe.ids)
-    universe = frozenset(ids)
-
-    # Replica journals for the monotonicity invariant.
-    journals: Dict[int, Dict[str, List[_TS]]] = {rid: {} for rid in ids}
-
-    def journal_for(rid: int):
-        def on_apply(key: str, counter: int, writer: int) -> None:
-            journals[rid].setdefault(key, []).append((counter, writer))
-
-        return on_apply
-
-    replicas = [
-        Replica(rid, name=system.universe.name_of(rid), on_apply=journal_for(rid))
-        for rid in ids
-    ]
-    clock: Optional[Clock] = None
-    if mode == "inprocess":
-        inner: Any = InProcessTransport(
-            replicas, seed=streams.seed_for("chaos.transport")
-        )
-    else:
-        clock = VirtualClock() if mode == "sim" else WallClock()
-        inner = SimTransport(
-            replicas, clock=clock, rng=streams.stream("chaos.transport")
-        )
-
-    if schedule is None:
-        schedule = FaultSchedule.random(
-            streams.stream("chaos.schedule"),
-            ids,
-            float(config.ops),
-            crash_rate=config.crash_rate,
-            epoch=float(config.epoch),
-            latency_spikes=config.latency_spikes,
-            drops=config.drops,
-            duplicates=config.duplicates,
-            flappers=config.flappers,
-            partitions=config.partitions,
-            sites=min(config.clients, 2),
-        )
-    if config.unsafe_partial_writes:
-        window = Window(config.ops * 0.25, config.ops * 0.75)
-        schedule = schedule.extended(split_brain_schedule(ids, window))
-
-    # Byzantine liars: drawn from their own named stream (so turning them
-    # on never shifts the crash/partition schedule), lying for the whole
-    # run.  Which replies actually lie is then a pure function of the
-    # schedule — FaultyTransport burns no extra coins on it.
-    byz_replicas: List[int] = []
-    if config.byzantine_liars > 0:
-        if config.byzantine_liars > len(ids):
-            raise ServiceError(
-                f"cannot pick {config.byzantine_liars} liars from"
-                f" {len(ids)} replicas"
-            )
-        byz_rng = streams.stream("chaos.byzantine")
-        byz_replicas = sorted(
-            int(rid)
-            for rid in byz_rng.choice(ids, size=config.byzantine_liars, replace=False)
-        )
-        schedule = schedule.extended(
-            [
-                ByzantineFault(
-                    frozenset(byz_replicas),
-                    Window(0.0),
-                    mode=config.byzantine_mode,
-                )
-            ]
-        )
-
-    # One registry shared by every client's wrapper: the fabricated-read
-    # invariant must recognise a lie no matter which liar told it to whom.
-    fabricated: set = set()
-    transports = [
-        FaultyTransport(
-            inner,
-            schedule,
-            seed=streams.seed_for(f"chaos.faults.{client}"),
-            site=client % 2,
-            fabricated_registry=fabricated,
-        )
-        for client in range(config.clients)
-    ]
-    metrics = ServiceMetrics(system.n)
-    coordinators = [
-        Coordinator(
-            system,
-            transports[client],
-            strategy,
-            coordinator_id=client,
-            seed=streams.seed_for(f"chaos.coordinator.{client}"),
-            timeout=config.timeout,
-            max_attempts=config.max_attempts,
-            suspicion_ttl=config.suspicion_ttl,
-            breaker_threshold=config.breaker_threshold,
-            breaker_cooldown=config.breaker_cooldown,
-            degraded_reads=config.degraded_reads,
-            hinted_handoff=config.hinted_handoff,
-            hedge_spares=config.hedge_spares,
-            hedge_delay_ms=config.hedge_delay_ms,
-            require_full_quorum=not config.unsafe_partial_writes,
-            byzantine_b=config.byzantine_b,
-            lease_ttl=config.lease_ttl,
-            metrics=metrics,
-        )
-        for client in range(config.clients)
-    ]
-    plan = _plan(streams.stream("chaos.plan"), config)
-
-    acked_max: Dict[str, _TS] = {}
-    acked_values: Dict[Tuple[str, int, int], Any] = {}
-    issued_values: Dict[Tuple[str, int, int], Any] = {}
-    violations: List[Dict[str, Any]] = []
-    trace: List[Dict[str, Any]] = []
-    counts = {
-        "reads_ok": 0,
-        "reads_degraded": 0,
-        "reads_failed": 0,
-        "writes_ok": 0,
-        "writes_failed": 0,
-        "preloads": 0,
-    }
-
-    def record_ack(key: str, timestamp: _TS, value: Any) -> None:
-        acked_values[(key, timestamp[0], timestamp[1])] = value
-        if timestamp > acked_max.get(key, NULL_TIMESTAMP):
-            acked_max[key] = timestamp
-
-    def check_read(index: int, client: int, key: str, result) -> None:
-        timestamp = (result.counter, result.writer)
-        # Checked before the stale early-return on purpose: a fabricated
-        # value is a safety violation even when served flagged-stale.
-        if result.value in fabricated:
-            violations.append(
-                {
-                    "invariant": "byzantine-fabricated-read",
-                    "op": index,
-                    "client": client,
-                    "key": key,
-                    "detail": (
-                        f"read returned fabricated value {result.value!r}"
-                        f" at {timestamp}"
-                    ),
-                }
-            )
-        if timestamp != NULL_TIMESTAMP:
-            issued = issued_values.get((key, result.counter, result.writer))
-            if (key, result.counter, result.writer) not in issued_values:
-                violations.append(
-                    {
-                        "invariant": "version-integrity",
-                        "op": index,
-                        "client": client,
-                        "key": key,
-                        "detail": f"read returned never-issued version {timestamp}",
-                    }
-                )
-            elif issued != result.value:
-                violations.append(
-                    {
-                        "invariant": "version-integrity",
-                        "op": index,
-                        "client": client,
-                        "key": key,
-                        "detail": (
-                            f"version {timestamp} returned value {result.value!r},"
-                            f" issued as {issued!r}"
-                        ),
-                    }
-                )
-        if result.stale:
-            return  # degraded reads are allowed to lag — that is the flag
-        expected = acked_max.get(key)
-        if expected is not None and timestamp < expected:
-            violations.append(
-                {
-                    "invariant": "no-stale-unflagged-read",
-                    "op": index,
-                    "client": client,
-                    "key": key,
-                    "detail": (
-                        f"read returned {timestamp}, but {expected} was"
-                        " acknowledged earlier"
-                    ),
-                }
-            )
-
-    def record_trace(
-        index: int, client: int, kind: str, key: str, outcome: str, ts: Optional[_TS]
-    ) -> None:
-        trace.append(
-            {
-                "op": index,
-                "client": client,
-                "kind": kind,
-                "key": key,
-                "outcome": outcome,
-                "ts": list(ts) if ts is not None else None,
-            }
-        )
-
-    async def _run() -> None:
-        # Preload every key through the fault-free inner transport so each
-        # key has an acknowledged baseline version.
-        warmup = Coordinator(
-            system,
-            inner,
-            strategy,
-            coordinator_id=config.clients,
-            seed=streams.seed_for("chaos.warmup"),
-            timeout=10_000.0,
-            max_attempts=6,
-            metrics=ServiceMetrics(system.n),
-        )
-        for key_index in range(config.keys):
-            key, value = f"k{key_index:03d}", f"preload-{key_index}"
-            ack = await warmup.write(key, value)
-            issued_values[(key, ack.counter, ack.writer)] = value
-            record_ack(key, (ack.counter, ack.writer), value)
-            counts["preloads"] += 1
-
-        for index, (client, kind, key) in enumerate(plan):
-            for transport in transports:
-                transport.clock = float(index)
-            coordinator = coordinators[client]
-            if kind == "write":
-                value = f"v{index}-c{client}"
-                # The timestamp is determined before the attempt (clock+1),
-                # so even a failed write's partially-applied version is a
-                # known, legal version for later reads to return.
-                stamped = (coordinator.clock + 1, coordinator.coordinator_id)
-                issued_values[(key, stamped[0], stamped[1])] = value
-                try:
-                    ack = await coordinator.write(key, value)
-                except OperationFailed:
-                    counts["writes_failed"] += 1
-                    record_trace(index, client, kind, key, "failed", None)
-                else:
-                    counts["writes_ok"] += 1
-                    record_ack(key, (ack.counter, ack.writer), value)
-                    record_trace(
-                        index, client, kind, key, "ok", (ack.counter, ack.writer)
-                    )
-            else:
-                try:
-                    result = await coordinator.read(key)
-                except OperationFailed:
-                    counts["reads_failed"] += 1
-                    record_trace(index, client, kind, key, "failed", None)
-                else:
-                    if result.stale:
-                        counts["reads_degraded"] += 1
-                        outcome = "degraded"
-                    else:
-                        counts["reads_ok"] += 1
-                        outcome = "ok"
-                    check_read(index, client, key, result)
-                    record_trace(
-                        index,
-                        client,
-                        kind,
-                        key,
-                        outcome,
-                        (result.counter, result.writer),
-                    )
-        # Hedged phases may leave absorbed stragglers in flight; the
-        # post-run invariants must see their effects (journal appends,
-        # suspicion updates) — wait for them all.
-        for coordinator in coordinators:
-            await coordinator.drain()
-
-    started = time.perf_counter()
-    if mode == "sim":
-        assert isinstance(clock, VirtualClock)
-        run_virtual(_run(), clock=clock)
-    else:
-        asyncio.run(_run())
-    elapsed = time.perf_counter() - started
-
-    # ------------------------------------------------------------------
-    # Post-run invariants
-    # ------------------------------------------------------------------
-    for key in sorted(acked_max):
-        expected = acked_max[key]
-        surviving = NULL_TIMESTAMP
-        surviving_value = None
-        for replica in replicas:
-            version = replica.get(key)
-            if version is not None and version.timestamp > surviving:
-                surviving = version.timestamp
-                surviving_value = version.value
-        if surviving < expected:
-            violations.append(
-                {
-                    "invariant": "acked-write-durable",
-                    "key": key,
-                    "detail": (
-                        f"newest surviving version is {surviving}, but"
-                        f" {expected} was acknowledged"
-                    ),
-                }
-            )
-        elif (
-            surviving == expected
-            and surviving_value != acked_values[(key, expected[0], expected[1])]
-        ):
-            violations.append(
-                {
-                    "invariant": "acked-write-durable",
-                    "key": key,
-                    "detail": (
-                        f"surviving version {surviving} holds"
-                        f" {surviving_value!r}, acknowledged as"
-                        f" {acked_values[(key, expected[0], expected[1])]!r}"
-                    ),
-                }
-            )
-
-    for rid in sorted(journals):
-        for key in sorted(journals[rid]):
-            entries = journals[rid][key]
-            for previous, current in zip(entries, entries[1:]):
-                if current <= previous:
-                    violations.append(
-                        {
-                            "invariant": "replica-ts-monotone",
-                            "replica": rid,
-                            "key": key,
-                            "detail": f"{previous} then {current}",
-                        }
-                    )
-
-    if byz_replicas:
-        byz_set = set(byz_replicas)
-        accused = set()
-        for coordinator in coordinators:
-            accused |= coordinator.lied_replicas
-        # Soundness is only guaranteed inside the masking budget: with
-        # more than b liars, colluding votes can out-number the truth and
-        # frame honest replicas — that regime is the expected-failure
-        # case, already flagged by byzantine-fabricated-read.
-        if config.byzantine_liars <= config.byzantine_b:
-            framed = sorted(accused - byz_set)
-            if framed:
-                violations.append(
-                    {
-                        "invariant": "lie-detection-sound",
-                        "detail": (
-                            f"honest replicas {framed} marked as liars"
-                            f" (actual liars: {byz_replicas})"
-                        ),
-                    }
-                )
-        for coordinator in coordinators:
-            unreflected = sorted(
-                coordinator.lied_replicas - coordinator.suspicion_history
-            )
-            if unreflected:
-                violations.append(
-                    {
-                        "invariant": "lie-suspicion-reflected",
-                        "client": coordinator.coordinator_id,
-                        "detail": (
-                            f"caught liars {unreflected} never entered"
-                            " the suspicion set"
-                        ),
-                    }
-                )
-
-    # ------------------------------------------------------------------
-    # Availability: measured under the schedule's iid crash component vs
-    # the exact failure probability of the same model.
-    # ------------------------------------------------------------------
-    alive_ticks = sum(
-        1
-        for tick in range(config.ops)
-        if system.contains_quorum(universe - schedule.crash_down_at(float(tick)))
-    )
-    availability = availability_comparison(
-        system, config.crash_rate, alive_ticks / config.ops
-    )
-    availability["op_success_rate"] = metrics.success_rate
-
-    injected: Dict[str, int] = {}
-    for transport in transports:
-        for fault_kind, count in transport.injected.items():
-            injected[fault_kind] = injected.get(fault_kind, 0) + count
-
-    metrics_snapshot = metrics.to_dict()
-    hashes = {
-        "trace": _digest(trace),
-        "metrics": _digest(metrics_snapshot),
-    }
-
-    return ChaosReport(
-        system_name=system.system_name,
-        n=system.n,
-        seed=seed,
-        config=config,
-        schedule=schedule,
-        injected=injected,
-        operations=counts,
-        availability=availability,
-        violations=violations,
-        metrics=metrics,
-        mode=mode,
-        trace=trace,
-        hashes=hashes,
-        byzantine_replicas=byz_replicas,
-        elapsed_seconds=elapsed,
-    )
+__all__ = ["ChaosConfig", "ChaosReport", "run_chaos"]

@@ -1,4 +1,4 @@
-"""Closed-loop workload generator for the KV service.
+"""Workload generator for the KV service: closed-loop and open-loop.
 
 Drives a fleet of concurrent coordinator clients through a configurable
 read/write mix with power-law key skew, injecting iid crash epochs, and
@@ -12,6 +12,16 @@ The whole benchmark is deterministic on the in-process transport: the
 operation schedule is precomputed from the seed, message latencies and
 crash epochs come from seeded RNGs, and the asyncio event loop
 interleaves the clients reproducibly because nothing blocks on real I/O.
+
+Two arrival models (``WorkloadConfig.arrival``): the classic **closed
+loop** (``clients`` concurrent clients, each issuing its next operation
+when the previous one finishes — throughput self-throttles to service
+capacity) and an **open loop** (``"poisson"``: operations fire at
+seeded Poisson arrival instants on the transport's clock regardless of
+in-flight work, so overload shows up as queueing and timeout burn
+instead of hiding in a slowed generator).  The open loop needs a
+clocked transport — under :class:`~repro.runtime.clock.VirtualClock`
+it sustains the configured rate exactly.
 """
 
 from __future__ import annotations
@@ -60,6 +70,8 @@ class WorkloadConfig:
     hedge_spares: int = 0  # spare replicas contacted beyond each quorum
     hedge_delay_ms: float = 0.0  # defer spares until this delay elapses (0=upfront)
     read_repair: bool = True  # rewrite stale members during reads
+    arrival: str = "closed"  # "closed" | "poisson" (open loop, clocked only)
+    arrival_rate: float = 0.0  # poisson: mean ops per (virtual) second
 
     def validate(self) -> None:
         if self.ops < 0:
@@ -78,6 +90,17 @@ class WorkloadConfig:
             raise ServiceError("hedge_spares must be >= 0")
         if self.hedge_delay_ms < 0:
             raise ServiceError("hedge_delay_ms must be >= 0")
+        if self.arrival not in ("closed", "poisson"):
+            raise ServiceError(
+                f"unknown arrival mode {self.arrival!r};"
+                " pick 'closed' or 'poisson'"
+            )
+        if self.arrival == "poisson" and self.arrival_rate <= 0:
+            raise ServiceError(
+                "poisson arrival needs arrival_rate > 0 (ops per second)"
+            )
+        if self.arrival_rate < 0:
+            raise ServiceError("arrival_rate must be >= 0")
 
 
 @dataclass
@@ -128,9 +151,18 @@ class BenchmarkReport:
                     "hedge_spares": self.config.hedge_spares,
                     "hedge_delay_ms": self.config.hedge_delay_ms,
                     "read_repair": self.config.read_repair,
+                    "arrival": self.config.arrival,
+                    "arrival_rate": self.config.arrival_rate,
                 },
             }
         )
+        # Scorecard consistency: every quorumtool JSON scorecard carries
+        # the same invariants block shape.  The benchmark audits nothing,
+        # so the checked list is empty and ok is trivially True.
+        # (Imported lazily: repro.scenarios.engine imports this module.)
+        from ..scenarios.scorecard import invariants_block
+
+        snapshot["invariants"] = invariants_block((), [])
         return snapshot
 
     @property
@@ -238,21 +270,24 @@ async def run_workload(
     can_inject = config.crash_rate > 0 and hasattr(transport, "resample_crashes")
     next_op = itertools.count()
 
+    async def run_op(coordinator: Coordinator, index: int) -> None:
+        if can_inject and index % config.ops_per_epoch == 0:
+            transport.resample_crashes()
+        kind, key = schedule[index]
+        try:
+            if kind == "read":
+                await coordinator.read(key)
+            else:
+                await coordinator.write(key, f"v{index}")
+        except OperationFailed:
+            pass  # already counted in metrics
+
     async def client_loop(coordinator: Coordinator) -> None:
         while True:
             index = next(next_op)
             if index >= config.ops:
                 return
-            if can_inject and index % config.ops_per_epoch == 0:
-                transport.resample_crashes()
-            kind, key = schedule[index]
-            try:
-                if kind == "read":
-                    await coordinator.read(key)
-                else:
-                    await coordinator.write(key, f"v{index}")
-            except OperationFailed:
-                pass  # already counted in metrics
+            await run_op(coordinator, index)
 
     # When the transport runs on a virtual clock (SimTransport under
     # run_virtual) also record simulated elapsed time, so throughput can
@@ -262,9 +297,59 @@ async def run_workload(
     sim_clock = getattr(transport, "clock", None)
     if not callable(getattr(sim_clock, "now", None)):
         sim_clock = None
+
+    async def open_loop() -> None:
+        # Open-loop Poisson arrival: operations fire at their scheduled
+        # arrival instants whether or not earlier ones finished — the
+        # generator never throttles to service capacity.  Arrival times
+        # come from their own named stream, so closed-loop runs burn no
+        # extra draws.  Requires a clocked transport (virtual or wall):
+        # without a clock there is no time axis to schedule arrivals on.
+        if sim_clock is None:
+            raise ServiceError(
+                "poisson arrival needs a clocked transport (SimTransport"
+                " under sim/wall time); use arrival='closed' instead"
+            )
+        inter = streams.stream("loadgen.arrivals").exponential(
+            1000.0 / config.arrival_rate, size=config.ops
+        )
+        arrivals = np.cumsum(inter)
+        origin = sim_clock.now()
+        max_lag = 0.0
+        pending: List["asyncio.Task"] = []
+        for index in range(config.ops):
+            target = origin + float(arrivals[index])
+            delay = target - sim_clock.now()
+            if delay > 0:
+                await sim_clock.sleep(delay)
+            lag = sim_clock.now() - target
+            if lag > max_lag:
+                max_lag = lag
+            pending.append(
+                asyncio.ensure_future(
+                    run_op(coordinators[index % config.clients], index)
+                )
+            )
+        await asyncio.gather(*pending)
+        elapsed_ms = sim_clock.now() - origin
+        # Plain attributes (like elapsed_seconds): the arrival accounting
+        # is reported next to the metrics, not inside to_dict().
+        metrics.arrival = {
+            "mode": "poisson",
+            "rate_ops_per_s": config.arrival_rate,
+            "elapsed_ms": elapsed_ms,
+            "achieved_ops_per_s": (
+                config.ops / (elapsed_ms / 1000.0) if elapsed_ms > 0 else 0.0
+            ),
+            "max_spawn_lag_ms": max_lag,
+        }
+
     started = time.perf_counter()
     vstarted = sim_clock.now() if sim_clock is not None else 0.0
-    await asyncio.gather(*(client_loop(c) for c in coordinators))
+    if config.arrival == "poisson":
+        await open_loop()
+    else:
+        await asyncio.gather(*(client_loop(c) for c in coordinators))
     # Hedged phases may leave absorbed stragglers in flight; wait for
     # them so the transport can be torn down cleanly and the straggler
     # histogram is complete.

@@ -27,6 +27,7 @@ from ..core.quorum_system import QuorumSystem
 from ..runtime.clock import VirtualClock, run_virtual
 from ..runtime.metrics import KeyCounter
 from ..runtime.rng import RngStreams
+from ..scenarios.scorecard import invariants_block
 from ..service.coordinator import OperationFailed
 from ..service.loadgen import key_weights
 from .coordinator import ShardedCoordinator
@@ -52,6 +53,7 @@ class ShardBenchReport:
     key_skew: Dict[str, Any] = field(default_factory=dict)
     reshards: List[Dict[str, Any]] = field(default_factory=list)
     read_write: bool = False  # shards served by split read/write pairs
+    config: Dict[str, Any] = field(default_factory=dict)  # workload echo
 
     @property
     def ops_per_virtual_second(self) -> float:
@@ -74,6 +76,10 @@ class ShardBenchReport:
             "key_skew": self.key_skew,
             "reshards": self.reshards,
             "read_write": self.read_write,
+            "config": dict(sorted(self.config.items())),
+            # Scorecard consistency: same invariants block shape as every
+            # other quorumtool scorecard (nothing audited here).
+            "invariants": invariants_block((), []),
         }
 
 
@@ -195,6 +201,18 @@ def run_sharded_benchmark(
         key_skew=key_skew,
         reshards=snapshot["reshards"],
         read_write=read_write,
+        config={
+            "ops": ops,
+            "keys": keys,
+            "skew": skew,
+            "read_fraction": read_fraction,
+            "clients": clients,
+            "base_latency": base_latency,
+            "mean_latency": mean_latency,
+            "service_time_ms": service_time_ms,
+            "timeout": timeout,
+            "specs": list(specs) if specs is not None else None,
+        },
     )
 
 

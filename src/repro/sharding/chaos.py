@@ -6,7 +6,8 @@ ShardedCoordinator` whose per-shard transports each carry a randomized
 :class:`~repro.runtime.faults.FaultSchedule` (crashes, flapping,
 latency spikes, drops, duplicates), and partway through the run the
 hottest shard is split **live** — drain, copy, flip — while clients keep
-reading and writing.  Afterwards the harness checks:
+reading and writing.  Afterwards the harness checks (through the shared
+invariant registry, :mod:`repro.scenarios.invariants`):
 
 1. **acked-write-durable** — every acknowledged write survives on the
    *final* map's authoritative shard replicas (resharding lost nothing).
@@ -41,7 +42,15 @@ from ..core.errors import ServiceError
 from ..runtime.clock import VirtualClock, WallClock, run_virtual
 from ..runtime.faults import FaultSchedule
 from ..runtime.rng import RngStreams
-from ..service.chaos import _digest
+from ..scenarios.invariants import (
+    CORE_INVARIANTS,
+    audit_durability,
+    audit_monotone,
+    check_fresh_read,
+    check_issued_value,
+)
+from ..scenarios.scorecard import digest as _digest
+from ..scenarios.scorecard import invariants_block
 from ..service.coordinator import OperationFailed
 from ..service.loadgen import key_weights
 from ..service.replica import NULL_TIMESTAMP, Replica
@@ -136,16 +145,7 @@ class ReshardReport:
             "map_digest": self.map_digest,
             "faults_injected": dict(sorted(self.injected.items())),
             "hashes": dict(sorted(self.hashes.items())),
-            "invariants": {
-                "checked": [
-                    "acked-write-durable",
-                    "no-stale-unflagged-read",
-                    "version-integrity",
-                    "replica-ts-monotone",
-                ],
-                "ok": self.ok,
-                "violations": self.violations,
-            },
+            "invariants": invariants_block(CORE_INVARIANTS, self.violations),
         }
 
 
@@ -325,36 +325,22 @@ def run_reshard_chaos(
                             "ts": list(timestamp),
                         }
                     )
-                    if result.value is not None and result.value not in (
-                        issued_for_key.get(key, set())
-                    ):
-                        violations.append(
-                            {
-                                "invariant": "version-integrity",
-                                "op": index,
-                                "key": key,
-                                "detail": (
-                                    f"read returned never-issued value"
-                                    f" {result.value!r} at {timestamp}"
-                                ),
-                            }
-                        )
-                    if (
-                        not result.stale
-                        and expected is not None
-                        and timestamp < expected
-                    ):
-                        violations.append(
-                            {
-                                "invariant": "no-stale-unflagged-read",
-                                "op": index,
-                                "key": key,
-                                "detail": (
-                                    f"read returned {timestamp}, but {expected}"
-                                    " was acknowledged earlier"
-                                ),
-                            }
-                        )
+                    check_issued_value(
+                        violations,
+                        op=index,
+                        key=key,
+                        value=result.value,
+                        timestamp=timestamp,
+                        issued=issued_for_key.get(key, set()),
+                    )
+                    check_fresh_read(
+                        violations,
+                        op=index,
+                        key=key,
+                        timestamp=timestamp,
+                        stale=result.stale,
+                        expected=expected,
+                    )
 
         await asyncio.gather(*(worker(c) for c in range(config.clients)))
         if reshard_task:
@@ -365,39 +351,13 @@ def run_reshard_chaos(
         # authoritative replicas, before the backends close.
         for key in sorted(acked_max):
             expected = acked_max[key]
-            backend = sharded.backend_for_key(key)
-            surviving, surviving_value = NULL_TIMESTAMP, None
-            for replica in backend.replicas:
-                version = replica.get(key)
-                if version is not None and version.timestamp > surviving:
-                    surviving = version.timestamp
-                    surviving_value = version.value
-            if surviving < expected:
-                violations.append(
-                    {
-                        "invariant": "acked-write-durable",
-                        "key": key,
-                        "detail": (
-                            f"newest surviving version is {surviving}, but"
-                            f" {expected} was acknowledged"
-                        ),
-                    }
-                )
-            elif (
-                surviving == expected
-                and surviving_value != acked_values[(key, expected[0], expected[1])]
-            ):
-                violations.append(
-                    {
-                        "invariant": "acked-write-durable",
-                        "key": key,
-                        "detail": (
-                            f"surviving version {surviving} holds"
-                            f" {surviving_value!r}, acknowledged as"
-                            f" {acked_values[(key, expected[0], expected[1])]!r}"
-                        ),
-                    }
-                )
+            audit_durability(
+                violations,
+                key=key,
+                expected=expected,
+                acked_value=acked_values[(key, expected[0], expected[1])],
+                replicas=sharded.backend_for_key(key).replicas,
+            )
         await sharded.close()
 
     started = time.perf_counter()
@@ -410,19 +370,7 @@ def run_reshard_chaos(
 
     # Monotonicity across every replica journal ever created.
     for shard_id, rid, journal in journals:
-        for key in sorted(journal):
-            entries = journal[key]
-            for previous, current in zip(entries, entries[1:]):
-                if current <= previous:
-                    violations.append(
-                        {
-                            "invariant": "replica-ts-monotone",
-                            "shard": shard_id,
-                            "replica": rid,
-                            "key": key,
-                            "detail": f"{previous} then {current}",
-                        }
-                    )
+        audit_monotone(violations, journal, replica=rid, shard=shard_id)
 
     injected: Dict[str, int] = {}
     for transport in fleet.fault_transports:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.runtime import Counter, Gauge, LatencyHistogram
+from repro.runtime.metrics import KeyCounter
 from repro.sim import LatencyStats
 
 
@@ -102,3 +103,79 @@ class TestLatencyHistogram:
         assert isinstance(stats, LatencyHistogram)
         stats.record(4.0)
         assert stats.count == 1
+
+    def test_single_sample_every_percentile(self):
+        histogram = LatencyHistogram([7.5])
+        for q in (0, 1, 50, 95, 99, 100):
+            assert histogram.percentile(q) == pytest.approx(7.5)
+        summary = histogram.summary()
+        assert summary["count"] == 1
+        assert summary["mean"] == pytest.approx(7.5)
+        assert summary["p50"] == summary["p99"] == pytest.approx(7.5)
+
+    def test_merge_disjoint_ranges(self):
+        low = LatencyHistogram([float(v) for v in range(1, 51)])
+        high = LatencyHistogram([float(v) for v in range(1000, 1050)])
+        low.merge(high)
+        assert low.count == 100
+        # The merged population spans both ranges: the median sits at the
+        # boundary, the extremes belong to each source.
+        assert low.percentile(0) == pytest.approx(1.0)
+        assert low.percentile(100) == pytest.approx(1049.0)
+        assert 50.0 <= low.percentile(50) <= 1000.0
+        # Merging never mutates the source histogram.
+        assert high.count == 50
+
+    def test_merge_with_empty_is_identity(self):
+        histogram = LatencyHistogram([1.0, 2.0, 3.0])
+        histogram.merge(LatencyHistogram())
+        assert histogram.count == 3
+        assert histogram.percentile(50) == pytest.approx(2.0)
+        empty = LatencyHistogram()
+        empty.merge(histogram)
+        assert empty.count == 3
+        assert empty.mean == pytest.approx(2.0)
+
+
+class TestKeyCounter:
+    def test_empty(self):
+        counter = KeyCounter()
+        assert counter.total == 0
+        assert counter.distinct == 0
+        assert counter.top(5) == []
+
+    def test_top_k_orders_ties_by_key(self):
+        counter = KeyCounter()
+        for key in ("kc", "ka", "kb"):
+            counter.record(key, by=3)
+        counter.record("hot", by=9)
+        # Equal counts rank alphabetically — the view is a pure function
+        # of the recorded multiset, independent of insertion order.
+        assert counter.top(4) == [("hot", 9), ("ka", 3), ("kb", 3), ("kc", 3)]
+        assert counter.top(2) == [("hot", 9), ("ka", 3)]
+
+    def test_top_k_insertion_order_independent(self):
+        a, b = KeyCounter(), KeyCounter()
+        for key in ("k1", "k2", "k3"):
+            a.record(key, by=2)
+        for key in ("k3", "k1", "k2"):
+            b.record(key, by=2)
+        assert a.top(3) == b.top(3)
+
+    def test_top_k_clamps_and_rejects_negative_by(self):
+        counter = KeyCounter()
+        counter.record("k", by=1)
+        assert counter.top(0) == []
+        assert counter.top(-1) == []
+        with pytest.raises(ValueError):
+            counter.record("k", by=-1)
+
+    def test_merge_sums_counts(self):
+        a, b = KeyCounter(), KeyCounter()
+        a.record("shared", by=2)
+        a.record("only-a")
+        b.record("shared", by=5)
+        b.record("only-b")
+        a.merge(b)
+        assert a.counts == {"shared": 7, "only-a": 1, "only-b": 1}
+        assert a.top(1) == [("shared", 7)]

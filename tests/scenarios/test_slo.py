@@ -1,0 +1,99 @@
+"""Tests for SLO targets and error-budget scoring."""
+
+import pytest
+
+from repro.core.errors import ServiceError
+from repro.scenarios import SloTargets, slo_report
+
+
+def _samples(total, failures, latency=5.0):
+    """``total`` samples with the first ``failures`` failed."""
+    return [
+        (index, index >= failures, latency) for index in range(total)
+    ]
+
+
+class TestSloTargets:
+    def test_validate_accepts_sane_targets(self):
+        SloTargets(
+            availability=0.99, latency_ms={"p95": 25.0, "p99.9": 80.0}
+        ).validate()
+
+    @pytest.mark.parametrize("availability", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_degenerate_availability(self, availability):
+        # availability == 1.0 means a zero error budget: burn rates
+        # would divide by zero, so the target is rejected outright.
+        with pytest.raises(ServiceError):
+            SloTargets(availability=availability).validate()
+
+    @pytest.mark.parametrize("label", ["95", "pfast", "p-1", "p101"])
+    def test_rejects_malformed_latency_labels(self, label):
+        with pytest.raises(ServiceError):
+            SloTargets(latency_ms={label: 10.0}).validate()
+
+    def test_rejects_nonpositive_ceiling_and_window(self):
+        with pytest.raises(ServiceError):
+            SloTargets(latency_ms={"p95": 0.0}).validate()
+        with pytest.raises(ServiceError):
+            SloTargets(window_ops=0).validate()
+
+    def test_to_dict_sorted(self):
+        targets = SloTargets(latency_ms={"p99": 50.0, "p50": 10.0})
+        assert list(targets.to_dict()["latency_ms"]) == ["p50", "p99"]
+
+
+class TestSloReport:
+    def test_all_ok_run_meets_everything(self):
+        targets = SloTargets(availability=0.99, latency_ms={"p95": 10.0})
+        report = slo_report(_samples(200, failures=0), targets)
+        assert report["observed"]["availability"] == 1.0
+        assert report["error_budget"]["burn_rate"] == 0.0
+        assert report["met"] == {
+            "availability": True,
+            "latency": {"p95": True},
+            "ok": True,
+        }
+
+    def test_burn_rate_arithmetic(self):
+        # 2% errors against a 1% budget: the run burned twice its budget.
+        targets = SloTargets(availability=0.99, window_ops=50)
+        report = slo_report(_samples(200, failures=4), targets)
+        budget = report["error_budget"]
+        assert budget["allowed_error_rate"] == pytest.approx(0.01)
+        assert budget["observed_error_rate"] == pytest.approx(0.02)
+        assert budget["burn_rate"] == pytest.approx(2.0)
+        assert report["met"]["availability"] is False
+
+    def test_windowed_burn_localises_the_spike(self):
+        # All 4 failures inside the first 50-op window: that window burns
+        # at 8x while the whole-run average is only 2x — the reason
+        # burn-rate alerts are windowed.
+        targets = SloTargets(availability=0.99, window_ops=50)
+        report = slo_report(_samples(200, failures=4), targets)
+        windows = report["windows"]
+        assert len(windows) == 4
+        assert windows[0]["burn_rate"] == pytest.approx(8.0)
+        assert all(w["burn_rate"] == 0.0 for w in windows[1:])
+        assert report["error_budget"]["max_window_burn_rate"] == pytest.approx(8.0)
+
+    def test_ragged_final_window(self):
+        targets = SloTargets(availability=0.9, window_ops=60)
+        report = slo_report(_samples(100, failures=0), targets)
+        assert [w["ops"] for w in report["windows"]] == [60, 40]
+        assert [w["start_op"] for w in report["windows"]] == [0, 60]
+
+    def test_failed_ops_stay_in_latency_population(self):
+        # A timed-out op burned its deadline; hiding it would flatter p95.
+        targets = SloTargets(availability=0.5, latency_ms={"p95": 10.0})
+        samples = [(0, True, 1.0)] * 10 + [(10, False, 500.0)] * 10
+        report = slo_report(samples, targets)
+        assert report["observed"]["latency_ms"]["p95"] > 10.0
+        assert report["met"]["latency"]["p95"] is False
+
+    def test_empty_run(self):
+        targets = SloTargets(availability=0.99)
+        report = slo_report([], targets)
+        assert report["observed"]["ops"] == 0
+        assert report["observed"]["availability"] == 1.0
+        assert report["windows"] == []
+        assert report["error_budget"]["max_window_burn_rate"] == 0.0

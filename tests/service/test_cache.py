@@ -1,0 +1,120 @@
+"""Tests for the coordinator-side TTL + stale-while-revalidate cache."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.service import CacheEntry, CoordinatorCache
+
+
+def _cache(**kwargs):
+    clock = VirtualClock()
+    return clock, CoordinatorCache(clock, **kwargs)
+
+
+class TestConstruction:
+    def test_rejects_bad_windows(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            CoordinatorCache(clock, ttl_ms=0)
+        with pytest.raises(ValueError):
+            CoordinatorCache(clock, ttl_ms=-1)
+        with pytest.raises(ValueError):
+            CoordinatorCache(clock, ttl_ms=10, swr_ms=-1)
+
+
+class TestLeaseLifecycle:
+    def test_fresh_then_stale_then_miss(self):
+        clock, cache = _cache(ttl_ms=100, swr_ms=50)
+        cache.store("k", "v1", 1, 0)
+        state, entry = cache.lookup("k")
+        assert state == "fresh"
+        assert entry == CacheEntry("v1", 1, 0, 0.0)
+        # Lease expired, inside the grace window: served flagged stale.
+        clock.advance(120)
+        state, entry = cache.lookup("k")
+        assert state == "stale"
+        assert entry.value == "v1"
+        # Past the grace window too: a full miss.
+        clock.advance(40)
+        state, entry = cache.lookup("k")
+        assert state == "miss"
+        assert entry is None
+
+    def test_zero_swr_goes_straight_to_miss(self):
+        clock, cache = _cache(ttl_ms=100)
+        cache.store("k", "v1", 1, 0)
+        clock.advance(100)
+        assert cache.lookup("k")[0] == "miss"
+
+    def test_unknown_key_is_a_miss(self):
+        _, cache = _cache(ttl_ms=100)
+        assert cache.lookup("nope") == ("miss", None)
+
+
+class TestNewestWins:
+    def test_older_version_cannot_roll_back(self):
+        _, cache = _cache(ttl_ms=100)
+        assert cache.store("k", "v3", 3, 1)
+        assert not cache.store("k", "v2", 2, 9)
+        assert cache.lookup("k")[1].value == "v3"
+
+    def test_writer_breaks_counter_ties(self):
+        _, cache = _cache(ttl_ms=100)
+        cache.store("k", "a", 3, 2)
+        assert not cache.store("k", "b", 3, 1)
+        assert cache.store("k", "c", 3, 4)
+        assert cache.lookup("k")[1].value == "c"
+
+    def test_equal_version_revalidates_the_lease(self):
+        clock, cache = _cache(ttl_ms=100, swr_ms=50)
+        cache.store("k", "v1", 1, 0)
+        clock.advance(120)
+        assert cache.lookup("k")[0] == "stale"
+        # A refresh confirming the same version restamps the lease.
+        assert cache.store("k", "v1", 1, 0)
+        assert cache.lookup("k")[0] == "fresh"
+
+
+class TestSingleFlight:
+    def test_refresh_slot_deduplicates_the_stampede(self):
+        _, cache = _cache(ttl_ms=100, swr_ms=50)
+        assert cache.begin_refresh("k")
+        # Every concurrent stale hit after the first is deduplicated.
+        assert not cache.begin_refresh("k")
+        assert cache.begin_refresh("other")  # per-key, not global
+        cache.end_refresh("k")
+        assert cache.begin_refresh("k")
+        assert cache.refreshes == 3
+
+    def test_failed_refresh_is_counted_and_releases_the_slot(self):
+        _, cache = _cache(ttl_ms=100)
+        cache.begin_refresh("k")
+        cache.end_refresh("k", ok=False)
+        assert cache.refresh_failures == 1
+        assert cache.begin_refresh("k")
+
+
+class TestSnapshot:
+    def test_counters_and_hit_rate(self):
+        clock, cache = _cache(ttl_ms=100, swr_ms=50)
+        cache.store("k", "v1", 1, 0)
+        cache.lookup("k")          # fresh
+        clock.advance(120)
+        cache.lookup("k")          # stale (still served)
+        clock.advance(40)
+        cache.lookup("k")          # miss
+        cache.lookup("absent")     # miss
+        snap = cache.snapshot()
+        assert snap["lookups"] == 4
+        assert snap["hits"] == 1
+        assert snap["stale_served"] == 1
+        assert snap["misses"] == 2
+        assert snap["hit_rate"] == pytest.approx(0.5)
+        assert snap["stores"] == 1
+        assert snap["size"] == 1
+
+    def test_empty_snapshot(self):
+        _, cache = _cache(ttl_ms=10)
+        snap = cache.snapshot()
+        assert snap["lookups"] == 0
+        assert snap["hit_rate"] == 0.0

@@ -32,6 +32,19 @@ class TestBenchmark:
         assert skew["hottest_share"] > 1.0 / WORKLOAD["keys"]
         assert len(skew["top_k"]) == 10
 
+    def test_scorecard_echoes_seed_config_and_invariants(self):
+        # Every quorumtool scorecard carries the same audit keys: the
+        # seed, the full workload config, and an invariants block with
+        # violation_counts (empty here — nothing is audited).
+        snapshot = bench(2, seed=5).to_dict()
+        assert snapshot["seed"] == 5
+        config = snapshot["config"]
+        assert config["ops"] == WORKLOAD["ops"]
+        assert config["specs"] == ["majority:3", "majority:3"]
+        block = snapshot["invariants"]
+        assert set(block) == {"checked", "ok", "violations", "violation_counts"}
+        assert block["ok"] is True and block["violation_counts"] == {}
+
     def test_sharding_scales_throughput(self):
         # The acceptance headline, at test scale: more shards, more
         # capacity, strictly less virtual time for the same workload.
